@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Section 3.2 / 4.1 ablation: interleaved vs separate ZCOMP headers.
+ *
+ * Interleaved headers keep data + metadata in one stream inside the
+ * original allocation (best locality; needs >= 3.125% compressibility
+ * or allocation slack). Separate headers decouple the metadata into
+ * its own store: no memory-violation risk regardless of
+ * compressibility, statically-addressable header reads, but an extra
+ * memory stream and its traffic.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+#include "sim/kernels.hh"
+
+using namespace zcomp;
+
+namespace {
+
+RunStats
+runVariant(bool separate, size_t elems, double sparsity)
+{
+    ArchConfig cfg;
+    ExecContext ctx(cfg);
+    ReluExperimentConfig rc;
+    rc.elems = elems;
+    rc.sparsity = sparsity;
+    rc.separateHeader = separate;
+    return runReluExperiment(ctx, ReluImpl::Zcomp, rc).total();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBanner(
+        "Section 3.2/4.1 ablation: interleaved vs separate headers");
+
+    Table table("zcomp ReLU + retrieval");
+    table.setHeader({"feature map", "sparsity", "interleaved cyc",
+                     "separate cyc", "sep overhead", "traffic delta"});
+    for (auto [elems, sparsity] :
+         std::initializer_list<std::pair<size_t, double>>{
+             {16u * 65536u, 0.53},
+             {16u * 262144u, 0.53},
+             {16u * 1048576u, 0.53},
+             {16u * 262144u, 0.10}}) {
+        RunStats inter = runVariant(false, elems, sparsity);
+        RunStats sep = runVariant(true, elems, sparsity);
+        table.addRow(
+            {Table::fmtBytes(static_cast<double>(elems) * 4),
+             Table::fmtPct(sparsity, 0), Table::fmt(inter.cycles, 0),
+             Table::fmt(sep.cycles, 0),
+             Table::fmtPct(sep.cycles / inter.cycles - 1.0),
+             Table::fmtPct(
+                 static_cast<double>(sep.traffic.totalBytes()) /
+                     static_cast<double>(inter.traffic.totalBytes()) -
+                 1.0)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper (Section 4.1): with the 49-62% sparsities of "
+                 "the profiled DNNs, interleaved\nheaders amortize "
+                 "their metadata inside the original allocation and "
+                 "are preferred;\nthe separate-header variant removes "
+                 "the memory-violation possibility when\ncompressibility "
+                 "is unknown, at the cost of an extra metadata "
+                 "stream.\n";
+    return 0;
+}

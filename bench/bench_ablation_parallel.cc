@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 4.3 / Figure 7 ablation: parallelization strategies for
+ * ZCOMP compression.
+ *
+ *  - "naive serialized" (Figure 7a): one compressed stream shared by
+ *    everyone - modeled as a single core with a single dependency
+ *    chain (the compressed-pointer handoff fully serializes).
+ *  - "partitioned" (Figure 7b): each of the 16 threads compresses its
+ *    own chunk as an independent stream.
+ *  - sub-block unrolling: each thread's chunk further sliced into
+ *    1/2/4/8 independent sub-streams, the loop-unrolling enabler.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "sim/kernels.hh"
+
+using namespace zcomp;
+
+namespace {
+
+double
+runCase(int cores, int sub_blocks, size_t elems)
+{
+    ArchConfig cfg;
+    cfg.numCores = cores;
+    ExecContext ctx(cfg);
+    ReluExperimentConfig rc;
+    rc.elems = elems;
+    rc.subBlocks = sub_blocks;
+    return runReluExperiment(ctx, ReluImpl::Zcomp, rc).total().cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBanner(
+        "Figure 7 ablation: ZCOMP parallelization strategies");
+
+    const size_t elems = 16 * 262144;   // 16 MiB feature map
+
+    Table table("ReLU + retrieval on a 16 MiB map (zcomp)");
+    table.setHeader({"strategy", "cycles", "speedup vs naive"});
+    double naive = runCase(1, 1, elems);
+    table.addRow({"naive serialized (Fig 7a)", Table::fmt(naive, 0),
+                  "1.00x"});
+    for (int subs : {1, 2, 4, 8}) {
+        double cycles = runCase(16, subs, elems);
+        table.addRow({format("partitioned, 16 threads, %d sub-block%s",
+                             subs, subs > 1 ? "s" : ""),
+                      Table::fmt(cycles, 0),
+                      Table::fmt(naive / cycles, 2) + "x"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper: partitioned compression avoids the heavy "
+                 "serialization of the shared\ncompressed-data "
+                 "pointer; sub-block unrolling restores instruction "
+                 "throughput\n(matched to the compiler's unrolling of "
+                 "the baseline).\n";
+    return 0;
+}

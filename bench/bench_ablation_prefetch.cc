@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Section 3.3 ablation: hardware prefetching under ZCOMP streams.
+ *
+ * ZCOMP expansion is sequentially dependent (header -> size -> next
+ * address), so it leans on the L2 stream prefetcher. Paper: "we
+ * observe L2 prefetcher accuracy of 98-99% and coverage of 94-97%"
+ * on the analyzed workloads, and the latency is effectively hidden.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+#include "sim/kernels.hh"
+
+using namespace zcomp;
+
+namespace {
+
+struct Case
+{
+    double cycles;
+    double accuracy;
+    double coverage;
+};
+
+Case
+runCase(bool prefetch, size_t elems)
+{
+    ArchConfig cfg;
+    cfg.prefetch.l2Stream = prefetch;
+    cfg.prefetch.l1IpStride = prefetch;
+    ExecContext ctx(cfg);
+    ReluExperimentConfig rc;
+    rc.elems = elems;
+    RunStats total =
+        runReluExperiment(ctx, ReluImpl::Zcomp, rc).total();
+    return {total.cycles, total.traffic.prefetchAccuracy(),
+            total.traffic.prefetchCoverage()};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBanner(
+        "Section 3.3 ablation: prefetching for ZCOMP streams");
+
+    Table table("zcomp ReLU + retrieval, prefetchers on vs off");
+    table.setHeader({"feature map", "pf off", "pf on", "speedup",
+                     "accuracy", "coverage"});
+    for (size_t elems : {16u * 65536u, 16u * 262144u,
+                         16u * 1024u * 1024u}) {
+        Case off = runCase(false, elems);
+        Case on = runCase(true, elems);
+        table.addRow(
+            {Table::fmtBytes(static_cast<double>(elems) * 4),
+             Table::fmt(off.cycles, 0), Table::fmt(on.cycles, 0),
+             Table::fmt(off.cycles / on.cycles, 2) + "x",
+             Table::fmtPct(on.accuracy), Table::fmtPct(on.coverage)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper: accuracy 98-99%, coverage 94-97%; "
+                 "prefetching hides the sequential\nheader/data "
+                 "dependence of zcompl.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+#include "bench/bench_common.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace zcomp::bench {
+
+const std::vector<StudyModel> &
+studyModels()
+{
+    // Batches/images scaled from the paper's 64 (ResNet 128) / 4 so
+    // that early-layer feature maps keep their cache-residency
+    // regimes on a single host (see EXPERIMENTS.md).
+    static const std::vector<StudyModel> models = {
+        {ModelId::AlexNet, 16, 2, 0, 1.0},
+        {ModelId::GoogLeNet, 4, 1, 0, 1.0},
+        {ModelId::InceptionResnetV2, 4, 1, 0, 0.5},
+        {ModelId::Resnet32, 64, 4, 0, 1.0},
+        {ModelId::Vgg16, 3, 1, 0, 1.0},
+    };
+    return models;
+}
+
+PreparedNet
+prepareNet(const StudyModel &m, bool training, uint64_t seed)
+{
+    PreparedNet p;
+    ArchConfig cfg;
+    p.ctx = std::make_unique<ExecContext>(cfg);
+
+    ModelOptions opt;
+    opt.batch = training ? m.trainBatch : m.inferBatch;
+    opt.imageSize = m.imageSize;
+    opt.widthScale = m.widthScale;
+    p.net = buildModel(m.id, p.ctx->vs(), opt);
+    p.net->build(training, seed);
+
+    Rng rng(seed + 17);
+    p.net->fillSyntheticInput(rng);
+    p.net->forward();
+    if (training) {
+        std::vector<int> labels(
+            static_cast<size_t>(opt.batch));
+        for (size_t i = 0; i < labels.size(); i++)
+            labels[i] = static_cast<int>(rng.below(
+                static_cast<uint64_t>(opt.classes)));
+        p.net->lossAndBackward(labels);
+    }
+    return p;
+}
+
+std::vector<StudyRow>
+runFullStudy(bool training_only, bool inference_only)
+{
+    std::vector<StudyRow> rows;
+    for (const StudyModel &m : studyModels()) {
+        for (int mode = 0; mode < 2; mode++) {
+            bool training = mode == 0;
+            if (training && inference_only)
+                continue;
+            if (!training && training_only)
+                continue;
+            inform("preparing %s (%s)...", modelName(m.id),
+                   training ? "training" : "inference");
+            PreparedNet p = prepareNet(m, training);
+            NetworkSim sim(*p.ctx, *p.net);
+            StudyRow row;
+            row.model = modelName(m.id);
+            row.training = training;
+            for (int pol = 0; pol < numIoPolicies; pol++) {
+                NetworkSimConfig cfg;
+                cfg.policy = static_cast<IoPolicy>(pol);
+                row.results[pol] = sim.run(cfg);
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+void
+printBanner(const std::string &title)
+{
+    ArchConfig cfg;
+    std::printf("=============================================="
+                "==============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("machine: %s\n", cfg.summary().c_str());
+    std::printf("=============================================="
+                "==============================\n");
+}
+
+} // namespace zcomp::bench

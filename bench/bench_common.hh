@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries: the
+ * scaled-down model configurations used for full-network simulation
+ * (documented in EXPERIMENTS.md), functional execution driving, and
+ * the per-policy study runner behind Figures 2, 13 and 14.
+ */
+
+#ifndef ZCOMP_BENCH_BENCH_COMMON_HH
+#define ZCOMP_BENCH_BENCH_COMMON_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/models.hh"
+#include "sim/network_sim.hh"
+
+namespace zcomp::bench {
+
+/**
+ * Simulation-scale model configuration. The paper trains at batch 64
+ * (ResNet: 128) and infers at batch 4 on full-resolution inputs;
+ * single-host simulation uses the batches/images below, chosen so the
+ * early-layer feature maps preserve their cache-residency regimes
+ * (see EXPERIMENTS.md).
+ */
+struct StudyModel
+{
+    ModelId id;
+    int trainBatch;
+    int inferBatch;
+    int imageSize;      //!< 0 = native
+    double widthScale;  //!< Inception-ResNet channel scale
+};
+
+/** The five-network study set (Section 5.3). */
+const std::vector<StudyModel> &studyModels();
+
+/** Build + functionally execute one model (forward [+ backward]). */
+struct PreparedNet
+{
+    std::unique_ptr<ExecContext> ctx;
+    std::unique_ptr<Network> net;
+};
+
+PreparedNet prepareNet(const StudyModel &m, bool training,
+                       uint64_t seed = 1);
+
+/** One (model, mode) row of the Figures 13/14 study. */
+struct StudyRow
+{
+    std::string model;
+    bool training = false;
+    NetworkSimResult results[numIoPolicies];
+};
+
+/**
+ * Run the full five-network study: every model in both training and
+ * inference mode under all three policies.
+ * @param quick restrict to fewer models (smoke runs)
+ */
+std::vector<StudyRow> runFullStudy(bool training_only = false,
+                                   bool inference_only = false);
+
+/** Print the Table 1 machine banner. */
+void printBanner(const std::string &title);
+
+} // namespace zcomp::bench
+
+#endif // ZCOMP_BENCH_BENCH_COMMON_HH

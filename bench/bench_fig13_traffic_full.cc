@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 13 reproduction: data traffic reduction on the five full
+ * networks, training and inference, for ZCOMP and avx512-comp vs the
+ * uncompressed baseline.
+ *
+ * Paper: average reductions 31%/26% (train, ZCOMP/avx512-comp) and
+ * 23%/19% (inference).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace zcomp;
+
+int
+main()
+{
+    bench::printBanner("Figure 13: full-network data traffic reduction");
+
+    auto rows = bench::runFullStudy();
+
+    Table table("traffic reduction vs uncompressed (all links + DRAM)");
+    table.setHeader({"network", "mode", "baseline", "avx512-comp",
+                     "zcomp"});
+    double red_c[2] = {0, 0}, red_z[2] = {0, 0};
+    int count[2] = {0, 0};
+    for (const auto &row : rows) {
+        uint64_t base = row.results[0].trafficBytes();
+        double rc = 1.0 - static_cast<double>(
+                              row.results[1].trafficBytes()) /
+                              base;
+        double rz = 1.0 - static_cast<double>(
+                              row.results[2].trafficBytes()) /
+                              base;
+        int mode = row.training ? 0 : 1;
+        red_c[mode] += rc;
+        red_z[mode] += rz;
+        count[mode]++;
+        table.addRow({row.model, row.training ? "train" : "infer",
+                      Table::fmtBytes(static_cast<double>(base)),
+                      Table::fmtPct(rc), Table::fmtPct(rz)});
+    }
+    table.print(std::cout);
+
+    Table summary("Figure 13 summary vs paper");
+    summary.setHeader({"metric", "paper", "measured"});
+    summary.addRow({"avg training reduction (zcomp)", "31%",
+                    Table::fmtPct(red_z[0] / count[0])});
+    summary.addRow({"avg training reduction (avx512-comp)", "26%",
+                    Table::fmtPct(red_c[0] / count[0])});
+    summary.addRow({"avg inference reduction (zcomp)", "23%",
+                    Table::fmtPct(red_z[1] / count[1])});
+    summary.addRow({"avg inference reduction (avx512-comp)", "19%",
+                    Table::fmtPct(red_c[1] / count[1])});
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 14 reproduction: end-to-end speedups on the five full
+ * networks, training and inference, for ZCOMP and avx512-comp over
+ * the uncompressed baseline.
+ *
+ * Paper: ZCOMP averages +11% (up to +16%) for training and +3% (up to
+ * +5%) for inference; avx512-comp averages +4% (training) and -2%
+ * (inference), slowing down 5 of the 10 benchmarks.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace zcomp;
+
+int
+main()
+{
+    bench::printBanner("Figure 14: full-network speedup");
+
+    auto rows = bench::runFullStudy();
+
+    Table table("speedup vs uncompressed baseline");
+    table.setHeader({"network", "mode", "cycles(base)", "avx512-comp",
+                     "zcomp"});
+    double sp_c[2] = {0, 0}, sp_z[2] = {0, 0};
+    double max_z[2] = {0, 0};
+    int count[2] = {0, 0}, comp_slowdowns = 0;
+    for (const auto &row : rows) {
+        double base = row.results[0].cycles();
+        double sc = base / row.results[1].cycles();
+        double sz = base / row.results[2].cycles();
+        int mode = row.training ? 0 : 1;
+        sp_c[mode] += sc;
+        sp_z[mode] += sz;
+        max_z[mode] = std::max(max_z[mode], sz);
+        count[mode]++;
+        if (sc < 1.0)
+            comp_slowdowns++;
+        table.addRow({row.model, row.training ? "train" : "infer",
+                      Table::fmt(base, 0), Table::fmt(sc, 3) + "x",
+                      Table::fmt(sz, 3) + "x"});
+    }
+    table.print(std::cout);
+
+    Table summary("Figure 14 summary vs paper");
+    summary.setHeader({"metric", "paper", "measured"});
+    summary.addRow({"avg training speedup (zcomp)", "+11%",
+                    Table::fmtPct(sp_z[0] / count[0] - 1.0)});
+    summary.addRow({"max training speedup (zcomp)", "+16%",
+                    Table::fmtPct(max_z[0] - 1.0)});
+    summary.addRow({"avg inference speedup (zcomp)", "+3%",
+                    Table::fmtPct(sp_z[1] / count[1] - 1.0)});
+    summary.addRow({"avg training speedup (avx512-comp)", "+4%",
+                    Table::fmtPct(sp_c[0] / count[0] - 1.0)});
+    summary.addRow({"avg inference speedup (avx512-comp)", "-2%",
+                    Table::fmtPct(sp_c[1] / count[1] - 1.0)});
+    summary.addRow({"benchmarks slowed by avx512-comp", "5 of 10",
+                    std::to_string(comp_slowdowns) + " of " +
+                        std::to_string(count[0] + count[1])});
+    summary.print(std::cout);
+    return 0;
+}

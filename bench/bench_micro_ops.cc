@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the functional ZCOMP
+ * primitives themselves (host-side throughput of the simulator's
+ * building blocks): per-vector compress/expand, whole-buffer
+ * streaming, instruction encode/decode, and the assembler.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "isa/assembler.hh"
+#include "workload/snapshot.hh"
+#include "zcomp/stream.hh"
+
+using namespace zcomp;
+
+namespace {
+
+std::vector<float>
+sparseData(size_t n, double sparsity)
+{
+    SnapshotParams p;
+    p.sparsity = sparsity;
+    return makeActivations(n, p, 42);
+}
+
+void
+BM_ZcompsVector(benchmark::State &state)
+{
+    auto data = sparseData(16, 0.53);
+    Vec512 v = Vec512::load(data.data());
+    uint8_t buf[66];
+    for (auto _ : state) {
+        ZcompResult r =
+            zcompsInterleaved(v, ElemType::F32, Ccf::EQZ, buf);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ZcompsVector);
+
+void
+BM_ZcomplVector(benchmark::State &state)
+{
+    auto data = sparseData(16, 0.53);
+    Vec512 v = Vec512::load(data.data());
+    uint8_t buf[66];
+    zcompsInterleaved(v, ElemType::F32, Ccf::EQZ, buf);
+    Vec512 out;
+    for (auto _ : state) {
+        ZcompResult r = zcomplInterleaved(buf, ElemType::F32, out);
+        benchmark::DoNotOptimize(r);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ZcomplVector);
+
+void
+BM_CompressBuffer(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto data = sparseData(n, 0.53);
+    std::vector<uint8_t> dst(n * 4 + 2 * (n / 16));
+    for (auto _ : state) {
+        StreamStats s = compressBufferPs(data.data(), n, dst.data(),
+                                         dst.size(), Ccf::EQZ);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n) * 4);
+}
+BENCHMARK(BM_CompressBuffer)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_ExpandBuffer(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto data = sparseData(n, 0.53);
+    std::vector<uint8_t> dst(n * 4 + 2 * (n / 16));
+    compressBufferPs(data.data(), n, dst.data(), dst.size(), Ccf::EQZ);
+    std::vector<float> out(n);
+    for (auto _ : state) {
+        StreamStats s = expandBufferPs(dst.data(), dst.size(),
+                                       out.data(), n);
+        benchmark::DoNotOptimize(s);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n) * 4);
+}
+BENCHMARK(BM_ExpandBuffer)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_EncodeDecode(benchmark::State &state)
+{
+    ZcompInstr instr;
+    instr.isStore = true;
+    instr.etype = ElemType::F32;
+    instr.ccf = Ccf::LTEZ;
+    instr.vreg = 1;
+    instr.dataPtrReg = 2;
+    for (auto _ : state) {
+        auto word = encode(instr);
+        auto back = decode(*word);
+        benchmark::DoNotOptimize(back);
+    }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    std::string line = "zcomps.s.ps [r2], zmm1, [r3], ltez";
+    for (auto _ : state) {
+        auto instr = assemble(line);
+        benchmark::DoNotOptimize(instr);
+    }
+}
+BENCHMARK(BM_Assemble);
+
+} // namespace
+
+BENCHMARK_MAIN();

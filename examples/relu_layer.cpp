@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulate a ReLU activation layer over one DeepBench tensor on the
+ * Table 1 machine, comparing the three implementations of Figure 12:
+ * the uncompressed AVX512 baseline, avx512-comp, and ZCOMP.
+ */
+
+#include <cstdio>
+
+#include "sim/kernels.hh"
+#include "workload/deepbench.hh"
+
+using namespace zcomp;
+
+int
+main(int argc, char **argv)
+{
+    // Pick a conv-train shape near the L3 cache-fit cliff by default.
+    size_t shape_idx = 3;
+    if (argc > 1)
+        shape_idx = static_cast<size_t>(std::atoi(argv[1])) % 44;
+    const DeepBenchShape &shape = deepBenchShapes()[shape_idx];
+
+    std::printf("shape: %s (%s, %.1f MiB, %.0f%% sparse)\n",
+                shape.name.c_str(), benchSuiteName(shape.suite),
+                static_cast<double>(shape.bytes()) / (1 << 20),
+                shape.sparsity * 100);
+
+    ArchConfig cfg;
+    std::printf("machine: %s\n\n", cfg.summary().c_str());
+
+    double base_cycles = 0;
+    for (int i = 0; i < numReluImpls; i++) {
+        ExecContext ctx(cfg);
+        ReluExperimentConfig rc;
+        rc.elems = shape.elems;
+        rc.sparsity = shape.sparsity;
+        ReluExperimentResult r =
+            runReluExperiment(ctx, static_cast<ReluImpl>(i), rc);
+        RunStats total = r.total();
+        if (i == 0)
+            base_cycles = total.cycles;
+        std::printf("%-12s cycles=%12.0f  core-cache=%8.2f MiB  "
+                    "DRAM=%8.2f MiB  speedup=%.2fx\n",
+                    reluImplName(static_cast<ReluImpl>(i)),
+                    total.cycles,
+                    static_cast<double>(total.traffic.coreL1Bytes) /
+                        (1 << 20),
+                    static_cast<double>(total.traffic.l3DramBytes) /
+                        (1 << 20),
+                    base_cycles / total.cycles);
+        if (i == static_cast<int>(ReluImpl::Zcomp)) {
+            std::printf("             output compressed %.2fx "
+                        "(%.0f%% sparse after fused ReLU)\n",
+                        r.yStream.ratio(),
+                        r.yStream.sparsity(ElemType::F32) * 100);
+        }
+    }
+    std::printf("\nusage: %s [shape-index 0..43]\n", argv[0]);
+    return 0;
+}

@@ -1,0 +1,88 @@
+#include "cachecomp/cache_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "cachecomp/fpcd.hh"
+#include "common/log.hh"
+
+namespace zcomp {
+
+double
+zcompSnapshotRatio(const uint8_t *data, size_t bytes)
+{
+    fatal_if(bytes % 64 != 0, "snapshot must be line-aligned");
+    uint64_t compressed = 0;
+    for (size_t off = 0; off < bytes; off += 64) {
+        int nnz = 0;
+        for (int w = 0; w < 16; w++) {
+            uint32_t word = 0;
+            std::memcpy(&word, data + off + w * 4, 4);
+            nnz += word != 0;
+        }
+        compressed += 2 + static_cast<uint64_t>(nnz) * 4;
+    }
+    return static_cast<double>(bytes) / static_cast<double>(compressed);
+}
+
+double
+limitCCRatio(const uint8_t *data, size_t bytes)
+{
+    fatal_if(bytes % 64 != 0, "snapshot must be line-aligned");
+    uint64_t compressed = 0;
+    for (size_t off = 0; off < bytes; off += 64)
+        compressed += static_cast<uint64_t>(fpcdLineBytes(data + off));
+    return static_cast<double>(bytes) / static_cast<double>(compressed);
+}
+
+double
+twoTagCCRatio(const uint8_t *data, size_t bytes, int sets)
+{
+    fatal_if(bytes % 64 != 0, "snapshot must be line-aligned");
+    fatal_if(sets <= 0, "need at least one set");
+    size_t lines = bytes / 64;
+
+    // Greedy in-set pairing: walk each set's lines in order, packing a
+    // line together with the previous unpaired one when their
+    // compressed sizes fit a single 64 B physical line.
+    std::vector<int> pending(static_cast<size_t>(sets), -1);
+    uint64_t physical = 0;
+    for (size_t l = 0; l < lines; l++) {
+        int set = static_cast<int>(l % static_cast<size_t>(sets));
+        int sz = fpcdLineBytes(data + l * 64);
+        int prev = pending[static_cast<size_t>(set)];
+        if (prev >= 0 && prev + sz <= 64) {
+            // Pair completes: the two logical lines share one
+            // physical line (already counted when prev was opened).
+            pending[static_cast<size_t>(set)] = -1;
+        } else {
+            physical++;
+            pending[static_cast<size_t>(set)] = sz;
+        }
+    }
+    return static_cast<double>(lines) / static_cast<double>(physical);
+}
+
+CompRatios
+analyzeSnapshot(const uint8_t *data, size_t bytes, int sets)
+{
+    CompRatios r;
+    r.zcomp = zcompSnapshotRatio(data, bytes);
+    r.limitCC = limitCCRatio(data, bytes);
+    r.twoTagCC = twoTagCCRatio(data, bytes, sets);
+    return r;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace zcomp

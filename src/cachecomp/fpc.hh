@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Frequent Pattern Compression (FPC) [11]: each 32-bit word is encoded
+ * with a 3-bit prefix selecting one of eight patterns. This is the
+ * classic significance-based cache-line compression scheme that FPC-D
+ * extends; it serves as a reference point and a building block for the
+ * Figure 15 cache-compression comparison.
+ */
+
+#ifndef ZCOMP_CACHECOMP_FPC_HH
+#define ZCOMP_CACHECOMP_FPC_HH
+
+#include <cstdint>
+
+namespace zcomp {
+
+/** FPC pattern classes, in prefix order. */
+enum class FpcPattern : uint8_t
+{
+    ZeroRun = 0,        //!< all-zero word (runs share one prefix)
+    SignExt4,           //!< 4-bit sign-extended
+    SignExt8,           //!< 8-bit sign-extended
+    SignExt16,          //!< 16-bit sign-extended
+    ZeroPaddedHalf,     //!< lower half zero, upper half data
+    SignExtHalves,      //!< two 16-bit halves, each 8-bit sign-ext
+    RepeatedBytes,      //!< all four bytes identical
+    Uncompressed,
+};
+
+/** Classify one 32-bit word. */
+FpcPattern fpcClassify(uint32_t word);
+
+/** Encoded payload bits for a pattern (excluding the 3-bit prefix). */
+int fpcPayloadBits(FpcPattern p);
+
+/**
+ * Compressed size in bits of a 64-byte line under FPC (sixteen 3-bit
+ * prefixes plus payloads; consecutive zero words collapse into runs of
+ * up to 8 sharing one prefix + 3-bit run length).
+ */
+int fpcLineBits(const uint8_t *line);
+
+/** fpcLineBits rounded up to bytes and capped at the raw 64 B. */
+int fpcLineBytes(const uint8_t *line);
+
+} // namespace zcomp
+
+#endif // ZCOMP_CACHECOMP_FPC_HH

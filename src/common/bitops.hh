@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Small bit-manipulation and arithmetic helpers used throughout the
+ * simulator and the ZCOMP functional models.
+ */
+
+#ifndef ZCOMP_COMMON_BITOPS_HH
+#define ZCOMP_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace zcomp {
+
+/** Population count of a 64-bit value. */
+constexpr int
+popcount64(uint64_t v)
+{
+    return std::popcount(v);
+}
+
+/** True iff v is a power of two (0 is not). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+constexpr int
+floorLog2(uint64_t v)
+{
+    return 63 - std::countl_zero(v);
+}
+
+/** Ceiling of log2(v); v must be non-zero. */
+constexpr int
+ceilLog2(uint64_t v)
+{
+    return isPow2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Round v up to the next multiple of align (align must be a power of 2). */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round v down to a multiple of align (align must be a power of 2). */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Ceiling division for unsigned integral types. */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return (a + b - 1) / b;
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) from v. */
+constexpr uint64_t
+bits(uint64_t v, int last, int first)
+{
+    int nbits = last - first + 1;
+    uint64_t mask = nbits >= 64 ? ~0ULL : ((1ULL << nbits) - 1);
+    return (v >> first) & mask;
+}
+
+/** Insert value val into bits [first, last] of v and return the result. */
+constexpr uint64_t
+insertBits(uint64_t v, int last, int first, uint64_t val)
+{
+    int nbits = last - first + 1;
+    uint64_t mask = nbits >= 64 ? ~0ULL : ((1ULL << nbits) - 1);
+    return (v & ~(mask << first)) | ((val & mask) << first);
+}
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_BITOPS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Logging and error reporting in the gem5 style.
+ *
+ * panic()  - an internal invariant was violated; this is a simulator bug.
+ *            Prints and aborts (core dump friendly).
+ * fatal()  - the simulation cannot continue due to user input (bad
+ *            configuration, invalid arguments). Prints and exits(1).
+ * warn()   - something is approximated or suspicious but the run continues.
+ * inform() - normal operating status messages.
+ */
+
+#ifndef ZCOMP_COMMON_LOG_HH
+#define ZCOMP_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace zcomp {
+
+/** Format a printf-style message into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** Format a printf-style message into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Silence inform()/warn() output (used by tests and benches). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace zcomp
+
+#define panic(...) ::zcomp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::zcomp::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::zcomp::warnImpl(__VA_ARGS__)
+#define inform(...) ::zcomp::informImpl(__VA_ARGS__)
+
+/** Panic unless the given condition holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            panic(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            fatal(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+#endif // ZCOMP_COMMON_LOG_HH

@@ -1,0 +1,99 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace zcomp {
+
+namespace {
+
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitMix64(x);
+}
+
+uint64_t
+Rng::next64()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    // Modulo bias is negligible for the ranges used here (n << 2^64).
+    return next64() % n;
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    spare_ = r * std::sin(theta);
+    haveSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace zcomp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All stochastic behaviour in the repository (synthetic inputs, weight
+ * initialization, dropout masks, snapshot generation) flows through Rng
+ * so that every experiment is exactly reproducible from its seed.
+ */
+
+#ifndef ZCOMP_COMMON_RNG_HH
+#define ZCOMP_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace zcomp {
+
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 so any 64-bit seed yields a good state. */
+    explicit Rng(uint64_t seed = 0x5eedULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). n must be non-zero. */
+    uint64_t below(uint64_t n);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+  private:
+    uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_RNG_HH

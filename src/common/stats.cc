@@ -1,0 +1,136 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+Histogram::Histogram(std::string name, std::string desc, uint64_t max_value,
+                     int num_buckets)
+    : name_(std::move(name)), desc_(std::move(desc)), maxValue_(max_value),
+      buckets_(static_cast<size_t>(num_buckets), 0)
+{
+    panic_if(num_buckets <= 0, "histogram %s needs at least one bucket",
+             name_.c_str());
+    panic_if(max_value == 0, "histogram %s needs a non-zero range",
+             name_.c_str());
+}
+
+void
+Histogram::sample(uint64_t v, uint64_t count)
+{
+    samples_ += count;
+    sum_ += v * count;
+    uint64_t nb = buckets_.size();
+    uint64_t idx = std::min<uint64_t>(v * nb / maxValue_, nb - 1);
+    buckets_[idx] += count;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    samples_ = 0;
+    sum_ = 0;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0
+                         : static_cast<double>(sum_) /
+                               static_cast<double>(samples_);
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    for (auto &c : counters_) {
+        if (c->name() == name)
+            return *c;
+    }
+    counters_.push_back(std::make_unique<Counter>(name, desc));
+    return *counters_.back();
+}
+
+Histogram &
+StatGroup::addHistogram(const std::string &name, const std::string &desc,
+                        uint64_t max_value, int num_buckets)
+{
+    for (auto &h : histograms_) {
+        if (h->name() == name)
+            return *h;
+    }
+    histograms_.push_back(
+        std::make_unique<Histogram>(name, desc, max_value, num_buckets));
+    return *histograms_.back();
+}
+
+StatGroup &
+StatGroup::addChild(const std::string &name)
+{
+    for (auto &c : children_) {
+        if (c->name() == name)
+            return *c;
+    }
+    children_.push_back(std::make_unique<StatGroup>(name));
+    return *children_.back();
+}
+
+const Counter *
+StatGroup::findCounter(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto &c : counters_) {
+            if (c->name() == path)
+                return c.get();
+        }
+        return nullptr;
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (const auto &child : children_) {
+        if (child->name() == head)
+            return child->findCounter(rest);
+    }
+    return nullptr;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &c : counters_)
+        c->reset();
+    for (auto &h : histograms_)
+        h->reset();
+    for (auto &child : children_)
+        child->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os, int indent) const
+{
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    os << pad << name_ << "\n";
+    for (const auto &c : counters_) {
+        os << pad << "  " << std::left << std::setw(32) << c->name()
+           << std::right << std::setw(16) << c->value() << "  # "
+           << c->desc() << "\n";
+    }
+    for (const auto &h : histograms_) {
+        os << pad << "  " << std::left << std::setw(32) << h->name()
+           << std::right << std::setw(16) << h->samples()
+           << "  # samples, mean=" << h->mean() << "\n";
+    }
+    for (const auto &child : children_)
+        child->dump(os, indent + 1);
+}
+
+} // namespace zcomp

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named counters and histograms in a StatGroup.
+ * Groups can be nested (hierarchy -> cache -> counters) and dumped as an
+ * indented text report. This is a deliberately small subset of the gem5
+ * stats package: scalar counters, averages derived at dump time, and
+ * fixed-bucket histograms.
+ */
+
+#ifndef ZCOMP_COMMON_STATS_HH
+#define ZCOMP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace zcomp {
+
+/** A named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    void inc(uint64_t n = 1) { value_ += n; }
+    void set(uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+    uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    Counter &operator+=(uint64_t n) { value_ += n; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    uint64_t value_ = 0;
+};
+
+/** A histogram with linear buckets over [0, max). */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(std::string name, std::string desc, uint64_t max_value,
+              int num_buckets);
+
+    void sample(uint64_t v, uint64_t count = 1);
+    void reset();
+
+    uint64_t samples() const { return samples_; }
+    uint64_t sum() const { return sum_; }
+    double mean() const;
+    uint64_t bucketCount(int i) const { return buckets_[i]; }
+    int numBuckets() const { return static_cast<int>(buckets_.size()); }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    uint64_t maxValue_ = 1;
+    std::vector<uint64_t> buckets_;
+    uint64_t samples_ = 0;
+    uint64_t sum_ = 0;
+};
+
+/**
+ * A named collection of counters and histograms with child groups.
+ *
+ * Components own their StatGroup by value; pointers returned by the
+ * add* functions remain stable for the lifetime of the group (the
+ * members are stored via unique ownership behind the scenes).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "stats");
+
+    // Groups own their stats; no copying.
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+    StatGroup(StatGroup &&) = default;
+    StatGroup &operator=(StatGroup &&) = default;
+
+    /** Create (or retrieve) a counter with a stable address. */
+    Counter &addCounter(const std::string &name, const std::string &desc);
+
+    /** Create (or retrieve) a histogram with a stable address. */
+    Histogram &addHistogram(const std::string &name, const std::string &desc,
+                            uint64_t max_value, int num_buckets);
+
+    /** Create (or retrieve) a nested child group. */
+    StatGroup &addChild(const std::string &name);
+
+    /** Find a counter by path ("child.grandchild.counter"), or null. */
+    const Counter *findCounter(const std::string &path) const;
+
+    /** Reset every counter and histogram in this subtree. */
+    void resetAll();
+
+    /** Dump an indented text report of the subtree. */
+    void dump(std::ostream &os, int indent = 0) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Counter>> counters_;
+    std::vector<std::unique_ptr<Histogram>> histograms_;
+    std::vector<std::unique_ptr<StatGroup>> children_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_STATS_HH

@@ -1,0 +1,105 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+Table::Table(std::string title) : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panic_if(!header_.empty() && row.size() != header_.size(),
+             "table row has %zu cells, header has %zu", row.size(),
+             header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::fmtBytes(double bytes)
+{
+    const char *suffix = "B";
+    if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+        bytes /= 1024.0 * 1024.0 * 1024.0;
+        suffix = "GiB";
+    } else if (bytes >= 1024.0 * 1024.0) {
+        bytes /= 1024.0 * 1024.0;
+        suffix = "MiB";
+    } else if (bytes >= 1024.0) {
+        bytes /= 1024.0;
+        suffix = "KiB";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, suffix);
+    return buf;
+}
+
+std::string
+Table::fmtPct(double ratio, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    size_t ncols = header_.size();
+    for (const auto &row : rows_)
+        ncols = std::max(ncols, row.size());
+    if (ncols == 0)
+        return;
+
+    std::vector<size_t> widths(ncols, 0);
+    for (size_t i = 0; i < header_.size(); i++)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); i++)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < ncols; i++) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            os << cell;
+            if (i + 1 < ncols) {
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+            }
+        }
+        os << "\n";
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        print_row(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < ncols; i++)
+            total += widths[i] + (i + 1 < ncols ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace zcomp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Console table printer used by the bench harness to emit the rows and
+ * series the paper's figures report, with aligned columns.
+ */
+
+#ifndef ZCOMP_COMMON_TABLE_HH
+#define ZCOMP_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace zcomp {
+
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the column headers; must be called before addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a fully-formatted row; cell count must match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Format a byte count with a human-readable suffix (KiB/MiB/GiB). */
+    static std::string fmtBytes(double bytes);
+
+    /** Format a ratio as a percentage string, e.g. 0.31 -> "31.0%". */
+    static std::string fmtPct(double ratio, int precision = 1);
+
+    /** Print the table with aligned columns and a separator rule. */
+    void print(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_TABLE_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Unit constants and basic typedefs shared across the simulator.
+ */
+
+#ifndef ZCOMP_COMMON_UNITS_HH
+#define ZCOMP_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace zcomp {
+
+/** Simulated byte address in the synthetic virtual address space. */
+using Addr = uint64_t;
+
+/** Simulated core clock cycle count. */
+using Cycle = uint64_t;
+
+constexpr uint64_t KiB = 1024;
+constexpr uint64_t MiB = 1024 * KiB;
+constexpr uint64_t GiB = 1024 * MiB;
+
+/** Cache line size used throughout the hierarchy. */
+constexpr uint64_t lineBytes = 64;
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_UNITS_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Compact kernel-trace representation consumed by the core timing
+ * model.
+ *
+ * Kernels run functionally on host memory first; the timing pass then
+ * replays a per-core sequence of TraceOps. An op either issues pure
+ * compute uops, or performs one memory access (with the uops that
+ * accompany it in the loop body). Memory accesses carry:
+ *
+ *  - `stream`: a dependency stream id. Ops in the same stream execute
+ *    in order, each waiting for the previous op's chain result. This
+ *    models ZCOMP's pointer auto-increment chain (the next compressed
+ *    address is produced `chainLat` cycles into the previous
+ *    instruction's execution - for zcompl, after its header data
+ *    arrives; for zcomps, after the logic stage only). Sub-block
+ *    unrolling (Section 4.3) maps to multiple independent streams.
+ *
+ *  - `pc`: a pseudo instruction pointer used by the L1 IP-stride
+ *    prefetcher to recognize strided access patterns.
+ *
+ *  - `zcompUnit`: the op occupies the ZCOMP logic unit, which accepts
+ *    one instruction per `logicThroughput` cycles (Section 3.3).
+ */
+
+#ifndef ZCOMP_CPU_TRACE_HH
+#define ZCOMP_CPU_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace zcomp {
+
+struct TraceOp
+{
+    Addr addr = 0;
+    uint32_t bytes = 0;     //!< 0 = pure issue op (no memory access)
+    uint16_t uops = 0;      //!< fused-domain uops issued with this op
+    uint16_t pc = 0;        //!< pseudo-PC for the L1 prefetcher
+    int8_t stream = -1;     //!< dependency stream id; -1 = independent
+    uint8_t chainLat = 0;   //!< added to the stream-ready time
+    bool isWrite = false;
+    bool zcompUnit = false; //!< uses the ZCOMP logic pipeline
+
+    /** Pure compute op issuing n uops. */
+    static TraceOp
+    issue(uint16_t n)
+    {
+        TraceOp op;
+        op.uops = n;
+        return op;
+    }
+
+    /** Independent load. */
+    static TraceOp
+    load(Addr a, uint32_t n, uint16_t uops, uint16_t pc)
+    {
+        TraceOp op;
+        op.addr = a;
+        op.bytes = n;
+        op.uops = uops;
+        op.pc = pc;
+        return op;
+    }
+
+    /** Independent store. */
+    static TraceOp
+    store(Addr a, uint32_t n, uint16_t uops, uint16_t pc)
+    {
+        TraceOp op = load(a, n, uops, pc);
+        op.isWrite = true;
+        return op;
+    }
+};
+
+/** One core's op sequence for a phase. */
+using CoreTrace = std::vector<TraceOp>;
+
+/** A barrier-delimited parallel region across all cores. */
+struct TracePhase
+{
+    std::string name;
+    std::vector<CoreTrace> perCore;
+
+    explicit TracePhase(std::string n = "", int num_cores = 0)
+        : name(std::move(n)),
+          perCore(static_cast<size_t>(num_cores))
+    {}
+
+    size_t
+    totalOps() const
+    {
+        size_t n = 0;
+        for (const auto &t : perCore)
+            n += t.size();
+        return n;
+    }
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_CPU_TRACE_HH

@@ -1,0 +1,66 @@
+#include "dnn/gemm.hh"
+
+#include <cstring>
+
+namespace zcomp {
+
+void
+gemm(size_t m, size_t n, size_t k, const float *a, const float *b,
+     float *c, float beta)
+{
+    if (beta == 0.0f)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (size_t i = 0; i < m; i++) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (size_t p = 0; p < k; p++) {
+            float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + p * n;
+            for (size_t j = 0; j < n; j++)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmAtB(size_t m, size_t n, size_t k, const float *a, const float *b,
+        float *c, float beta)
+{
+    // A is (K x M): A^T(i, p) = a[p*m + i].
+    if (beta == 0.0f)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (size_t p = 0; p < k; p++) {
+        const float *arow = a + p * m;
+        const float *brow = b + p * n;
+        for (size_t i = 0; i < m; i++) {
+            float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c + i * n;
+            for (size_t j = 0; j < n; j++)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmABt(size_t m, size_t n, size_t k, const float *a, const float *b,
+        float *c, float beta)
+{
+    // B is (N x K): B^T(p, j) = b[j*k + p]. Dot products over K.
+    for (size_t i = 0; i < m; i++) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (size_t j = 0; j < n; j++) {
+            const float *brow = b + j * k;
+            float acc = beta == 0.0f ? 0.0f : beta * crow[j];
+            for (size_t p = 0; p < k; p++)
+                acc += arow[p] * brow[p];
+            crow[j] = acc;
+        }
+    }
+}
+
+} // namespace zcomp

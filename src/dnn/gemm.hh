@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Single-precision GEMM for the DNN framework's functional pass.
+ *
+ * The loops are arranged (i, k, j with a contiguous-j inner loop) so
+ * the compiler auto-vectorizes them; this is the numeric workhorse
+ * behind conv (via im2col) and FC layers. Timing for GEMMs is
+ * generated separately by the simulation layer's blocked-walk emitter
+ * - functional math and timing replay are deliberately decoupled (see
+ * DESIGN.md Section 4.1).
+ */
+
+#ifndef ZCOMP_DNN_GEMM_HH
+#define ZCOMP_DNN_GEMM_HH
+
+#include <cstddef>
+
+namespace zcomp {
+
+/**
+ * C(MxN) = A(MxK) * B(KxN) + beta * C.
+ * Row-major, densely packed.
+ */
+void gemm(size_t m, size_t n, size_t k, const float *a, const float *b,
+          float *c, float beta = 0.0f);
+
+/** C(MxN) = A(KxM)^T * B(KxN) + beta * C. */
+void gemmAtB(size_t m, size_t n, size_t k, const float *a, const float *b,
+             float *c, float beta = 0.0f);
+
+/** C(MxN) = A(MxK) * B(NxK)^T + beta * C. */
+void gemmABt(size_t m, size_t n, size_t k, const float *a, const float *b,
+             float *c, float beta = 0.0f);
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_GEMM_HH

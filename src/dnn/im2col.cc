@@ -1,0 +1,66 @@
+#include "dnn/im2col.hh"
+
+namespace zcomp {
+
+void
+im2col(const ConvGeom &g, const float *img, float *cols)
+{
+    const int ho = g.hout();
+    const int wo = g.wout();
+    const size_t pixels = g.outPixels();
+    size_t row = 0;
+    for (int c = 0; c < g.cin; c++) {
+        for (int ky = 0; ky < g.kh; ky++) {
+            for (int kx = 0; kx < g.kw; kx++, row++) {
+                float *dst = cols + row * pixels;
+                for (int oy = 0; oy < ho; oy++) {
+                    int iy = oy * g.stride - g.pad + ky;
+                    for (int ox = 0; ox < wo; ox++) {
+                        int ix = ox * g.stride - g.pad + kx;
+                        float v = 0.0f;
+                        if (iy >= 0 && iy < g.hin && ix >= 0 &&
+                            ix < g.win) {
+                            v = img[(static_cast<size_t>(c) * g.hin +
+                                     iy) *
+                                        g.win +
+                                    ix];
+                        }
+                        dst[static_cast<size_t>(oy) * wo + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const ConvGeom &g, const float *cols, float *img)
+{
+    const int ho = g.hout();
+    const int wo = g.wout();
+    const size_t pixels = g.outPixels();
+    size_t row = 0;
+    for (int c = 0; c < g.cin; c++) {
+        for (int ky = 0; ky < g.kh; ky++) {
+            for (int kx = 0; kx < g.kw; kx++, row++) {
+                const float *src = cols + row * pixels;
+                for (int oy = 0; oy < ho; oy++) {
+                    int iy = oy * g.stride - g.pad + ky;
+                    if (iy < 0 || iy >= g.hin)
+                        continue;
+                    for (int ox = 0; ox < wo; ox++) {
+                        int ix = ox * g.stride - g.pad + kx;
+                        if (ix < 0 || ix >= g.win)
+                            continue;
+                        img[(static_cast<size_t>(c) * g.hin + iy) *
+                                g.win +
+                            ix] +=
+                            src[static_cast<size_t>(oy) * wo + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace zcomp

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * im2col / col2im transforms for convolution lowering.
+ *
+ * im2col rewrites one image's C x H x W input into a (C*kh*kw) x
+ * (Hout*Wout) patch matrix so convolution becomes a GEMM; col2im is
+ * its scatter-adjoint used by the backward pass.
+ */
+
+#ifndef ZCOMP_DNN_IM2COL_HH
+#define ZCOMP_DNN_IM2COL_HH
+
+#include <cstddef>
+
+namespace zcomp {
+
+struct ConvGeom
+{
+    int cin = 1;
+    int hin = 1;
+    int win = 1;
+    int kh = 1;
+    int kw = 1;
+    int stride = 1;
+    int pad = 0;
+
+    int hout() const { return (hin + 2 * pad - kh) / stride + 1; }
+    int wout() const { return (win + 2 * pad - kw) / stride + 1; }
+    size_t patchRows() const
+    {
+        return static_cast<size_t>(cin) * kh * kw;
+    }
+    size_t outPixels() const
+    {
+        return static_cast<size_t>(hout()) * wout();
+    }
+};
+
+/**
+ * Expand one image (cin x hin x win) into cols, a (cin*kh*kw) x
+ * (hout*wout) row-major matrix. Out-of-bounds (padding) samples are 0.
+ */
+void im2col(const ConvGeom &g, const float *img, float *cols);
+
+/**
+ * Scatter-add cols back into an image-shaped gradient buffer
+ * (the buffer must be zeroed by the caller).
+ */
+void col2im(const ConvGeom &g, const float *cols, float *img);
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_IM2COL_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Layer - the base class of the DNN framework's network layers.
+ *
+ * Layers implement exact functional forward and backward passes on
+ * host memory. Their *timing* behaviour (trace emission, cross-layer
+ * compression policies) lives in the simulation layer, which inspects
+ * LayerKind and the shapes/addresses of the tensors involved.
+ */
+
+#ifndef ZCOMP_DNN_LAYER_HH
+#define ZCOMP_DNN_LAYER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "dnn/tensor.hh"
+
+namespace zcomp {
+
+enum class LayerKind
+{
+    Input = 0,
+    Conv,
+    Fc,
+    Relu,
+    MaxPool,
+    AvgPool,
+    Lrn,
+    Dropout,
+    Softmax,
+    EltwiseAdd,
+    Concat,
+};
+
+const char *layerKindName(LayerKind k);
+
+/** Shared scratch space for im2col/col2im patch matrices. */
+struct Workspace
+{
+    std::vector<float> cols;
+    std::vector<float> dcols;
+
+    void
+    ensure(size_t elems)
+    {
+        if (cols.size() < elems) {
+            cols.resize(elems);
+            dcols.resize(elems);
+        }
+    }
+};
+
+class Layer
+{
+  public:
+    Layer(std::string name, LayerKind kind) : name_(std::move(name)),
+                                              kind_(kind)
+    {}
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    /** Output shape from input shapes (fatal on mismatch). */
+    virtual TensorShape
+    outputShape(const std::vector<TensorShape> &in) const = 0;
+
+    /** Allocate and initialize parameters. Called once at build. */
+    virtual void
+    init(VSpace &vs, const std::vector<TensorShape> &in, Rng &rng)
+    {
+        (void)vs;
+        (void)in;
+        (void)rng;
+    }
+
+    /** Patch-matrix scratch elements needed (0 for most layers). */
+    virtual size_t
+    workspaceElems(const std::vector<TensorShape> &in) const
+    {
+        (void)in;
+        return 0;
+    }
+
+    /** Exact functional forward pass. */
+    virtual void forward(const std::vector<const Tensor *> &in,
+                         Tensor &out, Workspace &ws) = 0;
+
+    /**
+     * Exact functional backward pass: consume grad_out, accumulate
+     * parameter gradients, and write input gradients (entries of
+     * grad_in may be null when that input needs no gradient).
+     */
+    virtual void backward(const std::vector<const Tensor *> &in,
+                          const Tensor &out, const Tensor &grad_out,
+                          const std::vector<Tensor *> &grad_in,
+                          Workspace &ws) = 0;
+
+    /** Apply one SGD step to the parameters and clear their grads. */
+    virtual void
+    sgdStep(float lr)
+    {
+        (void)lr;
+    }
+
+    /** Multiply-accumulate count of one forward pass. */
+    virtual uint64_t
+    forwardMacs(const std::vector<TensorShape> &in) const
+    {
+        (void)in;
+        return 0;
+    }
+
+    /** Parameter bytes (weights + biases). */
+    virtual uint64_t weightBytes() const { return 0; }
+
+    /** Training-only layers (dropout) become identity in inference. */
+    virtual void setTraining(bool training) { (void)training; }
+
+    const std::string &name() const { return name_; }
+    LayerKind kind() const { return kind_; }
+
+  private:
+    std::string name_;
+    LayerKind kind_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_LAYER_HH

@@ -1,0 +1,106 @@
+#include "dnn/layers/activation.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+ReluLayer::ReluLayer(std::string name)
+    : Layer(std::move(name), LayerKind::Relu)
+{
+}
+
+TensorShape
+ReluLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(in.size() != 1, "relu %s expects one input",
+             name().c_str());
+    return in[0];
+}
+
+void
+ReluLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                   Workspace &ws)
+{
+    (void)ws;
+    const float *x = in[0]->data();
+    float *y = out.data();
+    for (size_t i = 0; i < out.elems(); i++)
+        y[i] = x[i] > 0 ? x[i] : 0.0f;
+}
+
+void
+ReluLayer::backward(const std::vector<const Tensor *> &in,
+                    const Tensor &out, const Tensor &grad_out,
+                    const std::vector<Tensor *> &grad_in, Workspace &ws)
+{
+    (void)out;
+    (void)ws;
+    if (!grad_in[0])
+        return;
+    const float *x = in[0]->data();
+    const float *dy = grad_out.data();
+    float *dx = grad_in[0]->data();
+    for (size_t i = 0; i < grad_out.elems(); i++)
+        dx[i] = x[i] > 0 ? dy[i] : 0.0f;
+}
+
+DropoutLayer::DropoutLayer(std::string name, double drop_prob,
+                           uint64_t seed)
+    : Layer(std::move(name), LayerKind::Dropout), dropProb_(drop_prob),
+      rng_(seed)
+{
+}
+
+TensorShape
+DropoutLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(in.size() != 1, "dropout %s expects one input",
+             name().c_str());
+    return in[0];
+}
+
+void
+DropoutLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                      Workspace &ws)
+{
+    (void)ws;
+    const float *x = in[0]->data();
+    float *y = out.data();
+    if (!training_) {
+        std::memcpy(y, x, out.bytes());
+        return;
+    }
+    mask_.resize(out.elems());
+    float scale = static_cast<float>(1.0 / (1.0 - dropProb_));
+    for (size_t i = 0; i < out.elems(); i++) {
+        bool keep = !rng_.chance(dropProb_);
+        mask_[i] = keep;
+        y[i] = keep ? x[i] * scale : 0.0f;
+    }
+}
+
+void
+DropoutLayer::backward(const std::vector<const Tensor *> &in,
+                       const Tensor &out, const Tensor &grad_out,
+                       const std::vector<Tensor *> &grad_in,
+                       Workspace &ws)
+{
+    (void)in;
+    (void)out;
+    (void)ws;
+    if (!grad_in[0])
+        return;
+    const float *dy = grad_out.data();
+    float *dx = grad_in[0]->data();
+    if (!training_) {
+        std::memcpy(dx, dy, grad_out.bytes());
+        return;
+    }
+    float scale = static_cast<float>(1.0 / (1.0 - dropProb_));
+    for (size_t i = 0; i < grad_out.elems(); i++)
+        dx[i] = mask_[i] ? dy[i] * scale : 0.0f;
+}
+
+} // namespace zcomp

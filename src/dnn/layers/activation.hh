@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ReLU and Dropout layers - the two sources of feature-map sparsity
+ * the paper identifies (Section 2.2): ReLU maps all negative inputs
+ * to zero; dropout randomly discards activations during training.
+ */
+
+#ifndef ZCOMP_DNN_LAYERS_ACTIVATION_HH
+#define ZCOMP_DNN_LAYERS_ACTIVATION_HH
+
+#include "dnn/layer.hh"
+
+namespace zcomp {
+
+class ReluLayer : public Layer
+{
+  public:
+    explicit ReluLayer(std::string name);
+
+    TensorShape
+    outputShape(const std::vector<TensorShape> &in) const override;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 Workspace &ws) override;
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &grad_out,
+                  const std::vector<Tensor *> &grad_in,
+                  Workspace &ws) override;
+};
+
+class DropoutLayer : public Layer
+{
+  public:
+    DropoutLayer(std::string name, double drop_prob, uint64_t seed = 99);
+
+    TensorShape
+    outputShape(const std::vector<TensorShape> &in) const override;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 Workspace &ws) override;
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &grad_out,
+                  const std::vector<Tensor *> &grad_in,
+                  Workspace &ws) override;
+    void setTraining(bool training) override { training_ = training; }
+
+  private:
+    double dropProb_;
+    Rng rng_;
+    bool training_ = true;
+    std::vector<uint8_t> mask_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_LAYERS_ACTIVATION_HH

@@ -1,0 +1,170 @@
+#include "dnn/layers/conv.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hh"
+#include "dnn/gemm.hh"
+
+namespace zcomp {
+
+ConvLayer::ConvLayer(std::string name, int cout, int kh, int kw,
+                     int stride, int pad)
+    : Layer(std::move(name), LayerKind::Conv), cout_(cout), kh_(kh),
+      kw_(kw), stride_(stride), pad_(pad)
+{
+}
+
+ConvGeom
+ConvLayer::geom(const TensorShape &in) const
+{
+    ConvGeom g;
+    g.cin = in.c;
+    g.hin = in.h;
+    g.win = in.w;
+    g.kh = kh_;
+    g.kw = kw_;
+    g.stride = stride_;
+    g.pad = pad_;
+    return g;
+}
+
+TensorShape
+ConvLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(in.size() != 1, "conv %s expects one input", name().c_str());
+    ConvGeom g = geom(in[0]);
+    fatal_if(g.hout() <= 0 || g.wout() <= 0,
+             "conv %s output degenerates for input %s", name().c_str(),
+             in[0].str().c_str());
+    return {in[0].n, cout_, g.hout(), g.wout()};
+}
+
+void
+ConvLayer::init(VSpace &vs, const std::vector<TensorShape> &in, Rng &rng)
+{
+    ConvGeom g = geom(in[0]);
+    int k = static_cast<int>(g.patchRows());
+    w_ = std::make_unique<Tensor>(vs, name() + ".w",
+                                  TensorShape{1, cout_, 1, k},
+                                  AllocClass::Weight);
+    b_ = std::make_unique<Tensor>(vs, name() + ".b",
+                                  TensorShape{1, cout_, 1, 1},
+                                  AllocClass::Weight);
+    if (!vs.hostBacked())
+        return;     // plan-only build: footprint accounting only
+    dw_.assign(w_->elems(), 0.0f);
+    db_.assign(b_->elems(), 0.0f);
+
+    // He initialization keeps pre-activations roughly unit-variance so
+    // ReLU outputs are ~50% sparse from the start, as real nets are.
+    double sigma = std::sqrt(2.0 / k);
+    float *w = w_->data();
+    for (size_t i = 0; i < w_->elems(); i++)
+        w[i] = static_cast<float>(rng.gaussian(0.0, sigma));
+}
+
+size_t
+ConvLayer::workspaceElems(const std::vector<TensorShape> &in) const
+{
+    ConvGeom g = geom(in[0]);
+    return g.patchRows() * g.outPixels();
+}
+
+void
+ConvLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                   Workspace &ws)
+{
+    const Tensor &x = *in[0];
+    ConvGeom g = geom(x.shape());
+    const size_t k = g.patchRows();
+    const size_t p = g.outPixels();
+    const size_t in_img = x.elems() / x.shape().n;
+    const size_t out_img = out.elems() / out.shape().n;
+
+    for (int img = 0; img < x.shape().n; img++) {
+        im2col(g, x.data() + img * in_img, ws.cols.data());
+        float *y = out.data() + img * out_img;
+        gemm(static_cast<size_t>(cout_), p, k, w_->data(),
+             ws.cols.data(), y);
+        const float *bias = b_->data();
+        for (int c = 0; c < cout_; c++) {
+            float bv = bias[c];
+            if (bv == 0.0f)
+                continue;
+            float *row = y + static_cast<size_t>(c) * p;
+            for (size_t i = 0; i < p; i++)
+                row[i] += bv;
+        }
+    }
+}
+
+void
+ConvLayer::backward(const std::vector<const Tensor *> &in,
+                    const Tensor &out, const Tensor &grad_out,
+                    const std::vector<Tensor *> &grad_in, Workspace &ws)
+{
+    (void)out;
+    const Tensor &x = *in[0];
+    ConvGeom g = geom(x.shape());
+    const size_t k = g.patchRows();
+    const size_t p = g.outPixels();
+    const size_t in_img = x.elems() / x.shape().n;
+    const size_t out_img = grad_out.elems() / grad_out.shape().n;
+    Tensor *dx = grad_in[0];
+    if (dx)
+        dx->zero();
+
+    for (int img = 0; img < x.shape().n; img++) {
+        const float *dy = grad_out.data() + img * out_img;
+        im2col(g, x.data() + img * in_img, ws.cols.data());
+        // dW(cout x k) += dY(cout x p) * cols(k x p)^T
+        gemmABt(static_cast<size_t>(cout_), k, p, dy, ws.cols.data(),
+                dw_.data(), 1.0f);
+        // db += row sums of dY
+        for (int c = 0; c < cout_; c++) {
+            const float *row = dy + static_cast<size_t>(c) * p;
+            float acc = 0.0f;
+            for (size_t i = 0; i < p; i++)
+                acc += row[i];
+            db_[static_cast<size_t>(c)] += acc;
+        }
+        if (dx) {
+            // dCols(k x p) = W(cout x k)^T * dY(cout x p)
+            gemmAtB(k, p, static_cast<size_t>(cout_), w_->data(), dy,
+                    ws.dcols.data());
+            col2im(g, ws.dcols.data(), dx->data() + img * in_img);
+        }
+    }
+}
+
+void
+ConvLayer::sgdStep(float lr)
+{
+    float *w = w_->data();
+    for (size_t i = 0; i < w_->elems(); i++) {
+        w[i] -= lr * dw_[i];
+        dw_[i] = 0.0f;
+    }
+    float *b = b_->data();
+    for (size_t i = 0; i < b_->elems(); i++) {
+        b[i] -= lr * db_[i];
+        db_[i] = 0.0f;
+    }
+}
+
+uint64_t
+ConvLayer::forwardMacs(const std::vector<TensorShape> &in) const
+{
+    ConvGeom g = geom(in[0]);
+    return static_cast<uint64_t>(in[0].n) * cout_ * g.outPixels() *
+           g.patchRows();
+}
+
+uint64_t
+ConvLayer::weightBytes() const
+{
+    return (w_ ? w_->bytes() : 0) + (b_ ? b_->bytes() : 0);
+}
+
+} // namespace zcomp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * 2D convolution layer, lowered to GEMM via im2col.
+ *
+ * Weights are stored as a (Cout) x (Cin*kh*kw) row-major matrix so the
+ * forward pass is W * cols per image. The backward pass computes both
+ * the weight gradient (dW += dY * cols^T) and the input gradient
+ * (dX = col2im(W^T * dY)).
+ */
+
+#ifndef ZCOMP_DNN_LAYERS_CONV_HH
+#define ZCOMP_DNN_LAYERS_CONV_HH
+
+#include "dnn/im2col.hh"
+#include "dnn/layer.hh"
+
+namespace zcomp {
+
+class ConvLayer : public Layer
+{
+  public:
+    /**
+     * @param cout   output channels
+     * @param kh,kw  kernel size
+     * @param stride convolution stride (same both dims)
+     * @param pad    zero padding (same both dims)
+     */
+    ConvLayer(std::string name, int cout, int kh, int kw, int stride,
+              int pad);
+
+    TensorShape
+    outputShape(const std::vector<TensorShape> &in) const override;
+    void init(VSpace &vs, const std::vector<TensorShape> &in,
+              Rng &rng) override;
+    size_t
+    workspaceElems(const std::vector<TensorShape> &in) const override;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 Workspace &ws) override;
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &grad_out,
+                  const std::vector<Tensor *> &grad_in,
+                  Workspace &ws) override;
+    void sgdStep(float lr) override;
+    uint64_t
+    forwardMacs(const std::vector<TensorShape> &in) const override;
+    uint64_t weightBytes() const override;
+
+    const Tensor &weights() const { return *w_; }
+    ConvGeom geom(const TensorShape &in) const;
+    int cout() const { return cout_; }
+
+  private:
+    int cout_;
+    int kh_;
+    int kw_;
+    int stride_;
+    int pad_;
+    std::unique_ptr<Tensor> w_;     //!< (cout) x (cin*kh*kw)
+    std::unique_ptr<Tensor> b_;     //!< (cout)
+    std::vector<float> dw_;
+    std::vector<float> db_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_LAYERS_CONV_HH

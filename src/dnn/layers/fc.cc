@@ -1,0 +1,115 @@
+#include "dnn/layers/fc.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "dnn/gemm.hh"
+
+namespace zcomp {
+
+FcLayer::FcLayer(std::string name, int out_features)
+    : Layer(std::move(name), LayerKind::Fc), outFeatures_(out_features)
+{
+}
+
+TensorShape
+FcLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(in.size() != 1, "fc %s expects one input", name().c_str());
+    return {in[0].n, outFeatures_, 1, 1};
+}
+
+void
+FcLayer::init(VSpace &vs, const std::vector<TensorShape> &in, Rng &rng)
+{
+    int features = static_cast<int>(in[0].elems()) / in[0].n;
+    w_ = std::make_unique<Tensor>(vs, name() + ".w",
+                                  TensorShape{1, outFeatures_, 1,
+                                              features},
+                                  AllocClass::Weight);
+    b_ = std::make_unique<Tensor>(vs, name() + ".b",
+                                  TensorShape{1, outFeatures_, 1, 1},
+                                  AllocClass::Weight);
+    if (!vs.hostBacked())
+        return;     // plan-only build: footprint accounting only
+    dw_.assign(w_->elems(), 0.0f);
+    db_.assign(b_->elems(), 0.0f);
+    double sigma = std::sqrt(2.0 / features);
+    float *w = w_->data();
+    for (size_t i = 0; i < w_->elems(); i++)
+        w[i] = static_cast<float>(rng.gaussian(0.0, sigma));
+}
+
+void
+FcLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 Workspace &ws)
+{
+    (void)ws;
+    const Tensor &x = *in[0];
+    size_t n = static_cast<size_t>(x.shape().n);
+    size_t features = x.elems() / n;
+    size_t m = static_cast<size_t>(outFeatures_);
+    // out(n x m) = x(n x f) * W(m x f)^T
+    gemmABt(n, m, features, x.data(), w_->data(), out.data());
+    const float *bias = b_->data();
+    for (size_t i = 0; i < n; i++) {
+        float *row = out.data() + i * m;
+        for (size_t j = 0; j < m; j++)
+            row[j] += bias[j];
+    }
+}
+
+void
+FcLayer::backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &grad_out,
+                  const std::vector<Tensor *> &grad_in, Workspace &ws)
+{
+    (void)out;
+    (void)ws;
+    const Tensor &x = *in[0];
+    size_t n = static_cast<size_t>(x.shape().n);
+    size_t features = x.elems() / n;
+    size_t m = static_cast<size_t>(outFeatures_);
+
+    // dW(m x f) += dY(n x m)^T * X(n x f)
+    gemmAtB(m, features, n, grad_out.data(), x.data(), dw_.data(), 1.0f);
+    for (size_t i = 0; i < n; i++) {
+        const float *row = grad_out.data() + i * m;
+        for (size_t j = 0; j < m; j++)
+            db_[j] += row[j];
+    }
+    if (grad_in[0]) {
+        // dX(n x f) = dY(n x m) * W(m x f)
+        gemm(n, features, m, grad_out.data(), w_->data(),
+             grad_in[0]->data());
+    }
+}
+
+void
+FcLayer::sgdStep(float lr)
+{
+    float *w = w_->data();
+    for (size_t i = 0; i < w_->elems(); i++) {
+        w[i] -= lr * dw_[i];
+        dw_[i] = 0.0f;
+    }
+    float *b = b_->data();
+    for (size_t i = 0; i < b_->elems(); i++) {
+        b[i] -= lr * db_[i];
+        db_[i] = 0.0f;
+    }
+}
+
+uint64_t
+FcLayer::forwardMacs(const std::vector<TensorShape> &in) const
+{
+    return in[0].elems() * static_cast<uint64_t>(outFeatures_);
+}
+
+uint64_t
+FcLayer::weightBytes() const
+{
+    return (w_ ? w_->bytes() : 0) + (b_ ? b_->bytes() : 0);
+}
+
+} // namespace zcomp

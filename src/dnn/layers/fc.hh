@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fully-connected (inner product) layer. Input (N x C [x H x W] is
+ * flattened per image); weights are (M) x (C*H*W) row-major.
+ */
+
+#ifndef ZCOMP_DNN_LAYERS_FC_HH
+#define ZCOMP_DNN_LAYERS_FC_HH
+
+#include "dnn/layer.hh"
+
+namespace zcomp {
+
+class FcLayer : public Layer
+{
+  public:
+    FcLayer(std::string name, int out_features);
+
+    TensorShape
+    outputShape(const std::vector<TensorShape> &in) const override;
+    void init(VSpace &vs, const std::vector<TensorShape> &in,
+              Rng &rng) override;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 Workspace &ws) override;
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &grad_out,
+                  const std::vector<Tensor *> &grad_in,
+                  Workspace &ws) override;
+    void sgdStep(float lr) override;
+    uint64_t
+    forwardMacs(const std::vector<TensorShape> &in) const override;
+    uint64_t weightBytes() const override;
+
+    const Tensor &weights() const { return *w_; }
+
+  private:
+    int outFeatures_;
+    std::unique_ptr<Tensor> w_;     //!< (out) x (in features)
+    std::unique_ptr<Tensor> b_;
+    std::vector<float> dw_;
+    std::vector<float> db_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_LAYERS_FC_HH

@@ -1,0 +1,133 @@
+#include "dnn/layers/norm.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+LrnLayer::LrnLayer(std::string name, int size, double alpha, double beta,
+                   double k)
+    : Layer(std::move(name), LayerKind::Lrn), size_(size), alpha_(alpha),
+      beta_(beta), k_(k)
+{
+}
+
+TensorShape
+LrnLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(in.size() != 1, "lrn %s expects one input", name().c_str());
+    return in[0];
+}
+
+void
+LrnLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                  Workspace &ws)
+{
+    (void)ws;
+    const Tensor &x = *in[0];
+    const TensorShape &s = x.shape();
+    scale_.resize(x.elems());
+    const int half = size_ / 2;
+    const size_t hw = static_cast<size_t>(s.h) * s.w;
+
+    for (int n = 0; n < s.n; n++) {
+        for (int c = 0; c < s.c; c++) {
+            int c0 = std::max(0, c - half);
+            int c1 = std::min(s.c - 1, c + half);
+            for (size_t p = 0; p < hw; p++) {
+                double acc = 0.0;
+                for (int cc = c0; cc <= c1; cc++) {
+                    float v = x.data()[(static_cast<size_t>(n) * s.c +
+                                        cc) *
+                                           hw +
+                                       p];
+                    acc += static_cast<double>(v) * v;
+                }
+                size_t i =
+                    (static_cast<size_t>(n) * s.c + c) * hw + p;
+                double sc = k_ + alpha_ / size_ * acc;
+                scale_[i] = static_cast<float>(sc);
+                out.data()[i] = static_cast<float>(
+                    x.data()[i] / std::pow(sc, beta_));
+            }
+        }
+    }
+}
+
+void
+LrnLayer::backward(const std::vector<const Tensor *> &in,
+                   const Tensor &out, const Tensor &grad_out,
+                   const std::vector<Tensor *> &grad_in, Workspace &ws)
+{
+    (void)in;
+    (void)out;
+    (void)ws;
+    if (!grad_in[0])
+        return;
+    // First-order approximation: dx ~= dy / scale^beta (the
+    // cross-channel second term is small for the alpha values used in
+    // practice). Documented deviation; values are only consumed for
+    // gradient-sparsity statistics.
+    const float *dy = grad_out.data();
+    float *dx = grad_in[0]->data();
+    for (size_t i = 0; i < grad_out.elems(); i++) {
+        dx[i] = static_cast<float>(
+            dy[i] / std::pow(static_cast<double>(scale_[i]), beta_));
+    }
+}
+
+SoftmaxLayer::SoftmaxLayer(std::string name)
+    : Layer(std::move(name), LayerKind::Softmax)
+{
+}
+
+TensorShape
+SoftmaxLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(in.size() != 1, "softmax %s expects one input",
+             name().c_str());
+    return in[0];
+}
+
+void
+SoftmaxLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                      Workspace &ws)
+{
+    (void)ws;
+    const Tensor &x = *in[0];
+    size_t n = static_cast<size_t>(x.shape().n);
+    size_t classes = x.elems() / n;
+    for (size_t i = 0; i < n; i++) {
+        const float *row = x.data() + i * classes;
+        float *yrow = out.data() + i * classes;
+        float mx = row[0];
+        for (size_t j = 1; j < classes; j++)
+            mx = std::max(mx, row[j]);
+        double sum = 0.0;
+        for (size_t j = 0; j < classes; j++) {
+            yrow[j] = std::exp(row[j] - mx);
+            sum += yrow[j];
+        }
+        for (size_t j = 0; j < classes; j++)
+            yrow[j] = static_cast<float>(yrow[j] / sum);
+    }
+}
+
+void
+SoftmaxLayer::backward(const std::vector<const Tensor *> &in,
+                       const Tensor &out, const Tensor &grad_out,
+                       const std::vector<Tensor *> &grad_in,
+                       Workspace &ws)
+{
+    (void)in;
+    (void)out;
+    (void)ws;
+    if (!grad_in[0])
+        return;
+    std::memcpy(grad_in[0]->data(), grad_out.data(), grad_out.bytes());
+}
+
+} // namespace zcomp

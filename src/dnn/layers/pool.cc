@@ -1,0 +1,173 @@
+#include "dnn/layers/pool.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+PoolLayer::PoolLayer(std::string name, LayerKind kind, int ksize,
+                     int stride, int pad)
+    : Layer(std::move(name), kind), ksize_(ksize), stride_(stride),
+      pad_(pad)
+{
+    panic_if(kind != LayerKind::MaxPool && kind != LayerKind::AvgPool,
+             "pool layer with non-pool kind");
+}
+
+std::unique_ptr<PoolLayer>
+PoolLayer::globalAvg(std::string name)
+{
+    auto p = std::make_unique<PoolLayer>(std::move(name),
+                                         LayerKind::AvgPool, 1, 1, 0);
+    p->global_ = true;
+    return p;
+}
+
+int
+PoolLayer::outDim(int in, int k) const
+{
+    return (in + 2 * pad_ - k) / stride_ + 1;
+}
+
+TensorShape
+PoolLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(in.size() != 1, "pool %s expects one input",
+             name().c_str());
+    if (global_)
+        return {in[0].n, in[0].c, 1, 1};
+    int ho = outDim(in[0].h, ksize_);
+    int wo = outDim(in[0].w, ksize_);
+    fatal_if(ho <= 0 || wo <= 0, "pool %s output degenerates",
+             name().c_str());
+    return {in[0].n, in[0].c, ho, wo};
+}
+
+void
+PoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                   Workspace &ws)
+{
+    (void)ws;
+    const Tensor &x = *in[0];
+    const TensorShape &is = x.shape();
+    const TensorShape &os = out.shape();
+    int k = global_ ? is.h : ksize_;
+    int kw = global_ ? is.w : ksize_;
+    int stride = global_ ? 1 : stride_;
+
+    bool is_max = kind() == LayerKind::MaxPool;
+    if (is_max)
+        argmax_.assign(out.elems(), 0);
+
+    size_t oi = 0;
+    for (int n = 0; n < os.n; n++) {
+        for (int c = 0; c < os.c; c++) {
+            for (int oy = 0; oy < os.h; oy++) {
+                for (int ox = 0; ox < os.w; ox++, oi++) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    uint32_t best_idx = 0;
+                    float sum = 0.0f;
+                    int count = 0;
+                    for (int ky = 0; ky < k; ky++) {
+                        int iy = oy * stride - pad_ + ky;
+                        if (iy < 0 || iy >= is.h)
+                            continue;
+                        for (int kx = 0; kx < kw; kx++) {
+                            int ix = ox * stride - pad_ + kx;
+                            if (ix < 0 || ix >= is.w)
+                                continue;
+                            size_t ii =
+                                ((static_cast<size_t>(n) * is.c + c) *
+                                     is.h +
+                                 iy) *
+                                    is.w +
+                                ix;
+                            float v = x.data()[ii];
+                            if (v > best) {
+                                best = v;
+                                best_idx = static_cast<uint32_t>(ii);
+                            }
+                            sum += v;
+                            count++;
+                        }
+                    }
+                    if (is_max) {
+                        out.data()[oi] = best;
+                        argmax_[oi] = best_idx;
+                    } else {
+                        out.data()[oi] = count ? sum / count : 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+PoolLayer::backward(const std::vector<const Tensor *> &in,
+                    const Tensor &out, const Tensor &grad_out,
+                    const std::vector<Tensor *> &grad_in, Workspace &ws)
+{
+    (void)out;
+    (void)ws;
+    Tensor *dx = grad_in[0];
+    if (!dx)
+        return;
+    dx->zero();
+    const TensorShape &is = in[0]->shape();
+    const TensorShape &os = grad_out.shape();
+
+    if (kind() == LayerKind::MaxPool) {
+        for (size_t oi = 0; oi < grad_out.elems(); oi++)
+            dx->data()[argmax_[oi]] += grad_out.data()[oi];
+        return;
+    }
+
+    int k = global_ ? is.h : ksize_;
+    int kw = global_ ? is.w : ksize_;
+    int stride = global_ ? 1 : stride_;
+    size_t oi = 0;
+    for (int n = 0; n < os.n; n++) {
+        for (int c = 0; c < os.c; c++) {
+            for (int oy = 0; oy < os.h; oy++) {
+                for (int ox = 0; ox < os.w; ox++, oi++) {
+                    // Count the in-bounds window size, then spread.
+                    int count = 0;
+                    for (int ky = 0; ky < k; ky++) {
+                        int iy = oy * stride - pad_ + ky;
+                        if (iy < 0 || iy >= is.h)
+                            continue;
+                        for (int kx = 0; kx < kw; kx++) {
+                            int ix = ox * stride - pad_ + kx;
+                            if (ix >= 0 && ix < is.w)
+                                count++;
+                        }
+                    }
+                    if (count == 0)
+                        continue;
+                    float g = grad_out.data()[oi] / count;
+                    for (int ky = 0; ky < k; ky++) {
+                        int iy = oy * stride - pad_ + ky;
+                        if (iy < 0 || iy >= is.h)
+                            continue;
+                        for (int kx = 0; kx < kw; kx++) {
+                            int ix = ox * stride - pad_ + kx;
+                            if (ix < 0 || ix >= is.w)
+                                continue;
+                            size_t ii =
+                                ((static_cast<size_t>(n) * is.c + c) *
+                                     is.h +
+                                 iy) *
+                                    is.w +
+                                ix;
+                            dx->data()[ii] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace zcomp

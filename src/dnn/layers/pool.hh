@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Max and average pooling layers.
+ *
+ * MaxPool records the argmax of each window during forward so the
+ * backward pass routes each gradient to the winning element. Pooling
+ * layers reduce the activation footprint and *reduce* the sparsity at
+ * their inputs (Section 2.2): a max window is zero only if the whole
+ * window is.
+ */
+
+#ifndef ZCOMP_DNN_LAYERS_POOL_HH
+#define ZCOMP_DNN_LAYERS_POOL_HH
+
+#include "dnn/layer.hh"
+
+namespace zcomp {
+
+class PoolLayer : public Layer
+{
+  public:
+    PoolLayer(std::string name, LayerKind kind, int ksize, int stride,
+              int pad = 0);
+
+    TensorShape
+    outputShape(const std::vector<TensorShape> &in) const override;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 Workspace &ws) override;
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &grad_out,
+                  const std::vector<Tensor *> &grad_in,
+                  Workspace &ws) override;
+
+    /** Global average pooling over the full spatial extent. */
+    static std::unique_ptr<PoolLayer> globalAvg(std::string name);
+
+  private:
+    int outDim(int in, int k) const;
+
+    int ksize_;
+    int stride_;
+    int pad_;
+    bool global_ = false;
+    std::vector<uint32_t> argmax_;  //!< winning input index per output
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_LAYERS_POOL_HH

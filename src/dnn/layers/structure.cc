@@ -1,0 +1,156 @@
+#include "dnn/layers/structure.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+InputLayer::InputLayer(std::string name, TensorShape shape)
+    : Layer(std::move(name), LayerKind::Input), shape_(shape)
+{
+}
+
+TensorShape
+InputLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(!in.empty(), "input layer %s takes no inputs",
+             name().c_str());
+    return shape_;
+}
+
+void
+InputLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                    Workspace &ws)
+{
+    // The network fills the input tensor directly; nothing to do.
+    (void)in;
+    (void)out;
+    (void)ws;
+}
+
+void
+InputLayer::backward(const std::vector<const Tensor *> &in,
+                     const Tensor &out, const Tensor &grad_out,
+                     const std::vector<Tensor *> &grad_in, Workspace &ws)
+{
+    (void)in;
+    (void)out;
+    (void)grad_out;
+    (void)grad_in;
+    (void)ws;
+}
+
+EltwiseAddLayer::EltwiseAddLayer(std::string name)
+    : Layer(std::move(name), LayerKind::EltwiseAdd)
+{
+}
+
+TensorShape
+EltwiseAddLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(in.size() != 2, "eltwise %s expects two inputs",
+             name().c_str());
+    fatal_if(!(in[0] == in[1]), "eltwise %s shape mismatch %s vs %s",
+             name().c_str(), in[0].str().c_str(), in[1].str().c_str());
+    return in[0];
+}
+
+void
+EltwiseAddLayer::forward(const std::vector<const Tensor *> &in,
+                         Tensor &out, Workspace &ws)
+{
+    (void)ws;
+    const float *a = in[0]->data();
+    const float *b = in[1]->data();
+    float *y = out.data();
+    for (size_t i = 0; i < out.elems(); i++)
+        y[i] = a[i] + b[i];
+}
+
+void
+EltwiseAddLayer::backward(const std::vector<const Tensor *> &in,
+                          const Tensor &out, const Tensor &grad_out,
+                          const std::vector<Tensor *> &grad_in,
+                          Workspace &ws)
+{
+    (void)in;
+    (void)out;
+    (void)ws;
+    for (Tensor *dx : grad_in) {
+        if (dx)
+            std::memcpy(dx->data(), grad_out.data(), grad_out.bytes());
+    }
+}
+
+ConcatLayer::ConcatLayer(std::string name)
+    : Layer(std::move(name), LayerKind::Concat)
+{
+}
+
+TensorShape
+ConcatLayer::outputShape(const std::vector<TensorShape> &in) const
+{
+    fatal_if(in.empty(), "concat %s needs at least one input",
+             name().c_str());
+    TensorShape out = in[0];
+    for (size_t i = 1; i < in.size(); i++) {
+        fatal_if(in[i].n != out.n || in[i].h != out.h ||
+                     in[i].w != out.w,
+                 "concat %s spatial mismatch", name().c_str());
+        out.c += in[i].c;
+    }
+    return out;
+}
+
+void
+ConcatLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                     Workspace &ws)
+{
+    (void)ws;
+    const TensorShape &os = out.shape();
+    const size_t hw = static_cast<size_t>(os.h) * os.w;
+    for (int n = 0; n < os.n; n++) {
+        int c_off = 0;
+        for (const Tensor *x : in) {
+            const TensorShape &is = x->shape();
+            size_t chunk = static_cast<size_t>(is.c) * hw;
+            std::memcpy(out.data() +
+                            (static_cast<size_t>(n) * os.c + c_off) *
+                                hw,
+                        x->data() + static_cast<size_t>(n) * chunk,
+                        chunk * sizeof(float));
+            c_off += is.c;
+        }
+    }
+}
+
+void
+ConcatLayer::backward(const std::vector<const Tensor *> &in,
+                      const Tensor &out, const Tensor &grad_out,
+                      const std::vector<Tensor *> &grad_in,
+                      Workspace &ws)
+{
+    (void)out;
+    (void)ws;
+    const TensorShape &os = grad_out.shape();
+    const size_t hw = static_cast<size_t>(os.h) * os.w;
+    for (int n = 0; n < os.n; n++) {
+        int c_off = 0;
+        for (size_t i = 0; i < in.size(); i++) {
+            const TensorShape &is = in[i]->shape();
+            size_t chunk = static_cast<size_t>(is.c) * hw;
+            if (grad_in[i]) {
+                std::memcpy(
+                    grad_in[i]->data() +
+                        static_cast<size_t>(n) * chunk,
+                    grad_out.data() +
+                        (static_cast<size_t>(n) * os.c + c_off) * hw,
+                    chunk * sizeof(float));
+            }
+            c_off += is.c;
+        }
+    }
+}
+
+} // namespace zcomp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Structural layers: the network input placeholder, residual
+ * element-wise addition (ResNet / Inception-ResNet), and channel
+ * concatenation (GoogLeNet inception modules).
+ */
+
+#ifndef ZCOMP_DNN_LAYERS_STRUCTURE_HH
+#define ZCOMP_DNN_LAYERS_STRUCTURE_HH
+
+#include "dnn/layer.hh"
+
+namespace zcomp {
+
+class InputLayer : public Layer
+{
+  public:
+    InputLayer(std::string name, TensorShape shape);
+    TensorShape
+    outputShape(const std::vector<TensorShape> &in) const override;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 Workspace &ws) override;
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &grad_out,
+                  const std::vector<Tensor *> &grad_in,
+                  Workspace &ws) override;
+
+  private:
+    TensorShape shape_;
+};
+
+class EltwiseAddLayer : public Layer
+{
+  public:
+    explicit EltwiseAddLayer(std::string name);
+    TensorShape
+    outputShape(const std::vector<TensorShape> &in) const override;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 Workspace &ws) override;
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &grad_out,
+                  const std::vector<Tensor *> &grad_in,
+                  Workspace &ws) override;
+};
+
+class ConcatLayer : public Layer
+{
+  public:
+    explicit ConcatLayer(std::string name);
+    TensorShape
+    outputShape(const std::vector<TensorShape> &in) const override;
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 Workspace &ws) override;
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &grad_out,
+                  const std::vector<Tensor *> &grad_in,
+                  Workspace &ws) override;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_LAYERS_STRUCTURE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The five-network zoo the paper evaluates (Section 5.3): AlexNet,
+ * GoogLeNet, Inception-ResNet-v2, ResNet-32 and VGG-16.
+ *
+ * Topologies are faithful to the originals with documented
+ * substitutions (see each builder): batch-norm is omitted (ResNet /
+ * Inception-ResNet use plain residual blocks), the two huge
+ * 4096-wide FC layers are narrowed to `fcWidth`, Inception-ResNet-v2
+ * is width-reduced, and the classifier defaults to 100 classes
+ * (matching the ImageNet-100k-subset scale of the paper's training
+ * runs).
+ */
+
+#ifndef ZCOMP_DNN_MODELS_HH
+#define ZCOMP_DNN_MODELS_HH
+
+#include <memory>
+
+#include "dnn/network.hh"
+
+namespace zcomp {
+
+enum class ModelId
+{
+    AlexNet = 0,
+    GoogLeNet,
+    InceptionResnetV2,
+    Resnet32,
+    Vgg16,
+};
+
+constexpr int numModels = 5;
+
+const char *modelName(ModelId id);
+
+/** Per-model build options. */
+struct ModelOptions
+{
+    int batch = 2;
+    int classes = 100;
+    int imageSize = 0;      //!< 0 = the model's native input size
+    int fcWidth = 1024;     //!< width of the big FC layers (orig. 4096)
+    double widthScale = 1.0; //!< channel scale (Inception-ResNet only)
+};
+
+/** Native input edge length (227/224/149/32). */
+int nativeImageSize(ModelId id);
+
+/** Construct (but do not build()) the requested network. */
+std::unique_ptr<Network> buildModel(ModelId id, VSpace &vs,
+                                    const ModelOptions &opt);
+
+std::unique_ptr<Network> buildAlexNet(VSpace &vs, const ModelOptions &);
+std::unique_ptr<Network> buildGoogleNet(VSpace &vs, const ModelOptions &);
+std::unique_ptr<Network> buildInceptionResnetV2(VSpace &vs,
+                                                const ModelOptions &);
+std::unique_ptr<Network> buildResnet32(VSpace &vs, const ModelOptions &);
+std::unique_ptr<Network> buildVgg16(VSpace &vs, const ModelOptions &);
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_MODELS_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * AlexNet [37]: 5 conv layers (LRN after conv1/conv2), 3 max pools,
+ * 3 FC layers with dropout. Native input 227x227x3.
+ */
+
+#include "common/log.hh"
+#include "dnn/layers/activation.hh"
+#include "dnn/layers/conv.hh"
+#include "dnn/layers/fc.hh"
+#include "dnn/layers/norm.hh"
+#include "dnn/layers/pool.hh"
+#include "dnn/models.hh"
+
+namespace zcomp {
+
+const char *
+modelName(ModelId id)
+{
+    switch (id) {
+      case ModelId::AlexNet:
+        return "alexnet";
+      case ModelId::GoogLeNet:
+        return "googlenet";
+      case ModelId::InceptionResnetV2:
+        return "inception-resnet-v2";
+      case ModelId::Resnet32:
+        return "resnet-32";
+      case ModelId::Vgg16:
+        return "vgg-16";
+    }
+    return "?";
+}
+
+int
+nativeImageSize(ModelId id)
+{
+    switch (id) {
+      case ModelId::AlexNet:
+        return 227;
+      case ModelId::GoogLeNet:
+      case ModelId::Vgg16:
+        return 224;
+      case ModelId::InceptionResnetV2:
+        return 149;
+      case ModelId::Resnet32:
+        return 32;
+    }
+    return 224;
+}
+
+std::unique_ptr<Network>
+buildModel(ModelId id, VSpace &vs, const ModelOptions &opt)
+{
+    switch (id) {
+      case ModelId::AlexNet:
+        return buildAlexNet(vs, opt);
+      case ModelId::GoogLeNet:
+        return buildGoogleNet(vs, opt);
+      case ModelId::InceptionResnetV2:
+        return buildInceptionResnetV2(vs, opt);
+      case ModelId::Resnet32:
+        return buildResnet32(vs, opt);
+      case ModelId::Vgg16:
+        return buildVgg16(vs, opt);
+    }
+    panic("bad model id");
+}
+
+std::unique_ptr<Network>
+buildAlexNet(VSpace &vs, const ModelOptions &opt)
+{
+    int sz = opt.imageSize ? opt.imageSize : 227;
+    auto net = std::make_unique<Network>(
+        "alexnet", vs, TensorShape{opt.batch, 3, sz, sz});
+
+    net->add(std::make_unique<ConvLayer>("conv1", 96, 11, 11, 4, 0));
+    net->add(std::make_unique<ReluLayer>("relu1"));
+    net->add(std::make_unique<LrnLayer>("norm1"));
+    net->add(std::make_unique<PoolLayer>("pool1", LayerKind::MaxPool, 3,
+                                         2));
+    net->add(std::make_unique<ConvLayer>("conv2", 256, 5, 5, 1, 2));
+    net->add(std::make_unique<ReluLayer>("relu2"));
+    net->add(std::make_unique<LrnLayer>("norm2"));
+    net->add(std::make_unique<PoolLayer>("pool2", LayerKind::MaxPool, 3,
+                                         2));
+    net->add(std::make_unique<ConvLayer>("conv3", 384, 3, 3, 1, 1));
+    net->add(std::make_unique<ReluLayer>("relu3"));
+    net->add(std::make_unique<ConvLayer>("conv4", 384, 3, 3, 1, 1));
+    net->add(std::make_unique<ReluLayer>("relu4"));
+    net->add(std::make_unique<ConvLayer>("conv5", 256, 3, 3, 1, 1));
+    net->add(std::make_unique<ReluLayer>("relu5"));
+    net->add(std::make_unique<PoolLayer>("pool5", LayerKind::MaxPool, 3,
+                                         2));
+    net->add(std::make_unique<FcLayer>("fc6", opt.fcWidth));
+    net->add(std::make_unique<ReluLayer>("relu6"));
+    net->add(std::make_unique<DropoutLayer>("drop6", 0.5));
+    net->add(std::make_unique<FcLayer>("fc7", opt.fcWidth));
+    net->add(std::make_unique<ReluLayer>("relu7"));
+    net->add(std::make_unique<DropoutLayer>("drop7", 0.5));
+    net->add(std::make_unique<FcLayer>("fc8", opt.classes));
+    net->add(std::make_unique<SoftmaxLayer>("prob"));
+    return net;
+}
+
+} // namespace zcomp

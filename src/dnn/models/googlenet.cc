@@ -1,0 +1,104 @@
+/**
+ * @file
+ * GoogLeNet (Inception v1): 7x7 stem, two LRN-flanked convolutions,
+ * nine inception modules (3a-5b) and a global-average-pool classifier.
+ * Native input 224x224x3.
+ */
+
+#include "common/log.hh"
+#include "dnn/layers/activation.hh"
+#include "dnn/layers/conv.hh"
+#include "dnn/layers/fc.hh"
+#include "dnn/layers/norm.hh"
+#include "dnn/layers/pool.hh"
+#include "dnn/layers/structure.hh"
+#include "dnn/models.hh"
+
+namespace zcomp {
+
+namespace {
+
+/** conv + relu helper; returns the relu node. */
+int
+convRelu(Network &net, int in, const std::string &name, int cout, int k,
+         int stride, int pad)
+{
+    int c = net.add(std::make_unique<ConvLayer>(name, cout, k, k,
+                                                stride, pad),
+                    {in});
+    return net.add(std::make_unique<ReluLayer>(name + ".relu"), {c});
+}
+
+/**
+ * One inception module: 1x1, 1x1->3x3, 1x1->5x5 and pool->1x1
+ * branches concatenated along channels.
+ */
+int
+inception(Network &net, int in, const std::string &tag, int c1, int c3r,
+          int c3, int c5r, int c5, int cp)
+{
+    int b1 = convRelu(net, in, tag + ".1x1", c1, 1, 1, 0);
+    int b3r = convRelu(net, in, tag + ".3x3r", c3r, 1, 1, 0);
+    int b3 = convRelu(net, b3r, tag + ".3x3", c3, 3, 1, 1);
+    int b5r = convRelu(net, in, tag + ".5x5r", c5r, 1, 1, 0);
+    int b5 = convRelu(net, b5r, tag + ".5x5", c5, 5, 1, 2);
+    int bp = net.add(std::make_unique<PoolLayer>(tag + ".pool",
+                                                 LayerKind::MaxPool, 3,
+                                                 1, 1),
+                     {in});
+    int bpc = convRelu(net, bp, tag + ".poolproj", cp, 1, 1, 0);
+    return net.add(std::make_unique<ConcatLayer>(tag + ".concat"),
+                   {b1, b3, b5, bpc});
+}
+
+} // namespace
+
+std::unique_ptr<Network>
+buildGoogleNet(VSpace &vs, const ModelOptions &opt)
+{
+    int sz = opt.imageSize ? opt.imageSize : 224;
+    auto net = std::make_unique<Network>(
+        "googlenet", vs, TensorShape{opt.batch, 3, sz, sz});
+
+    int node = convRelu(*net, 0, "conv1", 64, 7, 2, 3);
+    node = net->add(std::make_unique<PoolLayer>("pool1",
+                                                LayerKind::MaxPool, 3,
+                                                2, 1),
+                    {node});
+    node = net->add(std::make_unique<LrnLayer>("norm1"), {node});
+    node = convRelu(*net, node, "conv2r", 64, 1, 1, 0);
+    node = convRelu(*net, node, "conv2", 192, 3, 1, 1);
+    node = net->add(std::make_unique<LrnLayer>("norm2"), {node});
+    node = net->add(std::make_unique<PoolLayer>("pool2",
+                                                LayerKind::MaxPool, 3,
+                                                2, 1),
+                    {node});
+
+    node = inception(*net, node, "3a", 64, 96, 128, 16, 32, 32);
+    node = inception(*net, node, "3b", 128, 128, 192, 32, 96, 64);
+    node = net->add(std::make_unique<PoolLayer>("pool3",
+                                                LayerKind::MaxPool, 3,
+                                                2, 1),
+                    {node});
+    node = inception(*net, node, "4a", 192, 96, 208, 16, 48, 64);
+    node = inception(*net, node, "4b", 160, 112, 224, 24, 64, 64);
+    node = inception(*net, node, "4c", 128, 128, 256, 24, 64, 64);
+    node = inception(*net, node, "4d", 112, 144, 288, 32, 64, 64);
+    node = inception(*net, node, "4e", 256, 160, 320, 32, 128, 128);
+    node = net->add(std::make_unique<PoolLayer>("pool4",
+                                                LayerKind::MaxPool, 3,
+                                                2, 1),
+                    {node});
+    node = inception(*net, node, "5a", 256, 160, 320, 32, 128, 128);
+    node = inception(*net, node, "5b", 384, 192, 384, 48, 128, 128);
+
+    node = net->add(PoolLayer::globalAvg("pool5"), {node});
+    node = net->add(std::make_unique<DropoutLayer>("drop", 0.4),
+                    {node});
+    node = net->add(std::make_unique<FcLayer>("fc", opt.classes),
+                    {node});
+    net->add(std::make_unique<SoftmaxLayer>("prob"), {node});
+    return net;
+}
+
+} // namespace zcomp

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Inception-ResNet-v2 (width-reduced).
+ *
+ * The per-block topology follows the original: a convolutional stem,
+ * five Inception-ResNet-A blocks, a Reduction-A, ten
+ * Inception-ResNet-B blocks, a Reduction-B, five Inception-ResNet-C
+ * blocks, then global average pooling, dropout and the classifier.
+ *
+ * Documented substitutions (DESIGN.md Section 6):
+ *  - channel counts are scaled by ModelOptions::widthScale (default
+ *    0.5 from the bench configs) to keep single-host simulation sane;
+ *  - the 1x7/7x1 asymmetric factorizations of block B and the 1x3/3x1
+ *    of block C are replaced by single 3x3 convolutions of the same
+ *    output width;
+ *  - batch normalization is omitted and the residual scaling factor
+ *    is folded away (plain element-wise adds).
+ */
+
+#include "common/log.hh"
+#include "dnn/layers/activation.hh"
+#include "dnn/layers/conv.hh"
+#include "dnn/layers/fc.hh"
+#include "dnn/layers/norm.hh"
+#include "dnn/layers/pool.hh"
+#include "dnn/layers/structure.hh"
+#include "dnn/models.hh"
+
+namespace zcomp {
+
+namespace {
+
+struct Builder
+{
+    Network &net;
+    double scale;
+
+    int
+    ch(int c) const
+    {
+        return std::max(4, static_cast<int>(c * scale));
+    }
+
+    int
+    convRelu(int in, const std::string &name, int cout, int kh, int kw,
+             int stride, int pad)
+    {
+        int c = net.add(std::make_unique<ConvLayer>(name, ch(cout), kh,
+                                                    kw, stride, pad),
+                        {in});
+        return net.add(std::make_unique<ReluLayer>(name + ".relu"),
+                       {c});
+    }
+
+    /** Linear (no relu) 1x1 used to match residual widths. */
+    int
+    convLinear(int in, const std::string &name, int cout_scaled)
+    {
+        return net.add(std::make_unique<ConvLayer>(name, cout_scaled, 1,
+                                                   1, 1, 0),
+                       {in});
+    }
+
+    int
+    residual(int in, int branch_concat, const std::string &tag,
+             int width_scaled)
+    {
+        int up = convLinear(branch_concat, tag + ".up", width_scaled);
+        int sum = net.add(std::make_unique<EltwiseAddLayer>(tag +
+                                                            ".add"),
+                          {up, in});
+        return net.add(std::make_unique<ReluLayer>(tag + ".relu"),
+                       {sum});
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Network>
+buildInceptionResnetV2(VSpace &vs, const ModelOptions &opt)
+{
+    int sz = opt.imageSize ? opt.imageSize : 149;
+    auto net = std::make_unique<Network>(
+        "inception-resnet-v2", vs, TensorShape{opt.batch, 3, sz, sz});
+    Builder b{*net, opt.widthScale};
+
+    // Stem: 149 -> 74 -> 72 -> 35 -> 33 -> 16.
+    int node = b.convRelu(0, "stem.conv1", 32, 3, 3, 2, 0);
+    node = b.convRelu(node, "stem.conv2", 32, 3, 3, 1, 0);
+    node = b.convRelu(node, "stem.conv3", 64, 3, 3, 1, 1);
+    node = net->add(std::make_unique<PoolLayer>("stem.pool1",
+                                                LayerKind::MaxPool, 3,
+                                                2),
+                    {node});
+    node = b.convRelu(node, "stem.conv4", 80, 1, 1, 1, 0);
+    node = b.convRelu(node, "stem.conv5", 192, 3, 3, 1, 0);
+    node = net->add(std::make_unique<PoolLayer>("stem.pool2",
+                                                LayerKind::MaxPool, 3,
+                                                2),
+                    {node});
+    // Widen to the block-A working width (orig. 320).
+    int width_a = b.ch(320);
+    node = net->add(std::make_unique<ConvLayer>("stem.proj", width_a, 1,
+                                                1, 1, 0),
+                    {node});
+    node = net->add(std::make_unique<ReluLayer>("stem.proj.relu"),
+                    {node});
+
+    // 5x Inception-ResNet-A.
+    for (int i = 1; i <= 5; i++) {
+        std::string tag = format("a%d", i);
+        int b1 = b.convRelu(node, tag + ".b1", 32, 1, 1, 1, 0);
+        int b2 = b.convRelu(node, tag + ".b2a", 32, 1, 1, 1, 0);
+        b2 = b.convRelu(b2, tag + ".b2b", 32, 3, 3, 1, 1);
+        int b3 = b.convRelu(node, tag + ".b3a", 32, 1, 1, 1, 0);
+        b3 = b.convRelu(b3, tag + ".b3b", 48, 3, 3, 1, 1);
+        b3 = b.convRelu(b3, tag + ".b3c", 64, 3, 3, 1, 1);
+        int cat = net->add(std::make_unique<ConcatLayer>(tag +
+                                                         ".concat"),
+                           {b1, b2, b3});
+        node = b.residual(node, cat, tag, width_a);
+    }
+
+    // Reduction-A: 16 -> 7 spatial, widen (orig. 1088).
+    {
+        int p = net->add(std::make_unique<PoolLayer>("ra.pool",
+                                                     LayerKind::MaxPool,
+                                                     3, 2),
+                         {node});
+        int c1 = b.convRelu(node, "ra.c1", 384, 3, 3, 2, 0);
+        int c2 = b.convRelu(node, "ra.c2a", 256, 1, 1, 1, 0);
+        c2 = b.convRelu(c2, "ra.c2b", 256, 3, 3, 1, 1);
+        c2 = b.convRelu(c2, "ra.c2c", 384, 3, 3, 2, 0);
+        node = net->add(std::make_unique<ConcatLayer>("ra.concat"),
+                        {p, c1, c2});
+    }
+    int width_b = b.ch(320) + b.ch(384) * 2;
+
+    // 10x Inception-ResNet-B (1x7/7x1 replaced by 3x3).
+    for (int i = 1; i <= 10; i++) {
+        std::string tag = format("b%d", i);
+        int b1 = b.convRelu(node, tag + ".b1", 192, 1, 1, 1, 0);
+        int b2 = b.convRelu(node, tag + ".b2a", 128, 1, 1, 1, 0);
+        b2 = b.convRelu(b2, tag + ".b2b", 192, 3, 3, 1, 1);
+        int cat = net->add(std::make_unique<ConcatLayer>(tag +
+                                                         ".concat"),
+                           {b1, b2});
+        node = b.residual(node, cat, tag, width_b);
+    }
+
+    // Reduction-B: 7 -> 3 spatial.
+    {
+        int p = net->add(std::make_unique<PoolLayer>("rb.pool",
+                                                     LayerKind::MaxPool,
+                                                     3, 2),
+                         {node});
+        int c1 = b.convRelu(node, "rb.c1a", 256, 1, 1, 1, 0);
+        c1 = b.convRelu(c1, "rb.c1b", 384, 3, 3, 2, 0);
+        int c2 = b.convRelu(node, "rb.c2a", 256, 1, 1, 1, 0);
+        c2 = b.convRelu(c2, "rb.c2b", 288, 3, 3, 2, 0);
+        int c3 = b.convRelu(node, "rb.c3a", 256, 1, 1, 1, 0);
+        c3 = b.convRelu(c3, "rb.c3b", 288, 3, 3, 1, 1);
+        c3 = b.convRelu(c3, "rb.c3c", 320, 3, 3, 2, 0);
+        node = net->add(std::make_unique<ConcatLayer>("rb.concat"),
+                        {p, c1, c2, c3});
+    }
+    int width_c = width_b + b.ch(384) + b.ch(288) + b.ch(320);
+
+    // 5x Inception-ResNet-C (1x3/3x1 replaced by 3x3).
+    for (int i = 1; i <= 5; i++) {
+        std::string tag = format("c%d", i);
+        int b1 = b.convRelu(node, tag + ".b1", 192, 1, 1, 1, 0);
+        int b2 = b.convRelu(node, tag + ".b2a", 192, 1, 1, 1, 0);
+        b2 = b.convRelu(b2, tag + ".b2b", 256, 3, 3, 1, 1);
+        int cat = net->add(std::make_unique<ConcatLayer>(tag +
+                                                         ".concat"),
+                           {b1, b2});
+        node = b.residual(node, cat, tag, width_c);
+    }
+
+    node = net->add(PoolLayer::globalAvg("pool"), {node});
+    node = net->add(std::make_unique<DropoutLayer>("drop", 0.2),
+                    {node});
+    node = net->add(std::make_unique<FcLayer>("fc", opt.classes),
+                    {node});
+    net->add(std::make_unique<SoftmaxLayer>("prob"), {node});
+    return net;
+}
+
+} // namespace zcomp

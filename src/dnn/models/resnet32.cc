@@ -1,0 +1,85 @@
+/**
+ * @file
+ * ResNet-32 [32], the CIFAR variant: a 3x3 stem then three stages of
+ * five basic residual blocks at 16/32/64 channels, spatially
+ * downsampling (stride 2, with 1x1 projection on the skip path) at
+ * stage transitions, global average pooling and a linear classifier.
+ * Native input 32x32x3.
+ *
+ * Substitution: batch normalization is omitted (our framework trains
+ * only for sparsity statistics, not accuracy); He initialization keeps
+ * activations well-scaled through the residual adds.
+ */
+
+#include "common/log.hh"
+#include "dnn/layers/activation.hh"
+#include "dnn/layers/conv.hh"
+#include "dnn/layers/fc.hh"
+#include "dnn/layers/norm.hh"
+#include "dnn/layers/pool.hh"
+#include "dnn/layers/structure.hh"
+#include "dnn/models.hh"
+
+namespace zcomp {
+
+namespace {
+
+/** One basic block: conv-relu-conv plus skip, then relu. */
+int
+basicBlock(Network &net, int in_node, const std::string &tag,
+           int channels, int stride)
+{
+    int skip = in_node;
+    if (stride != 1) {
+        // Projection shortcut when downsampling / widening.
+        skip = net.add(std::make_unique<ConvLayer>(tag + ".proj",
+                                                   channels, 1, 1,
+                                                   stride, 0),
+                       {in_node});
+    }
+    int c1 = net.add(std::make_unique<ConvLayer>(tag + ".conv1",
+                                                 channels, 3, 3, stride,
+                                                 1),
+                     {in_node});
+    int r1 = net.add(std::make_unique<ReluLayer>(tag + ".relu1"), {c1});
+    int c2 = net.add(std::make_unique<ConvLayer>(tag + ".conv2",
+                                                 channels, 3, 3, 1, 1),
+                     {r1});
+    int sum = net.add(std::make_unique<EltwiseAddLayer>(tag + ".add"),
+                      {c2, skip});
+    return net.add(std::make_unique<ReluLayer>(tag + ".relu2"), {sum});
+}
+
+} // namespace
+
+std::unique_ptr<Network>
+buildResnet32(VSpace &vs, const ModelOptions &opt)
+{
+    int sz = opt.imageSize ? opt.imageSize : 32;
+    auto net = std::make_unique<Network>(
+        "resnet-32", vs, TensorShape{opt.batch, 3, sz, sz});
+
+    int stem = net->add(std::make_unique<ConvLayer>("conv1", 16, 3, 3,
+                                                    1, 1),
+                        {0});
+    int node = net->add(std::make_unique<ReluLayer>("relu1"), {stem});
+
+    const int channels[] = {16, 32, 64};
+    for (int stage = 0; stage < 3; stage++) {
+        for (int block = 0; block < 5; block++) {
+            int stride = (stage > 0 && block == 0) ? 2 : 1;
+            node = basicBlock(*net,
+                              node,
+                              format("res%d.%d", stage + 1, block + 1),
+                              channels[stage], stride);
+        }
+    }
+
+    node = net->add(PoolLayer::globalAvg("pool"), {node});
+    node = net->add(std::make_unique<FcLayer>("fc", opt.classes),
+                    {node});
+    net->add(std::make_unique<SoftmaxLayer>("prob"), {node});
+    return net;
+}
+
+} // namespace zcomp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * VGG-16 [51]: 13 3x3 convolutions in five blocks separated by 2x2
+ * max pools, then three FC layers. Native input 224x224x3.
+ */
+
+#include "common/log.hh"
+#include "dnn/layers/activation.hh"
+#include "dnn/layers/conv.hh"
+#include "dnn/layers/fc.hh"
+#include "dnn/layers/norm.hh"
+#include "dnn/layers/pool.hh"
+#include "dnn/models.hh"
+
+namespace zcomp {
+
+std::unique_ptr<Network>
+buildVgg16(VSpace &vs, const ModelOptions &opt)
+{
+    int sz = opt.imageSize ? opt.imageSize : 224;
+    auto net = std::make_unique<Network>(
+        "vgg-16", vs, TensorShape{opt.batch, 3, sz, sz});
+
+    struct Block
+    {
+        int convs;
+        int channels;
+    };
+    const Block blocks[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512},
+                            {3, 512}};
+
+    int bi = 1;
+    for (const Block &b : blocks) {
+        for (int c = 1; c <= b.convs; c++) {
+            std::string tag = format("%d_%d", bi, c);
+            net->add(std::make_unique<ConvLayer>("conv" + tag,
+                                                 b.channels, 3, 3, 1,
+                                                 1));
+            net->add(std::make_unique<ReluLayer>("relu" + tag));
+        }
+        net->add(std::make_unique<PoolLayer>(format("pool%d", bi),
+                                             LayerKind::MaxPool, 2, 2));
+        bi++;
+    }
+
+    net->add(std::make_unique<FcLayer>("fc6", opt.fcWidth));
+    net->add(std::make_unique<ReluLayer>("relu6"));
+    net->add(std::make_unique<DropoutLayer>("drop6", 0.5));
+    net->add(std::make_unique<FcLayer>("fc7", opt.fcWidth));
+    net->add(std::make_unique<ReluLayer>("relu7"));
+    net->add(std::make_unique<DropoutLayer>("drop7", 0.5));
+    net->add(std::make_unique<FcLayer>("fc8", opt.classes));
+    net->add(std::make_unique<SoftmaxLayer>("prob"));
+    return net;
+}
+
+} // namespace zcomp

@@ -1,0 +1,261 @@
+#include "dnn/network.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hh"
+#include "dnn/layers/structure.hh"
+
+namespace zcomp {
+
+const char *
+layerKindName(LayerKind k)
+{
+    switch (k) {
+      case LayerKind::Input:
+        return "input";
+      case LayerKind::Conv:
+        return "conv";
+      case LayerKind::Fc:
+        return "fc";
+      case LayerKind::Relu:
+        return "relu";
+      case LayerKind::MaxPool:
+        return "maxpool";
+      case LayerKind::AvgPool:
+        return "avgpool";
+      case LayerKind::Lrn:
+        return "lrn";
+      case LayerKind::Dropout:
+        return "dropout";
+      case LayerKind::Softmax:
+        return "softmax";
+      case LayerKind::EltwiseAdd:
+        return "eltwise-add";
+      case LayerKind::Concat:
+        return "concat";
+    }
+    return "?";
+}
+
+Network::Network(std::string name, VSpace &vs, TensorShape input_shape)
+    : name_(std::move(name)), vs_(vs), inputShape_(input_shape)
+{
+    Node input;
+    input.layer = std::make_unique<InputLayer>("input", input_shape);
+    input.shape = input_shape;
+    nodes_.push_back(std::move(input));
+}
+
+int
+Network::add(std::unique_ptr<Layer> layer, std::vector<int> inputs)
+{
+    panic_if(built_, "network %s already built", name_.c_str());
+    int id = static_cast<int>(nodes_.size());
+    for (int in : inputs) {
+        fatal_if(in < 0 || in >= id,
+                 "layer %s references node %d out of topological order",
+                 layer->name().c_str(), in);
+        nodes_[static_cast<size_t>(in)].consumers++;
+    }
+    Node node;
+    node.layer = std::move(layer);
+    node.inputs = std::move(inputs);
+    nodes_.push_back(std::move(node));
+    return id;
+}
+
+int
+Network::add(std::unique_ptr<Layer> layer)
+{
+    return add(std::move(layer), {outputNode()});
+}
+
+void
+Network::build(bool training, uint64_t seed)
+{
+    panic_if(built_, "network %s already built", name_.c_str());
+    built_ = true;
+    training_ = training;
+    Rng rng(seed);
+
+    size_t ws_elems = 0;
+    size_t max_elems = 0;
+    for (size_t i = 0; i < nodes_.size(); i++) {
+        Node &node = nodes_[i];
+        std::vector<TensorShape> in_shapes;
+        for (int in : node.inputs)
+            in_shapes.push_back(nodes_[static_cast<size_t>(in)].shape);
+        node.shape = node.layer->outputShape(in_shapes);
+        node.layer->init(vs_, in_shapes, rng);
+        node.layer->setTraining(training);
+        ws_elems = std::max(ws_elems,
+                            node.layer->workspaceElems(in_shapes));
+        max_elems = std::max(max_elems, node.shape.elems());
+
+        AllocClass cls = i == 0 ? AllocClass::Input
+                                : AllocClass::FeatureMap;
+        node.act = std::make_unique<Tensor>(
+            vs_, name_ + "." + node.layer->name() + ".y", node.shape,
+            cls);
+        if (training && i > 0) {
+            node.grad = std::make_unique<Tensor>(
+                vs_, name_ + "." + node.layer->name() + ".dy",
+                node.shape, AllocClass::GradientMap);
+        }
+    }
+    if (vs_.hostBacked())
+        ws_.ensure(ws_elems);
+    if (training) {
+        gradScratch_ = std::make_unique<Tensor>(
+            vs_, name_ + ".gradscratch",
+            TensorShape{1, 1, 1, static_cast<int>(max_elems)},
+            AllocClass::Scratch);
+    }
+}
+
+void
+Network::setInput(const float *data)
+{
+    std::memcpy(nodes_[0].act->data(), data, nodes_[0].act->bytes());
+}
+
+void
+Network::fillSyntheticInput(Rng &rng)
+{
+    float *d = nodes_[0].act->data();
+    for (size_t i = 0; i < nodes_[0].act->elems(); i++)
+        d[i] = static_cast<float>(rng.gaussian());
+}
+
+void
+Network::forward()
+{
+    panic_if(!built_, "network %s not built", name_.c_str());
+    for (size_t i = 1; i < nodes_.size(); i++) {
+        Node &node = nodes_[i];
+        std::vector<const Tensor *> ins;
+        for (int in : node.inputs)
+            ins.push_back(nodes_[static_cast<size_t>(in)].act.get());
+        node.layer->forward(ins, *node.act, ws_);
+    }
+}
+
+double
+Network::lossAndBackward(const std::vector<int> &labels)
+{
+    panic_if(!training_, "network %s built for inference",
+             name_.c_str());
+    Node &out = nodes_.back();
+    fatal_if(out.layer->kind() != LayerKind::Softmax,
+             "network %s must end in softmax for training",
+             name_.c_str());
+    size_t n = static_cast<size_t>(out.shape.n);
+    size_t classes = out.act->elems() / n;
+    fatal_if(labels.size() != n, "need %zu labels, got %zu", n,
+             labels.size());
+
+    // Cross-entropy loss and fused softmax gradient: dz = (p - y)/N.
+    double loss = 0.0;
+    float *dy = out.grad->data();
+    const float *p = out.act->data();
+    for (size_t i = 0; i < n; i++) {
+        int label = labels[i];
+        fatal_if(label < 0 || static_cast<size_t>(label) >= classes,
+                 "label %d out of range", label);
+        double pi = std::max(1e-12, static_cast<double>(
+                                        p[i * classes +
+                                          static_cast<size_t>(label)]));
+        loss -= std::log(pi);
+        for (size_t j = 0; j < classes; j++) {
+            float target = static_cast<size_t>(label) == j ? 1.0f : 0.0f;
+            dy[i * classes + j] =
+                (p[i * classes + j] - target) / static_cast<float>(n);
+        }
+    }
+    loss /= static_cast<double>(n);
+
+    // Multi-consumer nodes accumulate; zero their gradients first.
+    for (size_t i = 1; i < nodes_.size(); i++) {
+        if (nodes_[i].consumers > 1)
+            nodes_[i].grad->zero();
+    }
+
+    for (size_t i = nodes_.size(); i-- > 1;) {
+        Node &node = nodes_[i];
+        std::vector<const Tensor *> ins;
+        for (int in : node.inputs)
+            ins.push_back(nodes_[static_cast<size_t>(in)].act.get());
+
+        std::vector<Tensor *> grad_in(node.inputs.size(), nullptr);
+        // Single-consumer inputs receive their gradient directly;
+        // multi-consumer inputs accumulate via the scratch tensor.
+        bool used_scratch = false;
+        for (size_t k = 0; k < node.inputs.size(); k++) {
+            Node &src = nodes_[static_cast<size_t>(node.inputs[k])];
+            if (node.inputs[k] == 0) {
+                grad_in[k] = nullptr;   // no gradient for the input
+            } else if (src.consumers == 1) {
+                grad_in[k] = src.grad.get();
+            } else {
+                panic_if(used_scratch,
+                         "layer %s: two multi-consumer inputs",
+                         node.layer->name().c_str());
+                grad_in[k] = gradScratch_.get();
+                used_scratch = true;
+            }
+        }
+        node.layer->backward(ins, *node.act, *node.grad, grad_in, ws_);
+        if (used_scratch) {
+            for (size_t k = 0; k < node.inputs.size(); k++) {
+                if (grad_in[k] != gradScratch_.get())
+                    continue;
+                Node &src =
+                    nodes_[static_cast<size_t>(node.inputs[k])];
+                float *dst = src.grad->data();
+                const float *s = gradScratch_->data();
+                for (size_t e = 0; e < src.grad->elems(); e++)
+                    dst[e] += s[e];
+            }
+        }
+    }
+    return loss;
+}
+
+void
+Network::sgdStep(float lr)
+{
+    for (auto &node : nodes_)
+        node.layer->sgdStep(lr);
+}
+
+uint64_t
+Network::totalMacs() const
+{
+    uint64_t macs = 0;
+    for (const auto &node : nodes_) {
+        std::vector<TensorShape> in_shapes;
+        for (int in : node.inputs)
+            in_shapes.push_back(nodes_[static_cast<size_t>(in)].shape);
+        macs += node.layer->forwardMacs(in_shapes);
+    }
+    return macs;
+}
+
+Network::Footprint
+Network::footprint() const
+{
+    Footprint f;
+    f.inputBytes = nodes_[0].act->bytes();
+    for (size_t i = 0; i < nodes_.size(); i++) {
+        f.weightBytes += nodes_[i].layer->weightBytes();
+        if (i > 0) {
+            f.featureMapBytes += nodes_[i].act->bytes();
+            if (nodes_[i].grad)
+                f.gradientMapBytes += nodes_[i].grad->bytes();
+        }
+    }
+    return f;
+}
+
+} // namespace zcomp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Network - a DAG of layers with exact forward/backward execution and
+ * SGD training, plus the footprint accounting behind Figures 1 and 3.
+ *
+ * Nodes must be added in topological order (every builder in
+ * dnn/models does). Activation tensors are allocated per node as
+ * FeatureMap allocations; gradient tensors (training builds only) as
+ * GradientMap allocations, so the Figure 3 breakdown falls directly
+ * out of the address-space accounting.
+ */
+
+#ifndef ZCOMP_DNN_NETWORK_HH
+#define ZCOMP_DNN_NETWORK_HH
+
+#include "dnn/layer.hh"
+
+namespace zcomp {
+
+class Network
+{
+  public:
+    struct Node
+    {
+        std::unique_ptr<Layer> layer;
+        std::vector<int> inputs;
+        TensorShape shape;
+        std::unique_ptr<Tensor> act;
+        std::unique_ptr<Tensor> grad;   //!< training builds only
+        int consumers = 0;
+    };
+
+    /** Footprint by data class (Figure 3 categories). */
+    struct Footprint
+    {
+        uint64_t inputBytes = 0;
+        uint64_t weightBytes = 0;
+        uint64_t featureMapBytes = 0;
+        uint64_t gradientMapBytes = 0;
+
+        uint64_t
+        total() const
+        {
+            return inputBytes + weightBytes + featureMapBytes +
+                   gradientMapBytes;
+        }
+    };
+
+    Network(std::string name, VSpace &vs, TensorShape input_shape);
+
+    /** Append a layer fed by the given nodes; returns its node id. */
+    int add(std::unique_ptr<Layer> layer, std::vector<int> inputs);
+
+    /** Convenience for linear chains: feed from the last added node. */
+    int add(std::unique_ptr<Layer> layer);
+
+    /**
+     * Infer shapes, allocate tensors and parameters. Training builds
+     * also allocate gradient maps.
+     */
+    void build(bool training, uint64_t seed = 1234);
+
+    /** Copy data into the input tensor. */
+    void setInput(const float *data);
+
+    /** Fill the input with synthetic unit-gaussian images. */
+    void fillSyntheticInput(Rng &rng);
+
+    /** Run the functional forward pass. */
+    void forward();
+
+    /**
+     * Cross-entropy loss against labels (one per image) on the final
+     * softmax node, then run the full backward pass. @return the loss.
+     */
+    double lossAndBackward(const std::vector<int> &labels);
+
+    /** Apply SGD to every layer's parameters. */
+    void sgdStep(float lr);
+
+    int inputNode() const { return 0; }
+    int outputNode() const { return static_cast<int>(nodes_.size()) - 1; }
+    size_t numNodes() const { return nodes_.size(); }
+    const Node &node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+    Tensor &activation(int i) { return *nodes_[static_cast<size_t>(i)].act; }
+    Tensor *gradient(int i) { return nodes_[static_cast<size_t>(i)].grad.get(); }
+
+    const std::string &name() const { return name_; }
+    bool training() const { return training_; }
+    TensorShape inputShape() const { return inputShape_; }
+
+    /** Total forward multiply-accumulates. */
+    uint64_t totalMacs() const;
+
+    /** Footprint by data class. */
+    Footprint footprint() const;
+
+  private:
+    std::string name_;
+    VSpace &vs_;
+    TensorShape inputShape_;
+    std::vector<Node> nodes_;
+    Workspace ws_;
+    std::unique_ptr<Tensor> gradScratch_;
+    bool built_ = false;
+    bool training_ = false;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_NETWORK_HH

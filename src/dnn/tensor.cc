@@ -1,0 +1,42 @@
+#include "dnn/tensor.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+std::string
+TensorShape::str() const
+{
+    return format("%dx%dx%dx%d", n, c, h, w);
+}
+
+Tensor::Tensor(VSpace &vs, const std::string &name, TensorShape shape,
+               AllocClass cls)
+    : shape_(shape)
+{
+    fatal_if(shape.elems() == 0, "tensor %s has zero elements",
+             name.c_str());
+    buf_ = &vs.alloc(name, shape.bytes(), cls);
+}
+
+void
+Tensor::zero()
+{
+    std::memset(data(), 0, bytes());
+}
+
+double
+Tensor::sparsity() const
+{
+    size_t zeros = 0;
+    const float *d = data();
+    for (size_t i = 0; i < elems(); i++) {
+        if (d[i] == 0.0f)
+            zeros++;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(elems());
+}
+
+} // namespace zcomp

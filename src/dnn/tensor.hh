@@ -1,0 +1,97 @@
+/**
+ * @file
+ * NCHW fp32 tensors backed by the simulated address space.
+ *
+ * Tensors carry both host data (so the framework computes real values
+ * whose sparsity drives compression) and a simulated base address (so
+ * the timing model can replay their access streams).
+ */
+
+#ifndef ZCOMP_DNN_TENSOR_HH
+#define ZCOMP_DNN_TENSOR_HH
+
+#include <string>
+
+#include "mem/vspace.hh"
+
+namespace zcomp {
+
+/** N x C x H x W shape; FC activations use (n, c, 1, 1). */
+struct TensorShape
+{
+    int n = 1;
+    int c = 1;
+    int h = 1;
+    int w = 1;
+
+    size_t
+    elems() const
+    {
+        return static_cast<size_t>(n) * c * h * w;
+    }
+
+    size_t bytes() const { return elems() * sizeof(float); }
+
+    bool operator==(const TensorShape &) const = default;
+
+    std::string str() const;
+};
+
+class Tensor
+{
+  public:
+    /** Allocate a zero-filled tensor in the simulated address space. */
+    Tensor(VSpace &vs, const std::string &name, TensorShape shape,
+           AllocClass cls);
+
+    Tensor(const Tensor &) = delete;
+    Tensor &operator=(const Tensor &) = delete;
+
+    const TensorShape &shape() const { return shape_; }
+    size_t elems() const { return shape_.elems(); }
+    size_t bytes() const { return shape_.bytes(); }
+
+    float *data() { return buf_->f32(); }
+    const float *data() const { return buf_->f32(); }
+
+    /** Element access in NCHW order. */
+    float &
+    at(int n, int c, int h, int w)
+    {
+        return data()[idx(n, c, h, w)];
+    }
+
+    float
+    at(int n, int c, int h, int w) const
+    {
+        return data()[idx(n, c, h, w)];
+    }
+
+    /** Simulated virtual address of element offset. */
+    Addr addrAt(size_t elem_off) const { return buf_->addrAt(elem_off * 4); }
+
+    const std::string &name() const { return buf_->name; }
+    AllocClass allocClass() const { return buf_->cls; }
+
+    /** Zero all elements. */
+    void zero();
+
+    /** Fraction of exact-zero elements. */
+    double sparsity() const;
+
+  private:
+    size_t
+    idx(int n, int c, int h, int w) const
+    {
+        return ((static_cast<size_t>(n) * shape_.c + c) * shape_.h + h) *
+                   shape_.w +
+               w;
+    }
+
+    TensorShape shape_;
+    Buffer *buf_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_DNN_TENSOR_HH

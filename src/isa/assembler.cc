@@ -1,0 +1,195 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+std::string
+disassemble(const ZcompInstr &i)
+{
+    std::string mnem = i.isStore ? "zcomps" : "zcompl";
+    mnem += i.sepHeader ? ".s." : ".i.";
+    mnem += elemSuffix(i.etype);
+
+    std::string data_ptr = format("[r%d]", i.dataPtrReg);
+    std::string vreg = format("zmm%d", i.vreg);
+    std::string hdr_ptr = format("[r%d]", i.hdrPtrReg);
+
+    if (i.isStore) {
+        std::string s = mnem + " " + data_ptr + ", " + vreg;
+        if (i.sepHeader)
+            s += ", " + hdr_ptr;
+        s += ", ";
+        s += ccfName(i.ccf);
+        return s;
+    }
+    std::string s = mnem + " " + vreg + ", " + data_ptr;
+    if (i.sepHeader)
+        s += ", " + hdr_ptr;
+    return s;
+}
+
+namespace {
+
+/** Split on whitespace and commas; strip an optional trailing comment. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : line) {
+        if (c == ';' || c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    return toks;
+}
+
+/** Parse "[rN]" -> N. */
+std::optional<int>
+parseMemOperand(const std::string &tok)
+{
+    if (tok.size() < 4 || tok.front() != '[' || tok.back() != ']')
+        return std::nullopt;
+    std::string inner = tok.substr(1, tok.size() - 2);
+    if (inner.size() < 2 || inner[0] != 'r')
+        return std::nullopt;
+    char *end = nullptr;
+    long n = std::strtol(inner.c_str() + 1, &end, 10);
+    if (!end || *end != '\0' || n < 0 || n > 31)
+        return std::nullopt;
+    return static_cast<int>(n);
+}
+
+/** Parse "zmmN" -> N. */
+std::optional<int>
+parseVecReg(const std::string &tok)
+{
+    if (tok.size() < 4 || tok.rfind("zmm", 0) != 0)
+        return std::nullopt;
+    char *end = nullptr;
+    long n = std::strtol(tok.c_str() + 3, &end, 10);
+    if (!end || *end != '\0' || n < 0 || n > 31)
+        return std::nullopt;
+    return static_cast<int>(n);
+}
+
+std::optional<ElemType>
+parseSuffix(const std::string &s)
+{
+    for (int i = 0; i < numElemTypes; i++) {
+        auto t = static_cast<ElemType>(i);
+        if (s == elemSuffix(t))
+            return t;
+    }
+    return std::nullopt;
+}
+
+std::optional<Ccf>
+parseCcf(const std::string &s)
+{
+    if (s == "eqz")
+        return Ccf::EQZ;
+    if (s == "ltez")
+        return Ccf::LTEZ;
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<ZcompInstr>
+assemble(const std::string &line)
+{
+    auto toks = tokenize(line);
+    if (toks.empty())
+        return std::nullopt;
+
+    // Mnemonic: zcomps|zcompl '.' i|s '.' suffix
+    const std::string &m = toks[0];
+    ZcompInstr instr;
+    std::string base;
+    auto dot1 = m.find('.');
+    if (dot1 == std::string::npos)
+        return std::nullopt;
+    base = m.substr(0, dot1);
+    if (base == "zcomps") {
+        instr.isStore = true;
+    } else if (base == "zcompl") {
+        instr.isStore = false;
+    } else {
+        return std::nullopt;
+    }
+    auto dot2 = m.find('.', dot1 + 1);
+    if (dot2 == std::string::npos)
+        return std::nullopt;
+    std::string hdr_mode = m.substr(dot1 + 1, dot2 - dot1 - 1);
+    if (hdr_mode == "i") {
+        instr.sepHeader = false;
+    } else if (hdr_mode == "s") {
+        instr.sepHeader = true;
+    } else {
+        return std::nullopt;
+    }
+    auto etype = parseSuffix(m.substr(dot2 + 1));
+    if (!etype)
+        return std::nullopt;
+    instr.etype = *etype;
+
+    size_t expect = instr.isStore ? (instr.sepHeader ? 5u : 4u)
+                                  : (instr.sepHeader ? 4u : 3u);
+    if (toks.size() != expect)
+        return std::nullopt;
+
+    if (instr.isStore) {
+        auto data_ptr = parseMemOperand(toks[1]);
+        auto vreg = parseVecReg(toks[2]);
+        if (!data_ptr || !vreg)
+            return std::nullopt;
+        instr.dataPtrReg = *data_ptr;
+        instr.vreg = *vreg;
+        size_t next = 3;
+        if (instr.sepHeader) {
+            auto hdr = parseMemOperand(toks[next++]);
+            if (!hdr)
+                return std::nullopt;
+            instr.hdrPtrReg = *hdr;
+        }
+        auto ccf = parseCcf(toks[next]);
+        if (!ccf)
+            return std::nullopt;
+        instr.ccf = *ccf;
+    } else {
+        auto vreg = parseVecReg(toks[1]);
+        auto data_ptr = parseMemOperand(toks[2]);
+        if (!vreg || !data_ptr)
+            return std::nullopt;
+        instr.vreg = *vreg;
+        instr.dataPtrReg = *data_ptr;
+        if (instr.sepHeader) {
+            auto hdr = parseMemOperand(toks[3]);
+            if (!hdr)
+                return std::nullopt;
+            instr.hdrPtrReg = *hdr;
+        }
+    }
+
+    // Round-trip through the binary encoder to enforce range rules.
+    if (!encode(instr))
+        return std::nullopt;
+    return instr;
+}
+
+} // namespace zcomp

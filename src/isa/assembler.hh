@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Textual assembler and disassembler for the ZCOMP instruction family.
+ *
+ * Syntax (matching Section 3's operand order):
+ *   zcomps.i.ps [r2], zmm1, eqz          ; interleaved-header compress
+ *   zcomps.s.ps [r2], zmm1, [r3], ltez   ; separate-header compress
+ *   zcompl.i.ps zmm1, [r2]               ; interleaved-header expand
+ *   zcompl.s.ps zmm1, [r2], [r3]         ; separate-header expand
+ *
+ * The type suffix selects the element variant: ps (fp32), ph (fp16),
+ * b (int8), d (int32), pd (fp64).
+ */
+
+#ifndef ZCOMP_ISA_ASSEMBLER_HH
+#define ZCOMP_ISA_ASSEMBLER_HH
+
+#include <optional>
+#include <string>
+
+#include "isa/encoding.hh"
+
+namespace zcomp {
+
+/** Render an instruction in canonical assembly syntax. */
+std::string disassemble(const ZcompInstr &instr);
+
+/**
+ * Parse one line of assembly.
+ * @return std::nullopt on any syntax or range error.
+ */
+std::optional<ZcompInstr> assemble(const std::string &line);
+
+} // namespace zcomp
+
+#endif // ZCOMP_ISA_ASSEMBLER_HH

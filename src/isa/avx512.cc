@@ -1,0 +1,148 @@
+#include "isa/avx512.hh"
+
+#include <bit>
+
+namespace zcomp {
+
+Vec512
+setzeroPs()
+{
+    return Vec512::zero();
+}
+
+Vec512
+loadPs(const float *src)
+{
+    return Vec512::load(src);
+}
+
+void
+storePs(float *dst, const Vec512 &v)
+{
+    v.store(dst);
+}
+
+Vec512
+set1Ps(float val)
+{
+    Vec512 v;
+    for (int i = 0; i < 16; i++)
+        v.setLane<float>(i, val);
+    return v;
+}
+
+Mask16
+cmpPsMask(const Vec512 &a, const Vec512 &b, CmpPred pred)
+{
+    Mask16 m = 0;
+    for (int i = 0; i < 16; i++) {
+        float x = a.lane<float>(i);
+        float y = b.lane<float>(i);
+        bool hit = false;
+        switch (pred) {
+          case CmpPred::EQ:
+            hit = x == y;
+            break;
+          case CmpPred::NEQ:
+            hit = x != y;
+            break;
+          case CmpPred::LT:
+            hit = x < y;
+            break;
+          case CmpPred::LE:
+            hit = x <= y;
+            break;
+          case CmpPred::GT:
+            hit = x > y;
+            break;
+          case CmpPred::GE:
+            hit = x >= y;
+            break;
+        }
+        if (hit)
+            m |= static_cast<Mask16>(1U << i);
+    }
+    return m;
+}
+
+Vec512
+maxPs(const Vec512 &a, const Vec512 &b)
+{
+    Vec512 r;
+    for (int i = 0; i < 16; i++) {
+        float x = a.lane<float>(i);
+        float y = b.lane<float>(i);
+        r.setLane<float>(i, x > y ? x : y);
+    }
+    return r;
+}
+
+Vec512
+addPs(const Vec512 &a, const Vec512 &b)
+{
+    Vec512 r;
+    for (int i = 0; i < 16; i++)
+        r.setLane<float>(i, a.lane<float>(i) + b.lane<float>(i));
+    return r;
+}
+
+Vec512
+mulPs(const Vec512 &a, const Vec512 &b)
+{
+    Vec512 r;
+    for (int i = 0; i < 16; i++)
+        r.setLane<float>(i, a.lane<float>(i) * b.lane<float>(i));
+    return r;
+}
+
+Vec512
+fmaddPs(const Vec512 &a, const Vec512 &b, const Vec512 &c)
+{
+    Vec512 r;
+    for (int i = 0; i < 16; i++) {
+        r.setLane<float>(i,
+                         a.lane<float>(i) * b.lane<float>(i) +
+                             c.lane<float>(i));
+    }
+    return r;
+}
+
+int
+popcnt32(uint32_t v)
+{
+    return std::popcount(v);
+}
+
+int
+maskCompressStoreuPs(float *dst, Mask16 mask, const Vec512 &v)
+{
+    int out = 0;
+    for (int i = 0; i < 16; i++) {
+        if ((mask >> i) & 1)
+            dst[out++] = v.lane<float>(i);
+    }
+    return out;
+}
+
+Vec512
+maskzExpandLoaduPs(Mask16 mask, const float *src)
+{
+    Vec512 r = Vec512::zero();
+    int in = 0;
+    for (int i = 0; i < 16; i++) {
+        if ((mask >> i) & 1)
+            r.setLane<float>(i, src[in++]);
+    }
+    return r;
+}
+
+float
+reduceAddPs(const Vec512 &v)
+{
+    float s = 0.0f;
+    for (int i = 0; i < 16; i++)
+        s += v.lane<float>(i);
+    return s;
+}
+
+} // namespace zcomp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functional model of the AVX512 instruction subset the paper's
+ * baselines use (Figures 10 and 11): vector load/store, compare-to-mask,
+ * max, popcount, and the vcompressstoreu / vexpandload pair that the
+ * avx512-comp scheme builds its software compression from.
+ *
+ * These are pure value operations on Vec512; memory timing is attached
+ * by the simulation layer.
+ */
+
+#ifndef ZCOMP_ISA_AVX512_HH
+#define ZCOMP_ISA_AVX512_HH
+
+#include <cstdint>
+
+#include "isa/vec.hh"
+
+namespace zcomp {
+
+/** One bit per fp32 lane of a 512-bit vector. */
+using Mask16 = uint16_t;
+
+/** Comparison predicates for cmpPsMask (subset of _MM_CMPINT_*). */
+enum class CmpPred { EQ, NEQ, LT, LE, GT, GE };
+
+/** _mm512_setzero_ps */
+Vec512 setzeroPs();
+
+/** _mm512_loadu_ps */
+Vec512 loadPs(const float *src);
+
+/** _mm512_storeu_ps */
+void storePs(float *dst, const Vec512 &v);
+
+/** _mm512_set1_ps */
+Vec512 set1Ps(float v);
+
+/** _mm512_cmp_ps_mask */
+Mask16 cmpPsMask(const Vec512 &a, const Vec512 &b, CmpPred pred);
+
+/** _mm512_max_ps */
+Vec512 maxPs(const Vec512 &a, const Vec512 &b);
+
+/** _mm512_add_ps */
+Vec512 addPs(const Vec512 &a, const Vec512 &b);
+
+/** _mm512_mul_ps */
+Vec512 mulPs(const Vec512 &a, const Vec512 &b);
+
+/** _mm512_fmadd_ps: a*b + c */
+Vec512 fmaddPs(const Vec512 &a, const Vec512 &b, const Vec512 &c);
+
+/** _mm_popcnt_u32 */
+int popcnt32(uint32_t v);
+
+/**
+ * _mm512_mask_compressstoreu_ps: store the lanes selected by mask,
+ * densely packed, at dst. Returns the number of floats written.
+ */
+int maskCompressStoreuPs(float *dst, Mask16 mask, const Vec512 &v);
+
+/**
+ * _mm512_maskz_expandload_ps: read popcount(mask) floats from src and
+ * expand them into the lanes selected by mask; other lanes are zeroed.
+ */
+Vec512 maskzExpandLoaduPs(Mask16 mask, const float *src);
+
+/** Horizontal sum of the 16 fp32 lanes (reduction helper). */
+float reduceAddPs(const Vec512 &v);
+
+} // namespace zcomp
+
+#endif // ZCOMP_ISA_AVX512_HH

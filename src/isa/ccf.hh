@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Comparison Condition Flags (CCF) for the zcomps instruction.
+ *
+ * The CCF immediate selects which lanes are *dropped* by compression:
+ *   EQZ  - drop lanes whose value is (+)zero. Used for generic layers
+ *          that write already-sparse feature maps.
+ *   LTEZ - drop lanes that are less than or equal to zero. This fuses
+ *          the ReLU activation with compression in a single zcomps
+ *          (Section 3.1): negative inputs become zeros on expansion.
+ *
+ * Per Section 3.3 the hardware implements the checks on the raw lane
+ * bits: "equal to zero" is an OR-reduction of all bits, "less than or
+ * equal" additionally examines the sign bit. We model exactly that, so
+ * a floating-point -0.0 (sign bit set, magnitude zero) is dropped by
+ * LTEZ but kept by EQZ, and integers use two's-complement sign.
+ */
+
+#ifndef ZCOMP_ISA_CCF_HH
+#define ZCOMP_ISA_CCF_HH
+
+#include <cstdint>
+
+#include "isa/dtype.hh"
+
+namespace zcomp {
+
+enum class Ccf : uint8_t
+{
+    EQZ = 0,    //!< compress away lanes equal to zero
+    LTEZ = 1,   //!< compress away lanes <= 0 (fused ReLU)
+};
+
+constexpr const char *
+ccfName(Ccf c)
+{
+    return c == Ccf::EQZ ? "eqz" : "ltez";
+}
+
+/**
+ * Decide whether a lane survives compression.
+ *
+ * @param raw   lane bits, right-aligned in a uint64_t
+ * @param t     element type (determines the sign bit position)
+ * @param ccf   comparison condition
+ * @return      true if the lane is kept (header bit = 1)
+ */
+constexpr bool
+laneKept(uint64_t raw, ElemType t, Ccf ccf)
+{
+    const int sign_bit = elemBytes(t) * 8 - 1;
+    const bool is_zero = raw == 0;
+    if (ccf == Ccf::EQZ)
+        return !is_zero;
+    const bool is_neg = ((raw >> sign_bit) & 1) != 0;
+    return !is_zero && !is_neg;
+}
+
+} // namespace zcomp
+
+#endif // ZCOMP_ISA_CCF_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Element data types supported by the ZCOMP instruction family.
+ *
+ * As is common in x86, each ZCOMP instruction has variants for multiple
+ * element precisions (Section 3). The header carries one bit per vector
+ * lane, so the header size is a function of the element width:
+ *   fp64 ->  8 lanes -> 1-byte header
+ *   fp32 -> 16 lanes -> 2-byte header
+ *   fp16 -> 32 lanes -> 4-byte header
+ *   int8 -> 64 lanes -> 8-byte header
+ */
+
+#ifndef ZCOMP_ISA_DTYPE_HH
+#define ZCOMP_ISA_DTYPE_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+enum class ElemType : uint8_t
+{
+    F32 = 0,
+    F16 = 1,
+    I8 = 2,
+    I32 = 3,
+    F64 = 4,
+};
+
+constexpr int numElemTypes = 5;
+
+/** Bytes per element. */
+constexpr int
+elemBytes(ElemType t)
+{
+    switch (t) {
+      case ElemType::F32:
+      case ElemType::I32:
+        return 4;
+      case ElemType::F16:
+        return 2;
+      case ElemType::I8:
+        return 1;
+      case ElemType::F64:
+        return 8;
+    }
+    return 4;
+}
+
+/** Lanes in a 512-bit vector. */
+constexpr int
+lanesPerVec(ElemType t)
+{
+    return 64 / elemBytes(t);
+}
+
+/** Header bytes: one bit per lane. */
+constexpr int
+headerBytes(ElemType t)
+{
+    return lanesPerVec(t) / 8;
+}
+
+/** Short mnemonic suffix (ps, ph, b, d, pd). */
+constexpr const char *
+elemSuffix(ElemType t)
+{
+    switch (t) {
+      case ElemType::F32:
+        return "ps";
+      case ElemType::F16:
+        return "ph";
+      case ElemType::I8:
+        return "b";
+      case ElemType::I32:
+        return "d";
+      case ElemType::F64:
+        return "pd";
+    }
+    return "?";
+}
+
+} // namespace zcomp
+
+#endif // ZCOMP_ISA_DTYPE_HH

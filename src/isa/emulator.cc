@@ -1,0 +1,112 @@
+#include "isa/emulator.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace zcomp {
+
+ZcompEmulator::ZcompEmulator(uint8_t *mem, size_t size, Addr base)
+    : mem_(mem), size_(size), base_(base)
+{
+    for (auto &v : vregs_)
+        v = Vec512::zero();
+}
+
+Vec512 &
+ZcompEmulator::vreg(int i)
+{
+    panic_if(i < 0 || i > 31, "bad vector register %d", i);
+    return vregs_[i];
+}
+
+uint64_t &
+ZcompEmulator::reg(int i)
+{
+    panic_if(i < 0 || i > 31, "bad scalar register %d", i);
+    return regs_[i];
+}
+
+uint8_t *
+ZcompEmulator::translate(Addr a, size_t bytes)
+{
+    fatal_if(a < base_ || a + bytes > base_ + size_,
+             "emulated access [0x%llx, +%zu) outside the memory window",
+             (unsigned long long)a, bytes);
+    return mem_ + (a - base_);
+}
+
+ZcompResult
+ZcompEmulator::exec(const ZcompInstr &instr)
+{
+    ZcompResult r;
+    uint64_t &data_ptr = regs_[instr.dataPtrReg];
+    const int hb = headerBytes(instr.etype);
+
+    if (instr.isStore) {
+        const Vec512 &src = vregs_[instr.vreg];
+        if (instr.sepHeader) {
+            uint64_t &hdr_ptr = regs_[instr.hdrPtrReg];
+            // Reserve worst case before translation checks.
+            uint8_t *dst = translate(data_ptr, 64);
+            uint8_t *hdr = translate(hdr_ptr, static_cast<size_t>(hb));
+            r = zcompsSeparate(src, instr.etype, instr.ccf, dst, hdr);
+            data_ptr += static_cast<uint64_t>(r.dataBytes);
+            hdr_ptr += static_cast<uint64_t>(hb);
+        } else {
+            uint8_t *dst = translate(
+                data_ptr,
+                static_cast<size_t>(maxCompressedBytes(instr.etype)));
+            r = zcompsInterleaved(src, instr.etype, instr.ccf, dst);
+            data_ptr += static_cast<uint64_t>(r.totalBytes);
+        }
+    } else {
+        Vec512 &dst = vregs_[instr.vreg];
+        if (instr.sepHeader) {
+            uint64_t &hdr_ptr = regs_[instr.hdrPtrReg];
+            const uint8_t *hdr =
+                translate(hdr_ptr, static_cast<size_t>(hb));
+            // Peek the header to know how much payload to map.
+            uint64_t header = 0;
+            std::memcpy(&header, hdr, static_cast<size_t>(hb));
+            int payload = popcount64(header) * elemBytes(instr.etype);
+            const uint8_t *src =
+                translate(data_ptr, static_cast<size_t>(payload));
+            r = zcomplSeparate(src, hdr, instr.etype, dst);
+            data_ptr += static_cast<uint64_t>(r.dataBytes);
+            hdr_ptr += static_cast<uint64_t>(hb);
+        } else {
+            const uint8_t *hdr_probe =
+                translate(data_ptr, static_cast<size_t>(hb));
+            uint64_t header = 0;
+            std::memcpy(&header, hdr_probe, static_cast<size_t>(hb));
+            int total = hb + popcount64(header) * elemBytes(instr.etype);
+            const uint8_t *src =
+                translate(data_ptr, static_cast<size_t>(total));
+            r = zcomplInterleaved(src, instr.etype, dst);
+            data_ptr += static_cast<uint64_t>(r.totalBytes);
+        }
+    }
+    retired_++;
+    return r;
+}
+
+ZcompResult
+ZcompEmulator::exec(uint32_t word)
+{
+    auto instr = decode(word);
+    fatal_if(!instr.has_value(), "illegal instruction word 0x%08x",
+             word);
+    return exec(*instr);
+}
+
+ZcompResult
+ZcompEmulator::exec(const std::string &line)
+{
+    auto instr = assemble(line);
+    fatal_if(!instr.has_value(), "syntax error: '%s'", line.c_str());
+    return exec(*instr);
+}
+
+} // namespace zcomp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ZcompEmulator - an architectural-state emulator for the ZCOMP
+ * instruction family.
+ *
+ * It holds 32 vector registers and 32 scalar registers and executes
+ * decoded ZcompInstr values (or raw 32-bit words, or assembly text)
+ * against a byte-addressable memory window, implementing the full
+ * instruction semantics of Section 3: CCF comparison, header
+ * generation/consumption, lane packing/expansion, and the automatic
+ * pointer increments of reg2 (and reg3 for separate-header variants).
+ *
+ * This is the reference executable model that the encoding, assembler
+ * and functional-semantics layers are integration-tested against.
+ */
+
+#ifndef ZCOMP_ISA_EMULATOR_HH
+#define ZCOMP_ISA_EMULATOR_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+#include "isa/assembler.hh"
+#include "isa/zcomp_isa.hh"
+
+namespace zcomp {
+
+class ZcompEmulator
+{
+  public:
+    /**
+     * @param mem  host backing store for the emulated memory window
+     * @param size window size in bytes
+     * @param base emulated address of mem[0]
+     */
+    ZcompEmulator(uint8_t *mem, size_t size, Addr base);
+
+    Vec512 &vreg(int i);
+    uint64_t &reg(int i);
+
+    /** Execute one decoded instruction; returns its ZcompResult. */
+    ZcompResult exec(const ZcompInstr &instr);
+
+    /** Decode and execute a 32-bit instruction word. */
+    ZcompResult exec(uint32_t word);
+
+    /** Assemble and execute one line of assembly. */
+    ZcompResult exec(const std::string &line);
+
+    /** Instructions retired so far. */
+    uint64_t retired() const { return retired_; }
+
+  private:
+    uint8_t *translate(Addr a, size_t bytes);
+
+    uint8_t *mem_;
+    size_t size_;
+    Addr base_;
+    Vec512 vregs_[32];
+    uint64_t regs_[32] = {};
+    uint64_t retired_ = 0;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_ISA_EMULATOR_HH

@@ -1,0 +1,67 @@
+#include "isa/encoding.hh"
+
+#include "common/bitops.hh"
+
+namespace zcomp {
+
+std::optional<uint32_t>
+encode(const ZcompInstr &instr)
+{
+    if (instr.vreg < 0 || instr.vreg > 31)
+        return std::nullopt;
+    if (instr.dataPtrReg < 0 || instr.dataPtrReg > 31)
+        return std::nullopt;
+    if (instr.hdrPtrReg < 0 || instr.hdrPtrReg > 31)
+        return std::nullopt;
+    if (!instr.sepHeader && instr.hdrPtrReg != 0)
+        return std::nullopt;
+    if (!instr.isStore && instr.ccf != Ccf::EQZ) {
+        // zcompl carries no CCF; require the canonical zero encoding.
+        return std::nullopt;
+    }
+    if (static_cast<int>(instr.etype) >= numElemTypes)
+        return std::nullopt;
+
+    uint64_t w = 0;
+    w = insertBits(w, 31, 26, instr.isStore ? opcodeZcomps : opcodeZcompl);
+    w = insertBits(w, 25, 25, instr.sepHeader ? 1 : 0);
+    w = insertBits(w, 24, 22, static_cast<uint64_t>(instr.etype));
+    w = insertBits(w, 21, 20, static_cast<uint64_t>(instr.ccf));
+    w = insertBits(w, 19, 15, static_cast<uint64_t>(instr.vreg));
+    w = insertBits(w, 14, 10, static_cast<uint64_t>(instr.dataPtrReg));
+    w = insertBits(w, 9, 5, static_cast<uint64_t>(instr.hdrPtrReg));
+    return static_cast<uint32_t>(w);
+}
+
+std::optional<ZcompInstr>
+decode(uint32_t word)
+{
+    uint64_t w = word;
+    uint64_t opcode = bits(w, 31, 26);
+    if (opcode != opcodeZcomps && opcode != opcodeZcompl)
+        return std::nullopt;
+    if (bits(w, 4, 0) != 0)
+        return std::nullopt;
+
+    ZcompInstr instr;
+    instr.isStore = opcode == opcodeZcomps;
+    instr.sepHeader = bits(w, 25, 25) != 0;
+    uint64_t et = bits(w, 24, 22);
+    if (et >= static_cast<uint64_t>(numElemTypes))
+        return std::nullopt;
+    instr.etype = static_cast<ElemType>(et);
+    uint64_t ccf = bits(w, 21, 20);
+    if (ccf > static_cast<uint64_t>(Ccf::LTEZ))
+        return std::nullopt;
+    instr.ccf = static_cast<Ccf>(ccf);
+    if (!instr.isStore && instr.ccf != Ccf::EQZ)
+        return std::nullopt;
+    instr.vreg = static_cast<int>(bits(w, 19, 15));
+    instr.dataPtrReg = static_cast<int>(bits(w, 14, 10));
+    instr.hdrPtrReg = static_cast<int>(bits(w, 9, 5));
+    if (!instr.sepHeader && instr.hdrPtrReg != 0)
+        return std::nullopt;
+    return instr;
+}
+
+} // namespace zcomp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Binary instruction encoding for the ZCOMP family.
+ *
+ * The paper defines ZCOMP as an x86-AVX512-style extension but does not
+ * fix a binary format; we define a concrete 32-bit instruction word so
+ * that toolchain-facing pieces (assembler, disassembler, decoder tests)
+ * are implementable:
+ *
+ *   [31:26] opcode      0x35 = zcomps, 0x36 = zcompl
+ *   [25]    sep header  0 = interleaved, 1 = separate
+ *   [24:22] elem type   ElemType enum value
+ *   [21:20] ccf         Ccf enum value (zcomps only, else 0)
+ *   [19:15] vreg        vector register zmm0..zmm31 (reg1)
+ *   [14:10] data ptr    scalar register r0..r31 (reg2)
+ *   [9:5]   hdr ptr     scalar register r0..r31 (reg3, separate only)
+ *   [4:0]   reserved    must be zero
+ */
+
+#ifndef ZCOMP_ISA_ENCODING_HH
+#define ZCOMP_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/ccf.hh"
+#include "isa/dtype.hh"
+
+namespace zcomp {
+
+constexpr uint32_t opcodeZcomps = 0x35;
+constexpr uint32_t opcodeZcompl = 0x36;
+
+/** Decoded form of one ZCOMP instruction. */
+struct ZcompInstr
+{
+    bool isStore = true;        //!< zcomps (true) vs zcompl (false)
+    bool sepHeader = false;     //!< separate-header variant
+    ElemType etype = ElemType::F32;
+    Ccf ccf = Ccf::EQZ;         //!< only meaningful for zcomps
+    int vreg = 0;               //!< reg1: vector source/destination
+    int dataPtrReg = 0;         //!< reg2: compressed data pointer
+    int hdrPtrReg = 0;          //!< reg3: header pointer (separate only)
+
+    bool operator==(const ZcompInstr &) const = default;
+};
+
+/**
+ * Encode an instruction to its 32-bit word.
+ * @return std::nullopt if any field is out of range or inconsistent
+ *         (e.g. a header register on an interleaved variant).
+ */
+std::optional<uint32_t> encode(const ZcompInstr &instr);
+
+/**
+ * Decode a 32-bit word.
+ * @return std::nullopt if the word is not a valid ZCOMP instruction
+ *         (wrong opcode, reserved bits set, invalid element type).
+ */
+std::optional<ZcompInstr> decode(uint32_t word);
+
+} // namespace zcomp
+
+#endif // ZCOMP_ISA_ENCODING_HH

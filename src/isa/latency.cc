@@ -1,0 +1,77 @@
+#include "isa/latency.hh"
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+namespace {
+
+// {uops, latency, reciprocal throughput}
+const InstrCost costTable[] = {
+    /* VecLoad */          {1, 4, 0.5},
+    /* VecStore */         {1, 1, 1.0},
+    /* VecCmpMask */       {1, 3, 1.0},
+    /* VecMax */           {1, 4, 0.5},
+    /* VecAdd */           {1, 4, 0.5},
+    /* VecMul */           {1, 4, 0.5},
+    /* VecFma */           {1, 4, 0.5},
+    /* Popcnt */           {1, 3, 1.0},
+    /* KMov */             {1, 2, 1.0},
+    /* ScalarAlu */        {1, 1, 0.25},
+    /* ScalarLoad */       {1, 4, 0.5},
+    /* ScalarStore */      {1, 1, 1.0},
+    /* VecCompressStore */ {4, 6, 2.0},
+    /* VecExpandLoad */    {3, 6, 2.0},
+    // Single fused-domain issue slot each: the 2-cycle logic stage
+    // runs in the dedicated ZCOMP pipeline (Section 3.3), modeled
+    // separately as a 1-instr/cycle port in the core model.
+    /* ZcompS */           {1, 2, 1.0},
+    /* ZcompL */           {1, 2, 1.0},
+    /* LoopOverhead */     {2, 1, 1.0},
+};
+
+const char *classNames[] = {
+    "vload",  "vstore", "vcmp",     "vmax",    "vadd",      "vmul",
+    "vfma",   "popcnt", "kmov",     "alu",     "load",      "store",
+    "vcompress", "vexpand", "zcomps", "zcompl", "loop",
+};
+
+} // namespace
+
+const InstrCost &
+instrCost(InstrClass c)
+{
+    auto idx = static_cast<size_t>(c);
+    panic_if(idx >= sizeof(costTable) / sizeof(costTable[0]),
+             "bad instruction class %zu", idx);
+    return costTable[idx];
+}
+
+const char *
+instrClassName(InstrClass c)
+{
+    auto idx = static_cast<size_t>(c);
+    panic_if(idx >= sizeof(classNames) / sizeof(classNames[0]),
+             "bad instruction class %zu", idx);
+    return classNames[idx];
+}
+
+int
+KernelBody::totalInstrs() const
+{
+    int n = 0;
+    for (const auto &[c, count] : instrs)
+        n += count;
+    return n;
+}
+
+int
+KernelBody::totalUops() const
+{
+    int n = 0;
+    for (const auto &[c, count] : instrs)
+        n += instrCost(c).uops * count;
+    return n;
+}
+
+} // namespace zcomp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-instruction-class uop counts, latencies, and throughputs.
+ *
+ * Values follow the style of Agner Fog's Skylake-X tables [23] for the
+ * AVX512 subset, and Section 3.3 for the ZCOMP instructions (logic
+ * component: 2-cycle latency, 1 instruction/cycle throughput; the
+ * memory component is charged separately by the memory hierarchy).
+ */
+
+#ifndef ZCOMP_ISA_LATENCY_HH
+#define ZCOMP_ISA_LATENCY_HH
+
+#include <string>
+#include <vector>
+
+namespace zcomp {
+
+enum class InstrClass
+{
+    VecLoad,            //!< vmovups zmm, [mem]
+    VecStore,           //!< vmovups [mem], zmm
+    VecCmpMask,         //!< vcmpps k, zmm, zmm
+    VecMax,             //!< vmaxps
+    VecAdd,             //!< vaddps
+    VecMul,             //!< vmulps
+    VecFma,             //!< vfmadd231ps
+    Popcnt,             //!< popcnt r32
+    KMov,               //!< kmovw r32, k
+    ScalarAlu,          //!< add/lea/shift on GPRs
+    ScalarLoad,         //!< mov r, [mem]
+    ScalarStore,        //!< mov [mem], r
+    VecCompressStore,   //!< vcompressps [mem]{k}, zmm
+    VecExpandLoad,      //!< vexpandps zmm{k}{z}, [mem]
+    ZcompS,             //!< proposed zcomps (logic + store uop)
+    ZcompL,             //!< proposed zcompl (load uop + logic)
+    LoopOverhead,       //!< index increment + fused cmp/branch
+};
+
+/** Static cost of one instruction of a class. */
+struct InstrCost
+{
+    int uops;           //!< fused-domain uops issued
+    int latency;        //!< result latency in cycles (logic only)
+    double throughput;  //!< reciprocal throughput (cycles/instr)
+};
+
+/** Look up the default cost table entry for a class. */
+const InstrCost &instrCost(InstrClass c);
+
+/** Human-readable class name. */
+const char *instrClassName(InstrClass c);
+
+/**
+ * A static loop body description: the instruction mix one iteration of
+ * a kernel executes, plus its architectural register footprint. Used
+ * by the core timing model for issue-cost accounting and by the
+ * Section 4.4 instruction-overhead comparison.
+ */
+struct KernelBody
+{
+    std::string name;
+    std::vector<std::pair<InstrClass, int>> instrs;
+    int vecRegs = 0;
+    int maskRegs = 0;
+    int scalarRegs = 0;
+
+    /** Static instructions per iteration. */
+    int totalInstrs() const;
+
+    /** Fused-domain uops per iteration. */
+    int totalUops() const;
+
+    /** Total architectural registers used. */
+    int totalRegs() const { return vecRegs + maskRegs + scalarRegs; }
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_ISA_LATENCY_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Vec512 - the 512-bit SIMD register value type used by the functional
+ * models of both the AVX512 subset and the ZCOMP instruction family.
+ */
+
+#ifndef ZCOMP_ISA_VEC_HH
+#define ZCOMP_ISA_VEC_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace zcomp {
+
+/** 512-bit vector register value (64 bytes). */
+struct Vec512
+{
+    alignas(64) uint8_t bytes[64];
+
+    /** All-zero vector. */
+    static Vec512
+    zero()
+    {
+        Vec512 v;
+        std::memset(v.bytes, 0, sizeof(v.bytes));
+        return v;
+    }
+
+    /** Load 64 bytes from host memory (unaligned OK). */
+    static Vec512
+    load(const void *src)
+    {
+        Vec512 v;
+        std::memcpy(v.bytes, src, sizeof(v.bytes));
+        return v;
+    }
+
+    /** Store 64 bytes to host memory (unaligned OK). */
+    void
+    store(void *dst) const
+    {
+        std::memcpy(dst, bytes, sizeof(bytes));
+    }
+
+    /** Typed lane read; T must be a trivially-copyable lane type. */
+    template <typename T>
+    T
+    lane(int i) const
+    {
+        T v;
+        std::memcpy(&v, bytes + static_cast<size_t>(i) * sizeof(T),
+                    sizeof(T));
+        return v;
+    }
+
+    /** Typed lane write. */
+    template <typename T>
+    void
+    setLane(int i, T v)
+    {
+        std::memcpy(bytes + static_cast<size_t>(i) * sizeof(T), &v,
+                    sizeof(T));
+    }
+
+    bool
+    operator==(const Vec512 &o) const
+    {
+        return std::memcmp(bytes, o.bytes, sizeof(bytes)) == 0;
+    }
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_ISA_VEC_HH

@@ -1,0 +1,138 @@
+#include "isa/zcomp_isa.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+
+namespace zcomp {
+
+uint64_t
+laneRaw(const Vec512 &v, ElemType t, int i)
+{
+    const int eb = elemBytes(t);
+    uint64_t raw = 0;
+    std::memcpy(&raw, v.bytes + static_cast<size_t>(i) * eb,
+                static_cast<size_t>(eb));
+    return raw;
+}
+
+uint64_t
+computeHeader(const Vec512 &v, ElemType t, Ccf ccf)
+{
+    const int lanes = lanesPerVec(t);
+    uint64_t header = 0;
+    for (int i = 0; i < lanes; i++) {
+        if (laneKept(laneRaw(v, t, i), t, ccf))
+            header |= 1ULL << i;
+    }
+    return header;
+}
+
+namespace {
+
+/** Pack surviving lanes of src densely into dst; returns payload bytes. */
+int
+packLanes(const Vec512 &src, ElemType t, uint64_t header, uint8_t *dst)
+{
+    const int eb = elemBytes(t);
+    const int lanes = lanesPerVec(t);
+    int out = 0;
+    for (int i = 0; i < lanes; i++) {
+        if ((header >> i) & 1) {
+            std::memcpy(dst + static_cast<size_t>(out) * eb,
+                        src.bytes + static_cast<size_t>(i) * eb,
+                        static_cast<size_t>(eb));
+            out++;
+        }
+    }
+    return out * eb;
+}
+
+/** Scatter packed payload back to lanes selected by header. */
+void
+unpackLanes(const uint8_t *payload, ElemType t, uint64_t header,
+            Vec512 &out)
+{
+    const int eb = elemBytes(t);
+    const int lanes = lanesPerVec(t);
+    out = Vec512::zero();
+    int in = 0;
+    for (int i = 0; i < lanes; i++) {
+        if ((header >> i) & 1) {
+            std::memcpy(out.bytes + static_cast<size_t>(i) * eb,
+                        payload + static_cast<size_t>(in) * eb,
+                        static_cast<size_t>(eb));
+            in++;
+        }
+    }
+}
+
+/** Read headerBytes(t) little-endian header bits from src. */
+uint64_t
+readHeader(const uint8_t *src, ElemType t)
+{
+    uint64_t header = 0;
+    std::memcpy(&header, src, static_cast<size_t>(headerBytes(t)));
+    return header;
+}
+
+/** Write headerBytes(t) little-endian header bits to dst. */
+void
+writeHeader(uint8_t *dst, ElemType t, uint64_t header)
+{
+    std::memcpy(dst, &header, static_cast<size_t>(headerBytes(t)));
+}
+
+} // namespace
+
+ZcompResult
+zcompsInterleaved(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst)
+{
+    ZcompResult r;
+    r.header = computeHeader(src, t, ccf);
+    r.nnz = popcount64(r.header);
+    writeHeader(dst, t, r.header);
+    r.dataBytes = packLanes(src, t, r.header, dst + headerBytes(t));
+    r.totalBytes = r.dataBytes + headerBytes(t);
+    return r;
+}
+
+ZcompResult
+zcompsSeparate(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst,
+               uint8_t *hdr)
+{
+    ZcompResult r;
+    r.header = computeHeader(src, t, ccf);
+    r.nnz = popcount64(r.header);
+    writeHeader(hdr, t, r.header);
+    r.dataBytes = packLanes(src, t, r.header, dst);
+    r.totalBytes = r.dataBytes;
+    return r;
+}
+
+ZcompResult
+zcomplInterleaved(const uint8_t *src, ElemType t, Vec512 &out)
+{
+    ZcompResult r;
+    r.header = readHeader(src, t);
+    r.nnz = popcount64(r.header);
+    r.dataBytes = r.nnz * elemBytes(t);
+    r.totalBytes = r.dataBytes + headerBytes(t);
+    unpackLanes(src + headerBytes(t), t, r.header, out);
+    return r;
+}
+
+ZcompResult
+zcomplSeparate(const uint8_t *src, const uint8_t *hdr, ElemType t,
+               Vec512 &out)
+{
+    ZcompResult r;
+    r.header = readHeader(hdr, t);
+    r.nnz = popcount64(r.header);
+    r.dataBytes = r.nnz * elemBytes(t);
+    r.totalBytes = r.dataBytes;
+    unpackLanes(src, t, r.header, out);
+    return r;
+}
+
+} // namespace zcomp

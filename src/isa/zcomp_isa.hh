@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional semantics of the ZCOMP instruction family (Section 3).
+ *
+ * zcomps ("compress-store") compares every lane of a vector register
+ * against the CCF, forms a 1-bit-per-lane header (bit = 1 for lanes
+ * that are kept), and writes the header and the surviving lanes,
+ * densely packed, to memory. zcompl ("load-expand") reads the header,
+ * popcounts it to learn how many compressed elements follow, and
+ * scatters them back to their lanes, filling dropped lanes with zero.
+ *
+ * Two variants exist:
+ *  - interleaved header: header immediately precedes the compressed
+ *    elements in the data stream; a single pointer walks both.
+ *  - separate header: header bytes go to a decoupled header store with
+ *    its own pointer (Section 3.2).
+ *
+ * Both variants auto-increment their pointer operand(s) by the number
+ * of bytes produced/consumed, which is what makes iterative loop usage
+ * metadata-free for software.
+ *
+ * These routines are the pure value transformations; pointer
+ * auto-increment, memory timing, and uop accounting live in the zcomp
+ * library and the simulator layers.
+ */
+
+#ifndef ZCOMP_ISA_ZCOMP_ISA_HH
+#define ZCOMP_ISA_ZCOMP_ISA_HH
+
+#include <cstdint>
+
+#include "isa/ccf.hh"
+#include "isa/dtype.hh"
+#include "isa/vec.hh"
+
+namespace zcomp {
+
+/** Result of one compress or expand step. */
+struct ZcompResult
+{
+    uint64_t header = 0;    //!< lane-kept bitmap (bit i = lane i kept)
+    int nnz = 0;            //!< number of surviving lanes
+    int dataBytes = 0;      //!< bytes of compressed element payload
+    int totalBytes = 0;     //!< payload plus header when interleaved
+};
+
+/** Worst-case bytes one compressed vector can occupy (incompressible). */
+constexpr int
+maxCompressedBytes(ElemType t)
+{
+    return 64 + headerBytes(t);
+}
+
+/** Read lane i of v as raw right-aligned bits. */
+uint64_t laneRaw(const Vec512 &v, ElemType t, int i);
+
+/** Compute the lane-kept header for a vector under the given CCF. */
+uint64_t computeHeader(const Vec512 &v, ElemType t, Ccf ccf);
+
+/**
+ * Functional zcomps, interleaved header.
+ *
+ * Writes headerBytes(t) of header followed by the surviving lanes at
+ * dst. dst must have room for maxCompressedBytes(t).
+ */
+ZcompResult zcompsInterleaved(const Vec512 &src, ElemType t, Ccf ccf,
+                              uint8_t *dst);
+
+/**
+ * Functional zcomps, separate header.
+ *
+ * Writes the surviving lanes at dst and the header at hdr. totalBytes
+ * of the result equals dataBytes (the header store advances
+ * independently by headerBytes(t)).
+ */
+ZcompResult zcompsSeparate(const Vec512 &src, ElemType t, Ccf ccf,
+                           uint8_t *dst, uint8_t *hdr);
+
+/**
+ * Functional zcompl, interleaved header. Reads header + payload from
+ * src and expands into out (dropped lanes become zero).
+ */
+ZcompResult zcomplInterleaved(const uint8_t *src, ElemType t, Vec512 &out);
+
+/** Functional zcompl, separate header. */
+ZcompResult zcomplSeparate(const uint8_t *src, const uint8_t *hdr,
+                           ElemType t, Vec512 &out);
+
+} // namespace zcomp
+
+#endif // ZCOMP_ISA_ZCOMP_ISA_HH

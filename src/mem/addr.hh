@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Address arithmetic helpers for the 64-byte-line memory hierarchy.
+ */
+
+#ifndef ZCOMP_MEM_ADDR_HH
+#define ZCOMP_MEM_ADDR_HH
+
+#include "common/bitops.hh"
+#include "common/units.hh"
+
+namespace zcomp {
+
+/** Align an address down to its cache line. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return alignDown(a, lineBytes);
+}
+
+/** Offset of an address within its cache line. */
+constexpr uint64_t
+lineOffset(Addr a)
+{
+    return a & (lineBytes - 1);
+}
+
+/** Number of cache lines an access [addr, addr+size) touches. */
+constexpr uint64_t
+linesTouched(Addr addr, uint64_t size)
+{
+    if (size == 0)
+        return 0;
+    return (lineAddr(addr + size - 1) - lineAddr(addr)) / lineBytes + 1;
+}
+
+} // namespace zcomp
+
+#endif // ZCOMP_MEM_ADDR_HH

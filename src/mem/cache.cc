@@ -1,0 +1,206 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+Cache::Cache(std::string name, const CacheConfig &cfg, bool directory)
+    : name_(std::move(name)), assoc_(cfg.assoc), directory_(directory),
+      hashIndex_(cfg.hashIndex)
+{
+    uint64_t num_lines = cfg.size / lineBytes;
+    fatal_if(num_lines % cfg.assoc != 0,
+             "cache %s: %llu lines not divisible by associativity %d",
+             name_.c_str(), (unsigned long long)num_lines, cfg.assoc);
+    numSets_ = static_cast<int>(num_lines / cfg.assoc);
+    lines_.resize(num_lines);
+    repl_ = ReplacementPolicy::create(cfg.repl, numSets_, assoc_);
+}
+
+int
+Cache::setIndex(Addr line) const
+{
+    uint64_t ln = line / lineBytes;
+    if (hashIndex_) {
+        // Strong multiplicative mix (Intel-LLC style complex set
+        // hashing): parallel streams at power-of-two strides spread
+        // uniformly over all sets instead of aliasing, and each
+        // stream's lines equidistribute across the whole index space.
+        ln *= 0x9E3779B97F4A7C15ULL;
+        ln ^= ln >> 29;
+        ln *= 0xBF58476D1CE4E5B9ULL;
+        ln ^= ln >> 32;
+    }
+    return static_cast<int>(ln % static_cast<uint64_t>(numSets_));
+}
+
+int
+Cache::findWay(int set, Addr line) const
+{
+    size_t base = static_cast<size_t>(set) * assoc_;
+    for (int w = 0; w < assoc_; w++) {
+        const Line &l = lines_[base + w];
+        if (l.valid && l.tag == line)
+            return w;
+    }
+    return -1;
+}
+
+bool
+Cache::access(Addr line, bool is_write)
+{
+    int set = setIndex(line);
+    int way = findWay(set, line);
+    if (way < 0) {
+        misses++;
+        return false;
+    }
+    hits++;
+    Line &l = lines_[static_cast<size_t>(set) * assoc_ + way];
+    if (l.prefetched) {
+        prefetchUseful++;
+        l.prefetched = false;
+    }
+    if (is_write)
+        l.dirty = true;
+    repl_->onHit(set, way);
+    return true;
+}
+
+bool
+Cache::contains(Addr line) const
+{
+    return findWay(setIndex(line), line) >= 0;
+}
+
+double
+Cache::readyWait(Addr line, double now) const
+{
+    int set = setIndex(line);
+    int way = findWay(set, line);
+    if (way < 0)
+        return 0.0;
+    double ready =
+        lines_[static_cast<size_t>(set) * assoc_ + way].readyAt;
+    return ready > now ? ready - now : 0.0;
+}
+
+CacheVictim
+Cache::insert(Addr line, bool dirty, bool is_prefetch, double ready_at)
+{
+    int set = setIndex(line);
+    size_t base = static_cast<size_t>(set) * assoc_;
+
+    // Refresh in place if the line is already resident (e.g. a demand
+    // fill racing a prefetch fill).
+    int way = findWay(set, line);
+    CacheVictim victim;
+    if (way < 0) {
+        // Prefer an invalid way.
+        for (int w = 0; w < assoc_; w++) {
+            if (!lines_[base + w].valid) {
+                way = w;
+                break;
+            }
+        }
+        if (way < 0) {
+            way = repl_->victim(set);
+            Line &v = lines_[base + way];
+            victim.valid = true;
+            victim.dirty = v.dirty;
+            victim.wasPrefetch = v.prefetched;
+            victim.addr = v.tag;
+            victim.presence = v.presence;
+            evictions++;
+            if (v.dirty)
+                writebacks++;
+            if (v.prefetched)
+                prefetchUnused++;
+        }
+        Line &l = lines_[base + way];
+        l.tag = line;
+        l.valid = true;
+        l.dirty = dirty;
+        l.prefetched = is_prefetch;
+        l.presence = 0;
+        l.readyAt = ready_at;
+        repl_->onInsert(set, way);
+        if (is_prefetch)
+            prefetchFills++;
+    } else {
+        Line &l = lines_[base + way];
+        l.dirty = l.dirty || dirty;
+        if (!is_prefetch && l.prefetched) {
+            prefetchUseful++;
+            l.prefetched = false;
+        }
+    }
+    return victim;
+}
+
+bool
+Cache::invalidate(Addr line)
+{
+    int set = setIndex(line);
+    int way = findWay(set, line);
+    if (way < 0)
+        return false;
+    Line &l = lines_[static_cast<size_t>(set) * assoc_ + way];
+    bool was_dirty = l.dirty;
+    if (l.prefetched)
+        prefetchUnused++;
+    l.valid = false;
+    l.dirty = false;
+    l.prefetched = false;
+    l.presence = 0;
+    invalidations++;
+    return was_dirty;
+}
+
+void
+Cache::markPresence(Addr line, int core)
+{
+    panic_if(!directory_, "cache %s has no directory", name_.c_str());
+    int set = setIndex(line);
+    int way = findWay(set, line);
+    if (way >= 0) {
+        lines_[static_cast<size_t>(set) * assoc_ + way].presence |=
+            static_cast<uint16_t>(1U << core);
+    }
+}
+
+uint16_t
+Cache::presence(Addr line) const
+{
+    int set = setIndex(line);
+    int way = findWay(set, line);
+    return way < 0 ? 0
+                   : lines_[static_cast<size_t>(set) * assoc_ + way]
+                         .presence;
+}
+
+uint64_t
+Cache::validLines() const
+{
+    uint64_t n = 0;
+    for (const Line &l : lines_) {
+        if (l.valid)
+            n++;
+    }
+    return n;
+}
+
+bool
+Cache::consumePrefetchFlag(Addr line)
+{
+    int set = setIndex(line);
+    int way = findWay(set, line);
+    if (way < 0)
+        return false;
+    Line &l = lines_[static_cast<size_t>(set) * assoc_ + way];
+    bool was = l.prefetched;
+    l.prefetched = false;
+    return was;
+}
+
+} // namespace zcomp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A set-associative, write-back, write-allocate cache model with
+ * pluggable replacement (LRU/SRRIP), prefetch-fill tracking, and an
+ * optional per-line presence directory (used by the inclusive shared
+ * L3 to back-invalidate private caches).
+ *
+ * The cache stores only tags and state - data always lives in host
+ * memory; the timing and traffic consequences of hits, fills,
+ * writebacks and invalidations are handled by MemoryHierarchy.
+ */
+
+#ifndef ZCOMP_MEM_CACHE_HH
+#define ZCOMP_MEM_CACHE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/addr.hh"
+#include "mem/replacement.hh"
+
+namespace zcomp {
+
+/** Outcome of a cache lookup-with-fill. */
+struct CacheVictim
+{
+    bool valid = false;     //!< a line was evicted
+    bool dirty = false;     //!< ... and it was dirty (writeback needed)
+    bool wasPrefetch = false; //!< ... and it was a never-used prefetch
+    Addr addr = 0;          //!< line address of the evicted line
+    uint16_t presence = 0;  //!< directory bits of the evicted line
+};
+
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheConfig &cfg, bool directory);
+
+    /**
+     * Look up a line. On a hit, updates replacement state and marks
+     * dirty for writes. @return true on hit.
+     */
+    bool access(Addr line, bool is_write);
+
+    /** True if the line is resident (no state update). */
+    bool contains(Addr line) const;
+
+    /**
+     * Insert a line (demand fill or prefetch fill), evicting a victim
+     * if the set is full. The returned victim describes any line that
+     * was displaced.
+     *
+     * @param ready_at cycle at which the fill data actually arrives;
+     *        a demand access before then pays the residual latency
+     *        (used to model in-flight prefetches, so a saturated DRAM
+     *        makes prefetched lines late rather than free).
+     */
+    CacheVictim insert(Addr line, bool dirty, bool is_prefetch,
+                       double ready_at = 0.0);
+
+    /** Residual wait until a resident line's fill data arrives. */
+    double readyWait(Addr line, double now) const;
+
+    /**
+     * Invalidate a line if present. @return true if it was dirty
+     * (the caller is responsible for the writeback).
+     */
+    bool invalidate(Addr line);
+
+    /** Set a presence bit (directory caches only). */
+    void markPresence(Addr line, int core);
+
+    /** Presence bits for a resident line (0 if absent). */
+    uint16_t presence(Addr line) const;
+
+    /** First-use bookkeeping for prefetch accuracy accounting. */
+    bool consumePrefetchFlag(Addr line);
+
+    int numSets() const { return numSets_; }
+    int assoc() const { return assoc_; }
+    const std::string &name() const { return name_; }
+
+    /** Currently valid lines (occupancy probe for tests/benches). */
+    uint64_t validLines() const;
+
+    // Event counters, aggregated externally into the hierarchy report.
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;        //!< dirty evictions
+    uint64_t prefetchFills = 0;
+    uint64_t prefetchUseful = 0;    //!< prefetched lines hit by demand
+    uint64_t prefetchUnused = 0;    //!< prefetched lines evicted unused
+    uint64_t invalidations = 0;
+    uint64_t evictions = 0;         //!< total victims displaced
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;    //!< filled by prefetch, not yet used
+        uint16_t presence = 0;      //!< cores holding this line (L3 only)
+        double readyAt = 0.0;       //!< fill-data arrival time
+    };
+
+    int setIndex(Addr line) const;
+    int findWay(int set, Addr line) const;
+
+    std::string name_;
+    int numSets_;
+    int assoc_;
+    bool directory_;
+    bool hashIndex_ = false;
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_MEM_CACHE_HH

@@ -1,0 +1,77 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace zcomp {
+
+Dram::Dram(const DramConfig &cfg, double freq_ghz) : cfg_(cfg)
+{
+    idleLatency_ = cfg.latencyNs * freq_ghz;
+    double total_bytes_per_cycle = cfg.totalBandwidthGBps / freq_ghz;
+    double per_channel = total_bytes_per_cycle / cfg.channels;
+    cyclesPerLine_ = static_cast<double>(lineBytes) / per_channel;
+    busyUntil_.assign(static_cast<size_t>(cfg.channels), 0.0);
+}
+
+int
+Dram::channelOf(Addr addr) const
+{
+    return static_cast<int>((addr / cfg_.interleaveBytes) %
+                            static_cast<uint64_t>(cfg_.channels));
+}
+
+double
+Dram::backlog(Addr line, double now) const
+{
+    double busy = busyUntil_[static_cast<size_t>(channelOf(line))];
+    return busy > now ? busy - now : 0.0;
+}
+
+double
+Dram::access(Addr line, bool is_write, double now)
+{
+    auto &busy = busyUntil_[static_cast<size_t>(channelOf(line))];
+    if (is_write) {
+        bytesWritten += lineBytes;
+        // Writes are posted: the requester never waits for them, and
+        // the controller gives reads priority, draining its write
+        // queue during idle gaps. We model this with a bounded write
+        // backlog - once the channel queue is deeper than the write
+        // buffer, additional writes are assumed to drain later in
+        // read gaps rather than head-of-line-blocking future reads
+        // (otherwise eviction bursts would make chained readers
+        // serialize behind an unbounded, never-drained queue).
+        double backlog = busy - now;
+        if (backlog < writeBacklogCap_) {
+            double start = std::max(now, busy);
+            busy = start + cyclesPerLine_;
+            busyAccum_ += cyclesPerLine_;
+            return busy - now;
+        }
+        busyAccum_ += cyclesPerLine_;
+        return backlog;
+    }
+    double start = std::max(now, busy);
+    double finish = start + cyclesPerLine_;
+    busy = finish;
+    busyAccum_ += cyclesPerLine_;
+    bytesRead += lineBytes;
+    return (finish - now) + idleLatency_;
+}
+
+double
+Dram::busyCycles() const
+{
+    return busyAccum_;
+}
+
+void
+Dram::reset()
+{
+    std::fill(busyUntil_.begin(), busyUntil_.end(), 0.0);
+    bytesRead = 0;
+    bytesWritten = 0;
+    busyAccum_ = 0;
+}
+
+} // namespace zcomp

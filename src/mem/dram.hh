@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DRAM model: 4 channels of DDR4-2133 with 68 GB/s aggregate bandwidth
+ * (Table 1). Each channel is a bandwidth server: a line transfer
+ * occupies the channel for lineBytes / per-channel-bytes-per-cycle
+ * cycles, and requests arriving while the channel is busy queue behind
+ * it. Addresses interleave across channels at a configurable
+ * granularity (256 B default).
+ */
+
+#ifndef ZCOMP_MEM_DRAM_HH
+#define ZCOMP_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/addr.hh"
+
+namespace zcomp {
+
+class Dram
+{
+  public:
+    Dram(const DramConfig &cfg, double freq_ghz);
+
+    /**
+     * Perform a line transfer at the given core-cycle time.
+     * @return total latency in cycles (idle latency + queueing +
+     *         transfer time)
+     */
+    double access(Addr line, bool is_write, double now);
+
+    /** Channel an address maps to. */
+    int channelOf(Addr addr) const;
+
+    /** Current queue depth (cycles) of the channel serving `line`. */
+    double backlog(Addr line, double now) const;
+
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+
+    /** Total cycles all channels spent busy (utilization numerator). */
+    double busyCycles() const;
+
+    void reset();
+
+  private:
+    /** Queue depth beyond which posted writes drain in read gaps. */
+    static constexpr double writeBacklogCap_ = 512.0;
+
+    DramConfig cfg_;
+    double idleLatency_;        //!< cycles
+    double cyclesPerLine_;      //!< transfer time per 64 B per channel
+    std::vector<double> busyUntil_;
+    double busyAccum_ = 0;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_MEM_DRAM_HH

@@ -1,0 +1,412 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+double
+HierSnapshot::prefetchAccuracy() const
+{
+    if (l2PrefIssued == 0)
+        return 0.0;
+    return static_cast<double>(l2PrefUseful) /
+           static_cast<double>(l2PrefIssued);
+}
+
+double
+HierSnapshot::prefetchCoverage() const
+{
+    uint64_t denom = l2PrefUseful + l2DemandMissesBelow;
+    if (denom == 0)
+        return 0.0;
+    return static_cast<double>(l2PrefUseful) /
+           static_cast<double>(denom);
+}
+
+MemoryHierarchy::MemoryHierarchy(const ArchConfig &cfg)
+    : cfg_(cfg), noc_(cfg.noc), dram_(cfg.dram, cfg.core.freqGHz)
+{
+    for (int c = 0; c < cfg.numCores; c++) {
+        l1_.push_back(std::make_unique<Cache>(format("l1.%d", c), cfg.l1,
+                                              false));
+        l2_.push_back(std::make_unique<Cache>(format("l2.%d", c), cfg.l2,
+                                              false));
+        l2Pref_.emplace_back(cfg.prefetch);
+        l1Pref_.emplace_back();
+    }
+    l3_ = std::make_unique<Cache>("l3", cfg.l3, true);
+    l1Busy_.assign(static_cast<size_t>(cfg.numCores), 0.0);
+    l2Busy_.assign(static_cast<size_t>(cfg.numCores), 0.0);
+    l3SliceBusy_.assign(static_cast<size_t>(noc_.numTiles()), 0.0);
+}
+
+AccessResult
+MemoryHierarchy::access(int core, Addr addr, uint32_t bytes,
+                        bool is_write, double now, uint32_t pc)
+{
+    panic_if(core < 0 || core >= cfg_.numCores, "bad core id %d", core);
+    if (bytes == 0)
+        return {0.0, 1};
+
+    coreL1Bytes_ += bytes;
+
+    // Split line-crossing accesses; the lines are fetched in parallel
+    // (separate fill paths) with a one-cycle split penalty each.
+    AccessResult result;
+    uint64_t nlines = linesTouched(addr, bytes);
+    Addr line = lineAddr(addr);
+    for (uint64_t i = 0; i < nlines; i++, line += lineBytes) {
+        AccessResult r = accessLine(core, line, is_write, now, pc);
+        result.latency = std::max(result.latency,
+                                  r.latency + static_cast<double>(i));
+        result.level = std::max(result.level, r.level);
+    }
+    return result;
+}
+
+AccessResult
+MemoryHierarchy::accessLine(int core, Addr line, bool is_write,
+                            double now, uint32_t pc)
+{
+    auto uc = static_cast<size_t>(core);
+    AccessResult res;
+
+    // L1 bandwidth server.
+    double l1_service =
+        static_cast<double>(lineBytes) / cfg_.l1.bytesPerCycle;
+    double l1_wait = std::max(0.0, l1Busy_[uc] - now);
+    l1Busy_[uc] = std::max(l1Busy_[uc], now) + l1_service;
+
+    runL1Prefetch(core, line, pc, now);
+
+    // The stream prefetcher trains on the full demand line stream
+    // (L1 hits included): L1 prefetch promotions would otherwise
+    // punch gaps into the sequence it observes and break training.
+    runL2Prefetch(core, line, now);
+
+    if (l1_[uc]->access(line, is_write)) {
+        res.latency = cfg_.l1.latency + l1_wait;
+        res.level = 1;
+        return res;
+    }
+
+    // L1 miss -> L2.
+    double l2_service =
+        static_cast<double>(lineBytes) / cfg_.l2.bytesPerCycle;
+    double l2_wait = std::max(0.0, l2Busy_[uc] - now);
+    l2Busy_[uc] = std::max(l2Busy_[uc], now) + l2_service;
+
+    double lat = cfg_.l1.latency + l1_wait;
+    if (l2_[uc]->access(line, false)) {
+        // If the line was filled by a still-in-flight prefetch, the
+        // demand access waits for the remaining fill latency.
+        lat += cfg_.l2.latency + l2_wait +
+               l2_[uc]->readyWait(line, now + lat);
+        l1L2Bytes_ += lineBytes;    // fill into L1
+        insertL1(core, line, is_write);
+        res.latency = lat;
+        res.level = 2;
+        return res;
+    }
+
+    // L2 miss -> L3 (through the NoC).
+    l2DemandMissesBelow_++;
+    int slice = noc_.sliceOf(line);
+    double noc_rt = noc_.roundTrip(core, slice);
+    double l3_service =
+        static_cast<double>(lineBytes) / cfg_.l3.bytesPerCycle;
+    auto us = static_cast<size_t>(slice);
+    double l3_wait = std::max(0.0, l3SliceBusy_[us] - now);
+    l3SliceBusy_[us] = std::max(l3SliceBusy_[us], now) + l3_service;
+
+    lat += cfg_.l2.latency + l2_wait + noc_rt + cfg_.l3.latency + l3_wait;
+    res.level = 3;
+
+    if (!l3_->access(line, false)) {
+        // L3 miss -> DRAM.
+        lat += dram_.access(line, false, now + lat);
+        l3DramBytes_ += lineBytes;
+        CacheVictim v = l3_->insert(line, false, false);
+        evictFromL3(v, now);
+        res.level = 4;
+    }
+    l3_->markPresence(line, core);
+
+    // Fill the private caches.
+    l2L3Bytes_ += lineBytes;
+    insertL2(core, line, false, now);
+    l1L2Bytes_ += lineBytes;
+    insertL1(core, line, is_write);
+
+    res.latency = lat;
+    return res;
+}
+
+double
+MemoryHierarchy::fillL3(int core, Addr line, double now, bool count_hit)
+{
+    double lat = 0;
+    if (!l3_->access(line, false)) {
+        lat = dram_.access(line, false, now);
+        l3DramBytes_ += lineBytes;
+        CacheVictim v = l3_->insert(line, false, false);
+        evictFromL3(v, now);
+    } else if (!count_hit) {
+        // The probe above already counted a hit; nothing else to do.
+    }
+    l3_->markPresence(line, core);
+    return lat;
+}
+
+void
+MemoryHierarchy::evictFromL3(const CacheVictim &victim, double now)
+{
+    if (!victim.valid)
+        return;
+    bool dirty = victim.dirty;
+    // Inclusive L3: remove the line from every private cache that may
+    // hold it; dirty private copies merge into the writeback.
+    for (int c = 0; c < cfg_.numCores; c++) {
+        if (victim.presence & (1U << c)) {
+            auto uc = static_cast<size_t>(c);
+            if (l1_[uc]->invalidate(victim.addr)) {
+                dirty = true;
+                l1L2Bytes_ += lineBytes;
+            }
+            if (l2_[uc]->invalidate(victim.addr)) {
+                dirty = true;
+                l2L3Bytes_ += lineBytes;
+            }
+        }
+    }
+    if (dirty) {
+        dram_.access(victim.addr, true, now);
+        l3DramBytes_ += lineBytes;
+    }
+}
+
+void
+MemoryHierarchy::insertL2(int core, Addr line, bool prefetch, double now,
+                          double ready_at)
+{
+    auto uc = static_cast<size_t>(core);
+    CacheVictim v = l2_[uc]->insert(line, false, prefetch, ready_at);
+    if (v.valid) {
+        // Inclusion of L1: the evicted L2 line leaves L1 as well.
+        bool l1_dirty = l1_[uc]->invalidate(v.addr);
+        if (l1_dirty) {
+            l1L2Bytes_ += lineBytes;
+            v.dirty = true;
+        }
+        if (v.dirty) {
+            // Write back into L3; the line is still there (inclusive)
+            // unless it was already evicted - then it goes to DRAM.
+            l2L3Bytes_ += lineBytes;
+            if (l3_->contains(v.addr)) {
+                l3_->access(v.addr, true);
+            } else {
+                dram_.access(v.addr, true, now);
+                l3DramBytes_ += lineBytes;
+            }
+        }
+    }
+}
+
+void
+MemoryHierarchy::insertL1(int core, Addr line, bool dirty)
+{
+    auto uc = static_cast<size_t>(core);
+    CacheVictim v = l1_[uc]->insert(line, dirty, false);
+    if (v.valid && v.dirty) {
+        // Write back into L2 (inclusive of L1, so it must be there).
+        l1L2Bytes_ += lineBytes;
+        if (l2_[uc]->contains(v.addr)) {
+            l2_[uc]->access(v.addr, true);
+        } else {
+            // Defensive: racing back-invalidation removed it.
+            insertL2(core, v.addr, false, 0.0);
+            l2_[uc]->access(v.addr, true);
+        }
+    }
+}
+
+void
+MemoryHierarchy::runL2Prefetch(int core, Addr line, double now)
+{
+    if (!cfg_.prefetch.l2Stream)
+        return;
+    auto uc = static_cast<size_t>(core);
+    prefetchScratch_.clear();
+    l2Pref_[uc].onAccess(line, prefetchScratch_);
+    for (Addr pf : prefetchScratch_) {
+        if (l2_[uc]->contains(pf))
+            continue;
+        // Prefetch throttling: hardware prefetchers drop requests
+        // when the memory queues are saturated. Without this, a core
+        // running at cache speed can flood DRAM with fills faster
+        // than the channels drain, and the ready-time of late fills
+        // runs away unboundedly.
+        if (!l3_->contains(pf) &&
+            dram_.backlog(pf, now) > prefetchBacklogCap_) {
+            continue;
+        }
+        // Fetch from L3/DRAM into L2, consuming real bandwidth. The
+        // fill's arrival time is recorded so that a demand access that
+        // catches up with a late prefetch still pays the residual
+        // latency.
+        int slice = noc_.sliceOf(pf);
+        auto us = static_cast<size_t>(slice);
+        double l3_service =
+            static_cast<double>(lineBytes) / cfg_.l3.bytesPerCycle;
+        double l3_wait = std::max(0.0, l3SliceBusy_[us] - now);
+        l3SliceBusy_[us] = std::max(l3SliceBusy_[us], now) + l3_service;
+        double fill_lat = noc_.roundTrip(core, slice) + cfg_.l3.latency +
+                          l3_wait + fillL3(core, pf, now, true);
+        l2L3Bytes_ += lineBytes;
+        l2PrefFilled_++;
+        insertL2(core, pf, true, now, now + fill_lat);
+    }
+}
+
+void
+MemoryHierarchy::runL1Prefetch(int core, Addr line, uint32_t pc,
+                               double now)
+{
+    if (!cfg_.prefetch.l1IpStride)
+        return;
+    auto uc = static_cast<size_t>(core);
+    prefetchScratch_.clear();
+    l1Pref_[uc].onAccess(pc, line, prefetchScratch_);
+    for (Addr pf : prefetchScratch_) {
+        if (l1_[uc]->contains(pf))
+            continue;
+        // L1 prefetch only promotes lines already in this core's L2;
+        // it does not cascade misses further down, and it leaves
+        // still-in-flight L2 prefetch fills alone (their data has not
+        // arrived yet).
+        if (!l2_[uc]->contains(pf))
+            continue;
+        if (l2_[uc]->readyWait(pf, now) > 0)
+            continue;
+        // Promoting a prefetched L2 line on behalf of an imminent
+        // demand access consumes (and credits) the L2 prefetch.
+        if (l2_[uc]->consumePrefetchFlag(pf))
+            l2_[uc]->prefetchUseful++;
+        l1L2Bytes_ += lineBytes;
+        insertL1(core, pf, false);
+    }
+}
+
+HierSnapshot
+MemoryHierarchy::snapshot() const
+{
+    HierSnapshot s;
+    s.coreL1Bytes = coreL1Bytes_;
+    s.l1L2Bytes = l1L2Bytes_;
+    s.l2L3Bytes = l2L3Bytes_;
+    s.l3DramBytes = l3DramBytes_;
+    for (int c = 0; c < cfg_.numCores; c++) {
+        auto uc = static_cast<size_t>(c);
+        s.l1Hits += l1_[uc]->hits;
+        s.l1Misses += l1_[uc]->misses;
+        s.l2Hits += l2_[uc]->hits;
+        s.l2Misses += l2_[uc]->misses;
+        s.l2PrefUseful += l2_[uc]->prefetchUseful;
+        s.l2PrefUnused += l2_[uc]->prefetchUnused;
+    }
+    s.l2PrefIssued = l2PrefFilled_;
+    s.l3Hits = l3_->hits;
+    s.l3Misses = l3_->misses;
+    s.l2DemandMissesBelow = l2DemandMissesBelow_;
+    return s;
+}
+
+void
+MemoryHierarchy::dumpStats(StatGroup &group) const
+{
+    HierSnapshot s = snapshot();
+    StatGroup &links = group.addChild("links");
+    links.addCounter("core_l1_bytes", "requested bytes at the cores")
+        .set(s.coreL1Bytes);
+    links.addCounter("l1_l2_bytes", "L1<->L2 fills + writebacks")
+        .set(s.l1L2Bytes);
+    links.addCounter("l2_l3_bytes", "L2<->L3 fills + writebacks")
+        .set(s.l2L3Bytes);
+    links.addCounter("l3_dram_bytes", "off-chip DRAM transfers")
+        .set(s.l3DramBytes);
+
+    auto fill_cache = [](StatGroup &g, const Cache &c) {
+        g.addCounter("hits", "demand hits").set(c.hits);
+        g.addCounter("misses", "demand misses").set(c.misses);
+        g.addCounter("writebacks", "dirty evictions").set(c.writebacks);
+        g.addCounter("evictions", "total victims").set(c.evictions);
+        g.addCounter("invalidations", "back-invalidations")
+            .set(c.invalidations);
+        g.addCounter("pf_fills", "prefetch fills").set(c.prefetchFills);
+        g.addCounter("pf_useful", "prefetches hit by demand")
+            .set(c.prefetchUseful);
+        g.addCounter("pf_unused", "prefetches evicted unused")
+            .set(c.prefetchUnused);
+    };
+    for (int c = 0; c < cfg_.numCores; c++) {
+        auto uc = static_cast<size_t>(c);
+        fill_cache(group.addChild(format("l1_%d", c)), *l1_[uc]);
+        fill_cache(group.addChild(format("l2_%d", c)), *l2_[uc]);
+    }
+    fill_cache(group.addChild("l3"), *l3_);
+
+    StatGroup &dram = group.addChild("dram");
+    dram.addCounter("bytes_read", "DRAM read bytes")
+        .set(dram_.bytesRead);
+    dram.addCounter("bytes_written", "DRAM write bytes")
+        .set(dram_.bytesWritten);
+    dram.addCounter("busy_cycles", "aggregate channel busy cycles")
+        .set(static_cast<uint64_t>(dram_.busyCycles()));
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    coreL1Bytes_ = 0;
+    l1L2Bytes_ = 0;
+    l2L3Bytes_ = 0;
+    l3DramBytes_ = 0;
+    l2DemandMissesBelow_ = 0;
+    l2PrefFilled_ = 0;
+    for (int c = 0; c < cfg_.numCores; c++) {
+        auto uc = static_cast<size_t>(c);
+        l1_[uc]->hits = l1_[uc]->misses = l1_[uc]->writebacks = 0;
+        l1_[uc]->prefetchFills = l1_[uc]->prefetchUseful = 0;
+        l1_[uc]->prefetchUnused = l1_[uc]->invalidations = 0;
+        l2_[uc]->hits = l2_[uc]->misses = l2_[uc]->writebacks = 0;
+        l2_[uc]->prefetchFills = l2_[uc]->prefetchUseful = 0;
+        l2_[uc]->prefetchUnused = l2_[uc]->invalidations = 0;
+        l2Pref_[uc].reset();
+        l1Pref_[uc].reset();
+    }
+    l3_->hits = l3_->misses = l3_->writebacks = 0;
+    l3_->invalidations = 0;
+    dram_.reset();
+}
+
+void
+MemoryHierarchy::resetAll()
+{
+    // Rebuild the caches from scratch: simplest correct flush.
+    for (int c = 0; c < cfg_.numCores; c++) {
+        auto uc = static_cast<size_t>(c);
+        l1_[uc] = std::make_unique<Cache>(format("l1.%d", c), cfg_.l1,
+                                          false);
+        l2_[uc] = std::make_unique<Cache>(format("l2.%d", c), cfg_.l2,
+                                          false);
+    }
+    l3_ = std::make_unique<Cache>("l3", cfg_.l3, true);
+    std::fill(l1Busy_.begin(), l1Busy_.end(), 0.0);
+    std::fill(l2Busy_.begin(), l2Busy_.end(), 0.0);
+    std::fill(l3SliceBusy_.begin(), l3SliceBusy_.end(), 0.0);
+    resetStats();
+}
+
+} // namespace zcomp

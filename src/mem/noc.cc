@@ -1,0 +1,40 @@
+#include "mem/noc.hh"
+
+#include <cstdlib>
+
+namespace zcomp {
+
+Mesh2D::Mesh2D(const NocConfig &cfg) : cfg_(cfg)
+{
+}
+
+int
+Mesh2D::hops(int tile_a, int tile_b) const
+{
+    int ax = tile_a % cfg_.meshX;
+    int ay = tile_a / cfg_.meshX;
+    int bx = tile_b % cfg_.meshX;
+    int by = tile_b / cfg_.meshX;
+    return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+int
+Mesh2D::latency(int tile_a, int tile_b) const
+{
+    return hops(tile_a, tile_b) * cfg_.hopCycles;
+}
+
+int
+Mesh2D::roundTrip(int tile_a, int tile_b) const
+{
+    return 2 * latency(tile_a, tile_b);
+}
+
+int
+Mesh2D::sliceOf(Addr line) const
+{
+    return static_cast<int>((line / lineBytes) %
+                            static_cast<uint64_t>(numTiles()));
+}
+
+} // namespace zcomp

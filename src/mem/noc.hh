@@ -1,0 +1,42 @@
+/**
+ * @file
+ * 2D-mesh network-on-chip latency model with XY routing and 2-cycle
+ * hops (Table 1). Cores and L3 slices are laid out on the same mesh;
+ * an L3 access pays the round-trip hop latency between the requesting
+ * core's tile and the slice's tile.
+ */
+
+#ifndef ZCOMP_MEM_NOC_HH
+#define ZCOMP_MEM_NOC_HH
+
+#include "common/config.hh"
+#include "mem/addr.hh"
+
+namespace zcomp {
+
+class Mesh2D
+{
+  public:
+    explicit Mesh2D(const NocConfig &cfg);
+
+    /** Manhattan hop count between two tiles under XY routing. */
+    int hops(int tile_a, int tile_b) const;
+
+    /** One-way latency in cycles between two tiles. */
+    int latency(int tile_a, int tile_b) const;
+
+    /** Round-trip request+response latency between two tiles. */
+    int roundTrip(int tile_a, int tile_b) const;
+
+    /** The L3 slice (tile) an address is homed at. */
+    int sliceOf(Addr line) const;
+
+    int numTiles() const { return cfg_.meshX * cfg_.meshY; }
+
+  private:
+    NocConfig cfg_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_MEM_NOC_HH

@@ -1,0 +1,170 @@
+#include "mem/prefetcher.hh"
+
+namespace zcomp {
+
+StreamPrefetcher::StreamPrefetcher(const PrefetchConfig &cfg)
+    : cfg_(cfg), streams_(static_cast<size_t>(cfg.l2StreamTableSize))
+{
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (auto &s : streams_)
+        s.valid = false;
+    issued_ = 0;
+    clock_ = 0;
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::find(Addr page)
+{
+    for (auto &s : streams_) {
+        if (s.valid && s.page == page)
+            return &s;
+    }
+    return nullptr;
+}
+
+StreamPrefetcher::Stream *
+StreamPrefetcher::allocate()
+{
+    Stream *lru = &streams_[0];
+    for (auto &s : streams_) {
+        if (!s.valid)
+            return &s;
+        if (s.lastUse < lru->lastUse)
+            lru = &s;
+    }
+    return lru;
+}
+
+void
+StreamPrefetcher::onAccess(Addr line, std::vector<Addr> &out)
+{
+    clock_++;
+    Addr page = alignDown(line, pageBytes);
+
+    Stream *s = find(page);
+    if (!s) {
+        // A stream crossing into the next page continues seamlessly:
+        // retarget the tracker that was following the previous page.
+        Stream *prev = find(page - pageBytes);
+        if (prev && prev->direction > 0 && prev->confidence > 0 &&
+            line == prev->lastLine + lineBytes) {
+            prev->page = page;
+            s = prev;
+        } else {
+            Stream *next = find(page + pageBytes);
+            if (next && next->direction < 0 && next->confidence > 0 &&
+                line == next->lastLine - lineBytes) {
+                next->page = page;
+                s = next;
+            }
+        }
+    }
+
+    if (!s) {
+        s = allocate();
+        s->valid = true;
+        s->page = page;
+        s->lastLine = line;
+        s->nextIssue = line + lineBytes;
+        s->direction = 1;
+        s->confidence = 0;
+        s->lastUse = clock_;
+        return;
+    }
+
+    s->lastUse = clock_;
+    int64_t delta = static_cast<int64_t>(line) -
+                    static_cast<int64_t>(s->lastLine);
+    if (delta == 0)
+        return;
+
+    int dir = delta > 0 ? 1 : -1;
+    // Allow small jitter (unaligned compressed vectors can touch the
+    // same or the next line non-monotonically by one line).
+    bool follows = dir == s->direction &&
+                   (delta > 0 ? delta : -delta) <=
+                       static_cast<int64_t>(2 * lineBytes);
+    if (follows) {
+        if (s->confidence < 4)
+            s->confidence++;
+    } else {
+        s->direction = dir;
+        s->confidence = 1;
+        s->nextIssue = line + dir * static_cast<int64_t>(lineBytes);
+    }
+    s->lastLine = line;
+
+    if (s->confidence < 2)
+        return;
+
+    // Issue up to degree prefetches, staying within distance of the
+    // demand stream.
+    Addr limit = line + s->direction *
+                     static_cast<int64_t>(cfg_.l2Distance * lineBytes);
+    if (s->direction > 0 && s->nextIssue <= line)
+        s->nextIssue = line + lineBytes;
+    if (s->direction < 0 && s->nextIssue >= line)
+        s->nextIssue = line - lineBytes;
+    for (int i = 0; i < cfg_.l2Degree; i++) {
+        if (s->direction > 0 ? s->nextIssue > limit
+                             : s->nextIssue < limit) {
+            break;
+        }
+        out.push_back(s->nextIssue);
+        issued_++;
+        s->nextIssue += s->direction * static_cast<int64_t>(lineBytes);
+    }
+}
+
+IpStridePrefetcher::IpStridePrefetcher(int table_size, int degree)
+    : table_(static_cast<size_t>(table_size)), degree_(degree)
+{
+}
+
+void
+IpStridePrefetcher::reset()
+{
+    for (auto &e : table_)
+        e.valid = false;
+    issued_ = 0;
+}
+
+void
+IpStridePrefetcher::onAccess(uint32_t pc, Addr line,
+                             std::vector<Addr> &out)
+{
+    Entry &e = table_[pc % table_.size()];
+    if (!e.valid || e.pc != pc) {
+        e.valid = true;
+        e.pc = pc;
+        e.lastLine = line;
+        e.stride = 0;
+        e.confidence = 0;
+        return;
+    }
+    int64_t stride = static_cast<int64_t>(line) -
+                     static_cast<int64_t>(e.lastLine);
+    if (stride == 0)
+        return;
+    if (stride == e.stride) {
+        if (e.confidence < 4)
+            e.confidence++;
+    } else {
+        e.stride = stride;
+        e.confidence = 1;
+    }
+    e.lastLine = line;
+    if (e.confidence >= 2) {
+        for (int i = 1; i <= degree_; i++) {
+            out.push_back(static_cast<Addr>(
+                static_cast<int64_t>(line) + e.stride * i));
+            issued_++;
+        }
+    }
+}
+
+} // namespace zcomp

@@ -1,0 +1,84 @@
+#include "mem/replacement.hh"
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::create(ReplPolicy p, int num_sets, int assoc)
+{
+    switch (p) {
+      case ReplPolicy::LRU:
+        return std::make_unique<LruPolicy>(num_sets, assoc);
+      case ReplPolicy::SRRIP:
+        return std::make_unique<SrripPolicy>(num_sets, assoc);
+    }
+    panic("unknown replacement policy");
+}
+
+LruPolicy::LruPolicy(int num_sets, int assoc)
+    : assoc_(assoc),
+      stamp_(static_cast<size_t>(num_sets) * assoc, 0)
+{
+}
+
+void
+LruPolicy::onInsert(int set, int way)
+{
+    stamp_[static_cast<size_t>(set) * assoc_ + way] = ++clock_;
+}
+
+void
+LruPolicy::onHit(int set, int way)
+{
+    stamp_[static_cast<size_t>(set) * assoc_ + way] = ++clock_;
+}
+
+int
+LruPolicy::victim(int set)
+{
+    size_t base = static_cast<size_t>(set) * assoc_;
+    int v = 0;
+    uint64_t oldest = stamp_[base];
+    for (int w = 1; w < assoc_; w++) {
+        if (stamp_[base + w] < oldest) {
+            oldest = stamp_[base + w];
+            v = w;
+        }
+    }
+    return v;
+}
+
+SrripPolicy::SrripPolicy(int num_sets, int assoc)
+    : assoc_(assoc),
+      rrpv_(static_cast<size_t>(num_sets) * assoc, maxRrpv)
+{
+}
+
+void
+SrripPolicy::onInsert(int set, int way)
+{
+    rrpv_[static_cast<size_t>(set) * assoc_ + way] = insertRrpv;
+}
+
+void
+SrripPolicy::onHit(int set, int way)
+{
+    rrpv_[static_cast<size_t>(set) * assoc_ + way] = 0;
+}
+
+int
+SrripPolicy::victim(int set)
+{
+    size_t base = static_cast<size_t>(set) * assoc_;
+    while (true) {
+        for (int w = 0; w < assoc_; w++) {
+            if (rrpv_[base + w] >= maxRrpv)
+                return w;
+        }
+        for (int w = 0; w < assoc_; w++)
+            rrpv_[base + w]++;
+    }
+}
+
+} // namespace zcomp

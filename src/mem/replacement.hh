@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cache replacement policies: LRU (used at L1 per Table 1) and SRRIP
+ * (Static Re-Reference Interval Prediction, used at L2 and L3).
+ *
+ * A ReplacementPolicy instance manages the per-way metadata of one
+ * cache and is consulted for victim selection. SRRIP uses 2-bit RRPV
+ * counters: lines are inserted with RRPV = 2 (long re-reference), are
+ * promoted to 0 on hit, and the victim is any way with RRPV = 3,
+ * aging all ways when none qualifies.
+ */
+
+#ifndef ZCOMP_MEM_REPLACEMENT_HH
+#define ZCOMP_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace zcomp {
+
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A line was inserted into (set, way). */
+    virtual void onInsert(int set, int way) = 0;
+
+    /** A line in (set, way) was hit. */
+    virtual void onHit(int set, int way) = 0;
+
+    /** Choose the victim way in a full set. */
+    virtual int victim(int set) = 0;
+
+    /** Factory for the configured policy. */
+    static std::unique_ptr<ReplacementPolicy> create(ReplPolicy p,
+                                                     int num_sets,
+                                                     int assoc);
+};
+
+/** Least-recently-used via monotonically increasing stamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(int num_sets, int assoc);
+    void onInsert(int set, int way) override;
+    void onHit(int set, int way) override;
+    int victim(int set) override;
+
+  private:
+    int assoc_;
+    uint64_t clock_ = 0;
+    std::vector<uint64_t> stamp_;
+};
+
+/** Static RRIP with 2-bit re-reference prediction values. */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    static constexpr uint8_t maxRrpv = 3;
+    static constexpr uint8_t insertRrpv = 2;
+
+    SrripPolicy(int num_sets, int assoc);
+    void onInsert(int set, int way) override;
+    void onHit(int set, int way) override;
+    int victim(int set) override;
+
+  private:
+    int assoc_;
+    std::vector<uint8_t> rrpv_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_MEM_REPLACEMENT_HH

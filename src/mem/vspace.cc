@@ -1,0 +1,86 @@
+#include "mem/vspace.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace zcomp {
+
+const char *
+allocClassName(AllocClass c)
+{
+    switch (c) {
+      case AllocClass::Input:
+        return "inputs";
+      case AllocClass::Weight:
+        return "weights";
+      case AllocClass::FeatureMap:
+        return "feature-maps";
+      case AllocClass::GradientMap:
+        return "gradient-maps";
+      case AllocClass::Scratch:
+        return "scratch";
+      case AllocClass::Other:
+        return "other";
+    }
+    return "?";
+}
+
+VSpace::VSpace(Addr base, bool allocate_host)
+    : next_(alignUp(base, 4 * KiB)), allocateHost_(allocate_host)
+{
+}
+
+Buffer &
+VSpace::alloc(const std::string &name, size_t bytes, AllocClass cls)
+{
+    fatal_if(bytes == 0, "zero-size allocation '%s'", name.c_str());
+    auto buf = std::make_unique<Buffer>();
+    buf->name = name;
+    buf->cls = cls;
+    buf->base = next_;
+    buf->size = bytes;
+    if (allocateHost_) {
+        backing_.push_back(std::make_unique<uint8_t[]>(bytes));
+        buf->host = backing_.back().get();
+        std::memset(buf->host, 0, bytes);
+    }
+
+    // Leave a 4 KiB guard gap between regions so off-by-one simulated
+    // accesses never silently alias a neighbor.
+    next_ = alignUp(next_ + bytes + 4 * KiB, 4 * KiB);
+    classBytes_[static_cast<int>(cls)] += bytes;
+
+    buffers_.push_back(std::move(buf));
+    return *buffers_.back();
+}
+
+void
+VSpace::releaseHost(Buffer &buf)
+{
+    for (auto &b : backing_) {
+        if (b.get() == buf.host) {
+            b.reset();
+            buf.host = nullptr;
+            return;
+        }
+    }
+}
+
+uint64_t
+VSpace::bytesInClass(AllocClass cls) const
+{
+    return classBytes_[static_cast<int>(cls)];
+}
+
+uint64_t
+VSpace::totalBytes() const
+{
+    uint64_t total = 0;
+    for (auto b : classBytes_)
+        total += b;
+    return total;
+}
+
+} // namespace zcomp

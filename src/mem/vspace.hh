@@ -1,0 +1,101 @@
+/**
+ * @file
+ * VSpace - the simulated virtual address space.
+ *
+ * Buffers used by the simulated workloads are backed by real host
+ * memory (so functional kernels compute exact values, including
+ * compressed streams) while carrying deterministic simulated virtual
+ * addresses that the timing model uses for cache indexing. Each
+ * allocation is tagged with a data class so that footprint reports
+ * (Figure 3) fall directly out of the allocator.
+ */
+
+#ifndef ZCOMP_MEM_VSPACE_HH
+#define ZCOMP_MEM_VSPACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace zcomp {
+
+/** Data classes for footprint accounting (Figure 3 categories). */
+enum class AllocClass
+{
+    Input = 0,      //!< input images / batches
+    Weight,         //!< model parameters
+    FeatureMap,     //!< cross-layer activations
+    GradientMap,    //!< cross-layer gradients (backward pass)
+    Scratch,        //!< within-layer working buffers (im2col, packs)
+    Other,
+};
+
+constexpr int numAllocClasses = 6;
+
+/** Human-readable name of an allocation class. */
+const char *allocClassName(AllocClass c);
+
+/** One simulated allocation: host backing store + simulated address. */
+struct Buffer
+{
+    std::string name;
+    AllocClass cls = AllocClass::Other;
+    Addr base = 0;              //!< simulated virtual base address
+    size_t size = 0;            //!< bytes
+    uint8_t *host = nullptr;    //!< host backing memory (zero-filled)
+
+    /** Simulated address of byte offset off. */
+    Addr addrAt(size_t off) const { return base + off; }
+
+    float *f32() { return reinterpret_cast<float *>(host); }
+    const float *f32() const { return reinterpret_cast<const float *>(host); }
+};
+
+class VSpace
+{
+  public:
+    /**
+     * Allocations start at 4 KiB-aligned addresses above base.
+     * @param allocate_host back buffers with host memory (default).
+     *        Plan-only spaces (allocate_host = false) track addresses
+     *        and footprints without reserving host RAM - used for
+     *        Figure 1b/3 footprint studies at the paper's full batch
+     *        sizes, where functional execution is never run.
+     */
+    explicit VSpace(Addr base = 0x10000, bool allocate_host = true);
+
+    VSpace(const VSpace &) = delete;
+    VSpace &operator=(const VSpace &) = delete;
+
+    /** Allocate a zero-initialized buffer; the reference is stable. */
+    Buffer &alloc(const std::string &name, size_t bytes, AllocClass cls);
+
+    /** Free the host backing memory of a buffer (footprint stays). */
+    void releaseHost(Buffer &buf);
+
+    /** Total bytes allocated in a class. */
+    uint64_t bytesInClass(AllocClass cls) const;
+
+    /** Total bytes across all classes. */
+    uint64_t totalBytes() const;
+
+    /** False for plan-only spaces (no host memory behind buffers). */
+    bool hostBacked() const { return allocateHost_; }
+
+    size_t numBuffers() const { return buffers_.size(); }
+    const Buffer &buffer(size_t i) const { return *buffers_[i]; }
+
+  private:
+    Addr next_;
+    bool allocateHost_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+    std::vector<std::unique_ptr<uint8_t[]>> backing_;
+    uint64_t classBytes_[numAllocClasses] = {};
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_MEM_VSPACE_HH

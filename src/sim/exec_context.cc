@@ -1,0 +1,86 @@
+#include "sim/exec_context.hh"
+
+namespace zcomp {
+
+namespace {
+
+HierSnapshot
+diff(const HierSnapshot &after, const HierSnapshot &before)
+{
+    HierSnapshot d;
+    d.coreL1Bytes = after.coreL1Bytes - before.coreL1Bytes;
+    d.l1L2Bytes = after.l1L2Bytes - before.l1L2Bytes;
+    d.l2L3Bytes = after.l2L3Bytes - before.l2L3Bytes;
+    d.l3DramBytes = after.l3DramBytes - before.l3DramBytes;
+    d.l1Hits = after.l1Hits - before.l1Hits;
+    d.l1Misses = after.l1Misses - before.l1Misses;
+    d.l2Hits = after.l2Hits - before.l2Hits;
+    d.l2Misses = after.l2Misses - before.l2Misses;
+    d.l3Hits = after.l3Hits - before.l3Hits;
+    d.l3Misses = after.l3Misses - before.l3Misses;
+    d.l2PrefIssued = after.l2PrefIssued - before.l2PrefIssued;
+    d.l2PrefUseful = after.l2PrefUseful - before.l2PrefUseful;
+    d.l2PrefUnused = after.l2PrefUnused - before.l2PrefUnused;
+    d.l2DemandMissesBelow =
+        after.l2DemandMissesBelow - before.l2DemandMissesBelow;
+    return d;
+}
+
+CycleBreakdown
+diff(const CycleBreakdown &after, const CycleBreakdown &before)
+{
+    CycleBreakdown d;
+    d.compute = after.compute - before.compute;
+    d.memory = after.memory - before.memory;
+    d.sync = after.sync - before.sync;
+    return d;
+}
+
+} // namespace
+
+RunStats &
+RunStats::operator+=(const RunStats &o)
+{
+    cycles += o.cycles;
+    breakdown += o.breakdown;
+    traffic.coreL1Bytes += o.traffic.coreL1Bytes;
+    traffic.l1L2Bytes += o.traffic.l1L2Bytes;
+    traffic.l2L3Bytes += o.traffic.l2L3Bytes;
+    traffic.l3DramBytes += o.traffic.l3DramBytes;
+    traffic.l1Hits += o.traffic.l1Hits;
+    traffic.l1Misses += o.traffic.l1Misses;
+    traffic.l2Hits += o.traffic.l2Hits;
+    traffic.l2Misses += o.traffic.l2Misses;
+    traffic.l3Hits += o.traffic.l3Hits;
+    traffic.l3Misses += o.traffic.l3Misses;
+    traffic.l2PrefIssued += o.traffic.l2PrefIssued;
+    traffic.l2PrefUseful += o.traffic.l2PrefUseful;
+    traffic.l2PrefUnused += o.traffic.l2PrefUnused;
+    traffic.l2DemandMissesBelow += o.traffic.l2DemandMissesBelow;
+    return *this;
+}
+
+ExecContext::ExecContext(const ArchConfig &cfg) : sys_(cfg)
+{
+}
+
+RunStats
+ExecContext::run(const TracePhase &phase)
+{
+    HierSnapshot before = sys_.mem().snapshot();
+    CycleBreakdown bd_before = sys_.breakdown();
+    PhaseResult r = sys_.runPhase(phase);
+    RunStats stats;
+    stats.cycles = r.cycles;
+    stats.traffic = diff(sys_.mem().snapshot(), before);
+    stats.breakdown = diff(sys_.breakdown(), bd_before);
+    return stats;
+}
+
+void
+ExecContext::warm(const TracePhase &phase)
+{
+    sys_.runPhase(phase);
+}
+
+} // namespace zcomp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ExecContext couples the functional and timing halves of the
+ * simulator: it owns the simulated virtual address space (whose
+ * buffers the functional kernels read and write on the host) and the
+ * multicore timing system that replays the kernels' trace phases.
+ */
+
+#ifndef ZCOMP_SIM_EXEC_CONTEXT_HH
+#define ZCOMP_SIM_EXEC_CONTEXT_HH
+
+#include "cpu/system.hh"
+#include "mem/vspace.hh"
+
+namespace zcomp {
+
+/** Timing + traffic delta of one or more phases. */
+struct RunStats
+{
+    double cycles = 0;
+    CycleBreakdown breakdown;
+    HierSnapshot traffic;
+
+    RunStats &operator+=(const RunStats &o);
+};
+
+class ExecContext
+{
+  public:
+    explicit ExecContext(const ArchConfig &cfg);
+
+    VSpace &vs() { return vs_; }
+    MultiCoreSystem &sys() { return sys_; }
+    const ArchConfig &config() const { return sys_.config(); }
+
+    /**
+     * Run one phase and return its cycle/traffic delta (counters are
+     * snapshotted around the phase; cache contents persist).
+     */
+    RunStats run(const TracePhase &phase);
+
+    /** Run a phase without accounting (cache warmup). */
+    void warm(const TracePhase &phase);
+
+  private:
+    VSpace vs_;
+    MultiCoreSystem sys_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_SIM_EXEC_CONTEXT_HH

@@ -1,0 +1,125 @@
+#include "workload/deepbench.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+const char *
+benchSuiteName(BenchSuite s)
+{
+    switch (s) {
+      case BenchSuite::ConvTrain:
+        return "conv-train";
+      case BenchSuite::ConvInfer:
+        return "conv-infer";
+      case BenchSuite::FcTrain:
+        return "fc-train";
+      case BenchSuite::FcInfer:
+        return "fc-infer";
+    }
+    return "?";
+}
+
+namespace {
+
+std::vector<DeepBenchShape>
+buildShapes()
+{
+    using S = BenchSuite;
+    // {name, suite, activation elements, sparsity}
+    std::vector<DeepBenchShape> v = {
+        // conv-train: vision (VGG/ResNet-style) and speech layers,
+        // batch 2-16. Activation = N*K*Hout*Wout.
+        {"conv3-64 112x112 n2", S::ConvTrain, 1605632, 0.58},
+        {"conv3-128 56x56 n8", S::ConvTrain, 3211264, 0.55},
+        {"conv5x20 341x79 k32 n4", S::ConvTrain, 3447424, 0.49},
+        {"conv3-256 56x56 n8", S::ConvTrain, 6422528, 0.61},
+        {"conv3-64 224x224 n4", S::ConvTrain, 12845056, 0.52},
+        {"conv5x5 224x224 k24 n8", S::ConvTrain, 19267584, 0.63},
+        {"conv3-64 224x224 n8", S::ConvTrain, 25690112, 0.44},
+        {"conv3x3 700x161 k32 n8", S::ConvTrain, 28851200, 0.50},
+        {"conv3-64 224x224 n10", S::ConvTrain, 32112640, 0.66},
+        {"conv7-64 230x230 n16", S::ConvTrain, 33871872, 0.57},
+        {"conv3-128 112x112 n16", S::ConvTrain, 25690112, 0.47},
+
+        // conv-infer (server): batch 1-2, small maps.
+        {"conv3-512 4x4 n1", S::ConvInfer, 8192, 0.47},
+        {"conv3-512 8x8 n1", S::ConvInfer, 32768, 0.55},
+        {"conv3-256 16x16 n1", S::ConvInfer, 65536, 0.39},
+        {"conv3-512 16x16 n1", S::ConvInfer, 131072, 0.60},
+        {"conv3-256 32x32 n1", S::ConvInfer, 262144, 0.52},
+        {"conv3-512 32x32 n1", S::ConvInfer, 524288, 0.45},
+        {"conv3-64 112x112 n1", S::ConvInfer, 802816, 0.58},
+        {"conv3-96 112x112 n1", S::ConvInfer, 1204224, 0.64},
+        {"conv3-64 112x112 n2", S::ConvInfer, 1605632, 0.50},
+        {"conv3-128 128x128 n1", S::ConvInfer, 2097152, 0.43},
+        {"conv3-96 112x112 n2", S::ConvInfer, 2408448, 0.55},
+
+        // fc-train: GEMM output M x N, batch 64-128 and the 7000-wide
+        // speech layers.
+        {"gemm 1760x128", S::FcTrain, 225280, 0.56},
+        {"gemm 2048x128", S::FcTrain, 262144, 0.49},
+        {"gemm 2560x128", S::FcTrain, 327680, 0.61},
+        {"gemm 4096x128", S::FcTrain, 524288, 0.43},
+        {"gemm 1760x1024", S::FcTrain, 1802240, 0.53},
+        {"gemm 2048x2048", S::FcTrain, 4194304, 0.58},
+        {"gemm 2560x2048", S::FcTrain, 5242880, 0.47},
+        {"gemm 4096x2048", S::FcTrain, 8388608, 0.62},
+        {"gemm 1760x7000", S::FcTrain, 12320000, 0.51},
+        {"gemm 2560x7133", S::FcTrain, 18260480, 0.55},
+        {"gemm 4096x7000", S::FcTrain, 28672000, 0.48},
+
+        // fc-infer (server): batch 1-4.
+        {"gemm 1760x1", S::FcInfer, 1760, 0.52},
+        {"gemm 2048x1", S::FcInfer, 2048, 0.44},
+        {"gemm 2560x1", S::FcInfer, 2560, 0.59},
+        {"gemm 4096x1", S::FcInfer, 4096, 0.50},
+        {"gemm 1760x4", S::FcInfer, 7040, 0.63},
+        {"gemm 2048x4", S::FcInfer, 8192, 0.46},
+        {"gemm 2560x4", S::FcInfer, 10240, 0.54},
+        {"gemm 4096x4", S::FcInfer, 16384, 0.57},
+        {"gemm 5124x4", S::FcInfer, 20496, 0.41},
+        {"gemm 7680x4", S::FcInfer, 30720, 0.60},
+        {"gemm 10752x4", S::FcInfer, 43008, 0.49},
+    };
+
+    // Sort by size within each suite (the Figure 12 x-axis ordering).
+    std::stable_sort(v.begin(), v.end(),
+                     [](const DeepBenchShape &a, const DeepBenchShape &b) {
+                         if (a.suite != b.suite)
+                             return static_cast<int>(a.suite) <
+                                    static_cast<int>(b.suite);
+                         return a.elems < b.elems;
+                     });
+
+    for (const auto &s : v)
+        panic_if(s.elems % 16 != 0, "shape %s not vector-aligned",
+                 s.name.c_str());
+    panic_if(v.size() != 44, "expected 44 DeepBench shapes, have %zu",
+             v.size());
+    return v;
+}
+
+} // namespace
+
+const std::vector<DeepBenchShape> &
+deepBenchShapes()
+{
+    static const std::vector<DeepBenchShape> shapes = buildShapes();
+    return shapes;
+}
+
+std::vector<DeepBenchShape>
+shapesOf(BenchSuite suite)
+{
+    std::vector<DeepBenchShape> out;
+    for (const auto &s : deepBenchShapes()) {
+        if (s.suite == suite)
+            out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace zcomp

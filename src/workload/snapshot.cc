@@ -1,0 +1,68 @@
+#include "workload/snapshot.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+void
+fillActivations(float *buf, size_t n, const SnapshotParams &params,
+                Rng &rng)
+{
+    double s = params.sparsity;
+    fatal_if(s < 0.0 || s > 1.0, "sparsity %f out of range", s);
+
+    if (s >= 1.0) {
+        for (size_t i = 0; i < n; i++)
+            buf[i] = 0.0f;
+        return;
+    }
+
+    // Two-state Markov chain: P(zero->nonzero) = 1/L keeps zero runs
+    // at mean length L; P(nonzero->zero) follows from the stationary
+    // distribution pi(zero) = s.
+    double leave_zero = 1.0 / std::max(1.0, params.meanZeroRun);
+    double enter_zero =
+        s >= 1.0 ? 1.0
+                 : std::min(1.0, leave_zero * s / std::max(1e-9, 1.0 - s));
+
+    bool in_zero = rng.chance(s);
+    for (size_t i = 0; i < n; i++) {
+        if (in_zero) {
+            buf[i] = 0.0f;
+            if (rng.chance(leave_zero))
+                in_zero = false;
+        } else {
+            double mag = std::fabs(rng.gaussian()) * params.scale + 1e-3;
+            bool neg = rng.chance(params.negFraction);
+            buf[i] = static_cast<float>(neg ? -mag : mag);
+            if (rng.chance(enter_zero))
+                in_zero = true;
+        }
+    }
+}
+
+std::vector<float>
+makeActivations(size_t n, const SnapshotParams &params, uint64_t seed)
+{
+    std::vector<float> v(n);
+    Rng rng(seed);
+    fillActivations(v.data(), n, params, rng);
+    return v;
+}
+
+double
+measuredSparsity(const float *buf, size_t n)
+{
+    if (n == 0)
+        return 0.0;
+    size_t zeros = 0;
+    for (size_t i = 0; i < n; i++) {
+        if (buf[i] == 0.0f)
+            zeros++;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(n);
+}
+
+} // namespace zcomp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Feature-map snapshot generator.
+ *
+ * The paper initializes its ReLU-layer inputs with "uncompressed
+ * snapshots from the evaluated DNN feature maps (with an average 53%
+ * sparsity)". We do not have the authors' snapshots; this generator
+ * produces activation data with the same statistics that matter to
+ * compression:
+ *
+ *  - a target fraction of exact zeros (ReLU outputs / dropout),
+ *  - zeros that are spatially *clustered* (dead feature-map regions
+ *    produce runs of zeros, which matters for pattern-based cache
+ *    compression like FPC-D in the Figure 15 comparison),
+ *  - a small fraction of negative values (pre-activation leakage /
+ *    non-ReLU producers) so that LTEZ-fused compression has work to
+ *    do, and
+ *  - half-normal positive magnitudes.
+ *
+ * Clustering is a two-state Markov chain over elements with a
+ * configurable mean zero-run length whose stationary distribution hits
+ * the target sparsity exactly in expectation.
+ */
+
+#ifndef ZCOMP_WORKLOAD_SNAPSHOT_HH
+#define ZCOMP_WORKLOAD_SNAPSHOT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace zcomp {
+
+struct SnapshotParams
+{
+    double sparsity = 0.53;     //!< fraction of exact zeros
+    double negFraction = 0.05;  //!< fraction of (non-zero) negatives
+    double meanZeroRun = 6.0;   //!< mean length of zero runs (elements)
+    double scale = 1.0;         //!< magnitude scale of non-zeros
+};
+
+/** Fill buf[0..n) with snapshot-statistics activation data. */
+void fillActivations(float *buf, size_t n, const SnapshotParams &params,
+                     Rng &rng);
+
+/** Convenience: allocate and fill a vector. */
+std::vector<float> makeActivations(size_t n, const SnapshotParams &params,
+                                   uint64_t seed);
+
+/** Measured fraction of exact zeros in a buffer. */
+double measuredSparsity(const float *buf, size_t n);
+
+} // namespace zcomp
+
+#endif // ZCOMP_WORKLOAD_SNAPSHOT_HH

@@ -1,0 +1,66 @@
+#include "zcomp/intrinsics.hh"
+
+namespace zcomp {
+
+ZcompResult
+zcompsI(uint8_t *&dst_ptr, const Vec512 &v, ElemType t, Ccf ccf)
+{
+    ZcompResult r = zcompsInterleaved(v, t, ccf, dst_ptr);
+    dst_ptr += r.totalBytes;
+    return r;
+}
+
+Vec512
+zcomplI(const uint8_t *&src_ptr, ElemType t)
+{
+    Vec512 out;
+    ZcompResult r = zcomplInterleaved(src_ptr, t, out);
+    src_ptr += r.totalBytes;
+    return out;
+}
+
+ZcompResult
+zcompsS(uint8_t *&dst_ptr, const Vec512 &v, uint8_t *&hdr_ptr, ElemType t,
+        Ccf ccf)
+{
+    ZcompResult r = zcompsSeparate(v, t, ccf, dst_ptr, hdr_ptr);
+    dst_ptr += r.dataBytes;
+    hdr_ptr += headerBytes(t);
+    return r;
+}
+
+Vec512
+zcomplS(const uint8_t *&src_ptr, const uint8_t *&hdr_ptr, ElemType t)
+{
+    Vec512 out;
+    ZcompResult r = zcomplSeparate(src_ptr, hdr_ptr, t, out);
+    src_ptr += r.dataBytes;
+    hdr_ptr += headerBytes(t);
+    return out;
+}
+
+ZcompResult
+zcompsIPs(uint8_t *&dst_ptr, const Vec512 &v, Ccf ccf)
+{
+    return zcompsI(dst_ptr, v, ElemType::F32, ccf);
+}
+
+Vec512
+zcomplIPs(const uint8_t *&src_ptr)
+{
+    return zcomplI(src_ptr, ElemType::F32);
+}
+
+ZcompResult
+zcompsSPs(uint8_t *&dst_ptr, const Vec512 &v, uint8_t *&hdr_ptr, Ccf ccf)
+{
+    return zcompsS(dst_ptr, v, hdr_ptr, ElemType::F32, ccf);
+}
+
+Vec512
+zcomplSPs(const uint8_t *&src_ptr, const uint8_t *&hdr_ptr)
+{
+    return zcomplS(src_ptr, hdr_ptr, ElemType::F32);
+}
+
+} // namespace zcomp

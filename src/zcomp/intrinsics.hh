@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Intrinsic-function software interface for ZCOMP (Figure 6).
+ *
+ * A single intrinsic replaces a vector store or load: the programmer
+ * never generates masks, manages metadata, or maintains compressed
+ * pointers. Input and output pointers are passed by reference so that
+ * the instruction's auto-increment shows through to software — after
+ * each call the pointer(s) address the next compressed vector, which
+ * is what makes iterative loop usage work (Section 3.1).
+ *
+ * The trailing suffix selects element precision, mirroring AVX512
+ * intrinsic naming: _ps = fp32 (the default type used throughout the
+ * paper). Generic ElemType-parameterized forms are also provided.
+ */
+
+#ifndef ZCOMP_ZCOMP_INTRINSICS_HH
+#define ZCOMP_ZCOMP_INTRINSICS_HH
+
+#include <cstdint>
+
+#include "isa/zcomp_isa.hh"
+
+namespace zcomp {
+
+/**
+ * _mm512_zcomps_i_ps: compress-store v at *dst_ptr (interleaved
+ * header) and auto-increment dst_ptr by header + payload bytes.
+ * @return per-vector result (header, nnz, bytes written)
+ */
+ZcompResult zcompsIPs(uint8_t *&dst_ptr, const Vec512 &v, Ccf ccf);
+
+/**
+ * _mm512_zcompl_i_ps: load-expand the vector at *src_ptr (interleaved
+ * header) and auto-increment src_ptr by header + payload bytes.
+ */
+Vec512 zcomplIPs(const uint8_t *&src_ptr);
+
+/**
+ * _mm512_zcomps_s_ps: separate-header compress-store. Payload goes to
+ * *dst_ptr, header to *hdr_ptr; both pointers auto-increment.
+ */
+ZcompResult zcompsSPs(uint8_t *&dst_ptr, const Vec512 &v,
+                      uint8_t *&hdr_ptr, Ccf ccf);
+
+/** _mm512_zcompl_s_ps: separate-header load-expand. */
+Vec512 zcomplSPs(const uint8_t *&src_ptr, const uint8_t *&hdr_ptr);
+
+/** Generic (runtime ElemType) interleaved compress-store. */
+ZcompResult zcompsI(uint8_t *&dst_ptr, const Vec512 &v, ElemType t,
+                    Ccf ccf);
+
+/** Generic interleaved load-expand. */
+Vec512 zcomplI(const uint8_t *&src_ptr, ElemType t);
+
+/** Generic separate-header compress-store. */
+ZcompResult zcompsS(uint8_t *&dst_ptr, const Vec512 &v,
+                    uint8_t *&hdr_ptr, ElemType t, Ccf ccf);
+
+/** Generic separate-header load-expand. */
+Vec512 zcomplS(const uint8_t *&src_ptr, const uint8_t *&hdr_ptr,
+               ElemType t);
+
+} // namespace zcomp
+
+#endif // ZCOMP_ZCOMP_INTRINSICS_HH

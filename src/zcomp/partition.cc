@@ -1,0 +1,101 @@
+#include "zcomp/partition.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace zcomp {
+
+std::vector<Chunk>
+partitionElements(size_t n, int num_chunks, ElemType t)
+{
+    fatal_if(num_chunks <= 0, "need at least one chunk");
+    const size_t lanes = static_cast<size_t>(lanesPerVec(t));
+    fatal_if(n % lanes != 0,
+             "element count %zu is not a multiple of the %zu-lane vector",
+             n, lanes);
+
+    const size_t vectors = n / lanes;
+    const size_t nc = static_cast<size_t>(num_chunks);
+    std::vector<Chunk> chunks;
+    chunks.reserve(nc);
+    size_t begin_vec = 0;
+    for (size_t c = 0; c < nc; c++) {
+        size_t end_vec = vectors * (c + 1) / nc;
+        Chunk ch;
+        ch.elemBegin = begin_vec * lanes;
+        ch.elemEnd = end_vec * lanes;
+        ch.regionOffset = ch.elemBegin * static_cast<size_t>(elemBytes(t));
+        ch.regionBytes = ch.elems() * static_cast<size_t>(elemBytes(t));
+        chunks.push_back(ch);
+        begin_vec = end_vec;
+    }
+    return chunks;
+}
+
+std::vector<Chunk>
+subPartition(const Chunk &chunk, int num_sub, ElemType t)
+{
+    fatal_if(num_sub <= 0, "need at least one sub-block");
+    const size_t lanes = static_cast<size_t>(lanesPerVec(t));
+    const size_t vectors = chunk.elems() / lanes;
+    const size_t ns = static_cast<size_t>(num_sub);
+    std::vector<Chunk> subs;
+    subs.reserve(ns);
+    size_t begin_vec = 0;
+    for (size_t s = 0; s < ns; s++) {
+        size_t end_vec = vectors * (s + 1) / ns;
+        Chunk sub;
+        sub.elemBegin = chunk.elemBegin + begin_vec * lanes;
+        sub.elemEnd = chunk.elemBegin + end_vec * lanes;
+        sub.regionOffset = chunk.regionOffset +
+                           begin_vec * lanes *
+                               static_cast<size_t>(elemBytes(t));
+        sub.regionBytes =
+            sub.elems() * static_cast<size_t>(elemBytes(t));
+        subs.push_back(sub);
+        begin_vec = end_vec;
+    }
+    return subs;
+}
+
+PartitionedStream
+compressPartitionedPs(const float *src, size_t n, uint8_t *dst_region,
+                      size_t region_bytes, int num_chunks, Ccf ccf)
+{
+    fatal_if(region_bytes < n * sizeof(float),
+             "destination region smaller than the original allocation");
+    PartitionedStream ps;
+    ps.etype = ElemType::F32;
+    ps.chunks = partitionElements(n, num_chunks, ps.etype);
+    for (const Chunk &ch : ps.chunks) {
+        CompressedWriter w(dst_region + ch.regionOffset, ch.regionBytes,
+                           ps.etype, ccf);
+        for (size_t i = ch.elemBegin; i < ch.elemEnd; i += 16)
+            w.put(Vec512::load(src + i));
+        ps.chunkBytes.push_back(w.bytesWritten());
+        ps.chunkNnz.push_back(w.nnzRecord());
+        ps.stats += w.stats();
+    }
+    return ps;
+}
+
+void
+expandPartitionedPs(const PartitionedStream &ps, const uint8_t *src_region,
+                    size_t region_bytes, float *dst, size_t n)
+{
+    fatal_if(region_bytes < n * sizeof(float),
+             "source region smaller than the original allocation");
+    fatal_if(ps.chunks.empty() || ps.chunks.back().elemEnd != n,
+             "partition layout does not cover the %zu-element buffer", n);
+    for (size_t c = 0; c < ps.chunks.size(); c++) {
+        const Chunk &ch = ps.chunks[c];
+        CompressedReader r(src_region + ch.regionOffset, ps.chunkBytes[c],
+                           ps.etype);
+        for (size_t i = ch.elemBegin; i < ch.elemEnd; i += 16) {
+            Vec512 v = r.get();
+            v.store(dst + i);
+        }
+    }
+}
+
+} // namespace zcomp

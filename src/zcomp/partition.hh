@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Partitioned parallel compression (Section 4.3, Figure 7b).
+ *
+ * A naive parallelization that compresses a feature map into one
+ * contiguous stream serializes every thread behind a shared compressed
+ * data pointer. ZCOMP instead slices the feature map into chunks:
+ * each thread receives the memory region its slice would occupy
+ * uncompressed, and compresses into it as an independent stream with a
+ * private pointer. Expansion must use the same partitioning to find
+ * the streams again.
+ *
+ * Chunks can be further sliced into sub-blocks to enable loop
+ * unrolling across independent streams (the degree of unrolling equals
+ * the number of sub-blocks per chunk).
+ */
+
+#ifndef ZCOMP_ZCOMP_PARTITION_HH
+#define ZCOMP_ZCOMP_PARTITION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "zcomp/stream.hh"
+
+namespace zcomp {
+
+/** One independently-compressed slice of a larger buffer. */
+struct Chunk
+{
+    size_t elemBegin = 0;       //!< first element (inclusive)
+    size_t elemEnd = 0;         //!< last element (exclusive)
+    size_t regionOffset = 0;    //!< byte offset of this chunk's stream
+    size_t regionBytes = 0;     //!< region reserved for the stream
+
+    size_t elems() const { return elemEnd - elemBegin; }
+};
+
+/**
+ * Slice n elements into num_chunks contiguous chunks. Every chunk
+ * boundary is aligned to the vector lane count, and each chunk's
+ * region is the uncompressed footprint of its slice (the original
+ * allocation stays unchanged, Section 4.1).
+ */
+std::vector<Chunk> partitionElements(size_t n, int num_chunks, ElemType t);
+
+/** Slice one chunk into num_sub sub-blocks for unrolled compression. */
+std::vector<Chunk> subPartition(const Chunk &chunk, int num_sub,
+                                ElemType t);
+
+/**
+ * A partitioned compressed buffer: the chunk layout plus the
+ * per-chunk compressed sizes and NNZ records needed to read it back
+ * (and to replay its address stream in the timing model).
+ */
+struct PartitionedStream
+{
+    ElemType etype = ElemType::F32;
+    std::vector<Chunk> chunks;
+    std::vector<size_t> chunkBytes;             //!< compressed bytes/chunk
+    std::vector<std::vector<uint8_t>> chunkNnz; //!< per-vector NNZ/chunk
+    StreamStats stats;
+};
+
+/**
+ * Compress an fp32 buffer of n elements (multiple of 16) into
+ * dst_region using partitioned streams.
+ */
+PartitionedStream compressPartitionedPs(const float *src, size_t n,
+                                        uint8_t *dst_region,
+                                        size_t region_bytes,
+                                        int num_chunks, Ccf ccf);
+
+/** Expand a partitioned fp32 buffer back into dst (n elements). */
+void expandPartitionedPs(const PartitionedStream &ps,
+                         const uint8_t *src_region, size_t region_bytes,
+                         float *dst, size_t n);
+
+} // namespace zcomp
+
+#endif // ZCOMP_ZCOMP_PARTITION_HH

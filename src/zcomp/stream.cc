@@ -1,0 +1,200 @@
+#include "zcomp/stream.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace zcomp {
+
+double
+StreamStats::ratio() const
+{
+    uint64_t total = totalBytes();
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(originalBytes()) /
+           static_cast<double>(total);
+}
+
+double
+StreamStats::sparsity(ElemType t) const
+{
+    uint64_t elems = vectors * static_cast<uint64_t>(lanesPerVec(t));
+    if (elems == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(nnz) / static_cast<double>(elems);
+}
+
+StreamStats &
+StreamStats::operator+=(const StreamStats &o)
+{
+    vectors += o.vectors;
+    nnz += o.nnz;
+    payloadBytes += o.payloadBytes;
+    headerBytes += o.headerBytes;
+    return *this;
+}
+
+CompressedWriter::CompressedWriter(uint8_t *data, size_t data_capacity,
+                                   ElemType t, Ccf ccf, bool record_nnz)
+    : dataBase_(data), dataPtr_(data), dataCap_(data_capacity), etype_(t),
+      ccf_(ccf), recordNnz_(record_nnz)
+{
+}
+
+CompressedWriter::CompressedWriter(uint8_t *data, size_t data_capacity,
+                                   uint8_t *hdr, size_t hdr_capacity,
+                                   ElemType t, Ccf ccf, bool record_nnz)
+    : dataBase_(data), dataPtr_(data), dataCap_(data_capacity),
+      hdrBase_(hdr), hdrPtr_(hdr), hdrCap_(hdr_capacity), etype_(t),
+      ccf_(ccf), recordNnz_(record_nnz)
+{
+}
+
+bool
+CompressedWriter::fitsWorstCase() const
+{
+    size_t payload_max =
+        separateHeader() ? 64u : static_cast<size_t>(
+                                     maxCompressedBytes(etype_));
+    if (bytesWritten() + payload_max > dataCap_)
+        return false;
+    if (separateHeader() &&
+        hdrBytesWritten() + static_cast<size_t>(headerBytes(etype_)) >
+            hdrCap_) {
+        return false;
+    }
+    return true;
+}
+
+ZcompResult
+CompressedWriter::put(const Vec512 &v)
+{
+    ZcompResult r;
+    uint64_t header = computeHeader(v, etype_, ccf_);
+    size_t payload = static_cast<size_t>(popcount64(header)) *
+                     static_cast<size_t>(elemBytes(etype_));
+    if (separateHeader()) {
+        fatal_if(hdrBytesWritten() + static_cast<size_t>(
+                     headerBytes(etype_)) > hdrCap_,
+                 "header store overflow at vector %llu",
+                 (unsigned long long)stats_.vectors);
+        fatal_if(bytesWritten() + payload > dataCap_,
+                 "compressed data overflow at vector %llu",
+                 (unsigned long long)stats_.vectors);
+        r = zcompsS(dataPtr_, v, hdrPtr_, etype_, ccf_);
+    } else {
+        size_t need = static_cast<size_t>(headerBytes(etype_)) + payload;
+        fatal_if(bytesWritten() + need > dataCap_,
+                 "interleaved stream memory violation at vector %llu: "
+                 "data is not compressible enough for the original "
+                 "allocation (Section 4.1)",
+                 (unsigned long long)stats_.vectors);
+        r = zcompsI(dataPtr_, v, etype_, ccf_);
+    }
+    stats_.vectors++;
+    stats_.nnz += static_cast<uint64_t>(r.nnz);
+    stats_.payloadBytes += static_cast<uint64_t>(r.dataBytes);
+    stats_.headerBytes += static_cast<uint64_t>(headerBytes(etype_));
+    if (recordNnz_)
+        nnzRecord_.push_back(static_cast<uint8_t>(r.nnz));
+    return r;
+}
+
+CompressedReader::CompressedReader(const uint8_t *data,
+                                   size_t data_capacity, ElemType t)
+    : dataBase_(data), dataPtr_(data), dataCap_(data_capacity), etype_(t)
+{
+}
+
+CompressedReader::CompressedReader(const uint8_t *data,
+                                   size_t data_capacity,
+                                   const uint8_t *hdr, size_t hdr_capacity,
+                                   ElemType t)
+    : dataBase_(data), dataPtr_(data), dataCap_(data_capacity),
+      hdrBase_(hdr), hdrPtr_(hdr), hdrCap_(hdr_capacity), etype_(t)
+{
+}
+
+Vec512
+CompressedReader::get()
+{
+    Vec512 out;
+    ZcompResult r;
+    if (hdrBase_) {
+        fatal_if(hdrBytesRead() + static_cast<size_t>(headerBytes(etype_)) >
+                     hdrCap_,
+                 "header store underrun at vector %llu",
+                 (unsigned long long)stats_.vectors);
+        r = zcomplSeparate(dataPtr_, hdrPtr_, etype_, out);
+        fatal_if(bytesRead() + static_cast<size_t>(r.dataBytes) > dataCap_,
+                 "compressed stream underrun at vector %llu",
+                 (unsigned long long)stats_.vectors);
+        dataPtr_ += r.dataBytes;
+        hdrPtr_ += headerBytes(etype_);
+    } else {
+        fatal_if(bytesRead() + static_cast<size_t>(headerBytes(etype_)) >
+                     dataCap_,
+                 "compressed stream underrun at vector %llu",
+                 (unsigned long long)stats_.vectors);
+        r = zcomplInterleaved(dataPtr_, etype_, out);
+        fatal_if(bytesRead() + static_cast<size_t>(r.totalBytes) > dataCap_,
+                 "compressed stream underrun at vector %llu",
+                 (unsigned long long)stats_.vectors);
+        dataPtr_ += r.totalBytes;
+    }
+    stats_.vectors++;
+    stats_.nnz += static_cast<uint64_t>(r.nnz);
+    stats_.payloadBytes += static_cast<uint64_t>(r.dataBytes);
+    stats_.headerBytes += static_cast<uint64_t>(headerBytes(etype_));
+    return out;
+}
+
+StreamStats
+compressBufferPs(const float *src, size_t n, uint8_t *dst,
+                 size_t dst_capacity, Ccf ccf)
+{
+    fatal_if(n % 16 != 0, "element count %zu is not a multiple of 16", n);
+    CompressedWriter w(dst, dst_capacity, ElemType::F32, ccf,
+                       /*record_nnz=*/false);
+    for (size_t i = 0; i < n; i += 16)
+        w.put(Vec512::load(src + i));
+    return w.stats();
+}
+
+StreamStats
+expandBufferPs(const uint8_t *src, size_t src_capacity, float *dst,
+               size_t n)
+{
+    fatal_if(n % 16 != 0, "element count %zu is not a multiple of 16", n);
+    CompressedReader r(src, src_capacity, ElemType::F32);
+    for (size_t i = 0; i < n; i += 16) {
+        Vec512 v = r.get();
+        v.store(dst + i);
+    }
+    return r.stats();
+}
+
+size_t
+validateStream(const uint8_t *data, size_t capacity, size_t num_vectors,
+               ElemType t)
+{
+    size_t off = 0;
+    const int hb = headerBytes(t);
+    for (size_t i = 0; i < num_vectors; i++) {
+        if (off + static_cast<size_t>(hb) > capacity)
+            return 0;
+        uint64_t header = 0;
+        std::memcpy(&header, data + off, static_cast<size_t>(hb));
+        size_t total =
+            static_cast<size_t>(hb) +
+            static_cast<size_t>(popcount64(header) * elemBytes(t));
+        if (off + total > capacity)
+            return 0;
+        off += total;
+    }
+    return off;
+}
+
+} // namespace zcomp

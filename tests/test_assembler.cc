@@ -1,0 +1,97 @@
+/** @file Unit tests for the ZCOMP assembler and disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+using namespace zcomp;
+
+TEST(Assembler, InterleavedStore)
+{
+    auto i = assemble("zcomps.i.ps [r2], zmm1, ltez");
+    ASSERT_TRUE(i.has_value());
+    EXPECT_TRUE(i->isStore);
+    EXPECT_FALSE(i->sepHeader);
+    EXPECT_EQ(i->etype, ElemType::F32);
+    EXPECT_EQ(i->ccf, Ccf::LTEZ);
+    EXPECT_EQ(i->vreg, 1);
+    EXPECT_EQ(i->dataPtrReg, 2);
+}
+
+TEST(Assembler, SeparateStore)
+{
+    auto i = assemble("zcomps.s.ps [r2], zmm1, [r3], eqz");
+    ASSERT_TRUE(i.has_value());
+    EXPECT_TRUE(i->sepHeader);
+    EXPECT_EQ(i->hdrPtrReg, 3);
+    EXPECT_EQ(i->ccf, Ccf::EQZ);
+}
+
+TEST(Assembler, InterleavedLoad)
+{
+    auto i = assemble("zcompl.i.ps zmm5, [r10]");
+    ASSERT_TRUE(i.has_value());
+    EXPECT_FALSE(i->isStore);
+    EXPECT_EQ(i->vreg, 5);
+    EXPECT_EQ(i->dataPtrReg, 10);
+}
+
+TEST(Assembler, SeparateLoad)
+{
+    auto i = assemble("zcompl.s.pd zmm31, [r1], [r2]");
+    ASSERT_TRUE(i.has_value());
+    EXPECT_TRUE(i->sepHeader);
+    EXPECT_EQ(i->etype, ElemType::F64);
+    EXPECT_EQ(i->vreg, 31);
+}
+
+TEST(Assembler, AllTypeSuffixes)
+{
+    EXPECT_EQ(assemble("zcompl.i.ps zmm0, [r0]")->etype, ElemType::F32);
+    EXPECT_EQ(assemble("zcompl.i.ph zmm0, [r0]")->etype, ElemType::F16);
+    EXPECT_EQ(assemble("zcompl.i.b zmm0, [r0]")->etype, ElemType::I8);
+    EXPECT_EQ(assemble("zcompl.i.d zmm0, [r0]")->etype, ElemType::I32);
+    EXPECT_EQ(assemble("zcompl.i.pd zmm0, [r0]")->etype, ElemType::F64);
+}
+
+TEST(Assembler, IgnoresComments)
+{
+    auto i = assemble("zcompl.i.ps zmm1, [r2] ; expand next vector");
+    ASSERT_TRUE(i.has_value());
+    EXPECT_EQ(i->vreg, 1);
+}
+
+TEST(Assembler, RejectsMalformedInput)
+{
+    EXPECT_FALSE(assemble("").has_value());
+    EXPECT_FALSE(assemble("nop").has_value());
+    EXPECT_FALSE(assemble("zcomps.i.ps zmm1, [r2], ltez").has_value());
+    EXPECT_FALSE(assemble("zcomps.i.ps [r2], zmm1").has_value());
+    EXPECT_FALSE(assemble("zcomps.i.ps [r2], zmm1, nope").has_value());
+    EXPECT_FALSE(assemble("zcomps.x.ps [r2], zmm1, eqz").has_value());
+    EXPECT_FALSE(assemble("zcomps.i.qq [r2], zmm1, eqz").has_value());
+    EXPECT_FALSE(assemble("zcomps.i.ps [r32], zmm1, eqz").has_value());
+    EXPECT_FALSE(assemble("zcomps.i.ps [r2], zmm32, eqz").has_value());
+    EXPECT_FALSE(assemble("zcompl.i.ps zmm1, [r2], [r3]").has_value());
+}
+
+TEST(Assembler, DisassembleAssembleRoundTrip)
+{
+    const char *cases[] = {
+        "zcomps.i.ps [r2], zmm1, ltez",
+        "zcomps.s.b [r4], zmm9, [r5], eqz",
+        "zcompl.i.ph zmm0, [r31]",
+        "zcompl.s.pd zmm17, [r8], [r9]",
+    };
+    for (const char *line : cases) {
+        auto i = assemble(line);
+        ASSERT_TRUE(i.has_value()) << line;
+        EXPECT_EQ(disassemble(*i), line);
+        // And through the binary encoding as well.
+        auto w = encode(*i);
+        ASSERT_TRUE(w.has_value());
+        auto back = decode(*w);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(disassemble(*back), line);
+    }
+}

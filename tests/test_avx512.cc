@@ -1,0 +1,101 @@
+/** @file Unit tests for the functional AVX512 subset. */
+
+#include <gtest/gtest.h>
+
+#include "isa/avx512.hh"
+
+using namespace zcomp;
+
+namespace {
+
+Vec512
+iota()
+{
+    Vec512 v;
+    for (int i = 0; i < 16; i++)
+        v.setLane<float>(i, static_cast<float>(i) - 7.5f);
+    return v;
+}
+
+} // namespace
+
+TEST(Avx512, CmpNeqZeroBuildsSparsityMask)
+{
+    Vec512 v = setzeroPs();
+    v.setLane<float>(3, 1.0f);
+    v.setLane<float>(10, -2.0f);
+    Mask16 m = cmpPsMask(v, setzeroPs(), CmpPred::NEQ);
+    EXPECT_EQ(m, (1u << 3) | (1u << 10));
+}
+
+TEST(Avx512, CmpPredicates)
+{
+    Vec512 a = set1Ps(1.0f);
+    Vec512 b = set1Ps(2.0f);
+    EXPECT_EQ(cmpPsMask(a, b, CmpPred::LT), 0xFFFF);
+    EXPECT_EQ(cmpPsMask(a, b, CmpPred::LE), 0xFFFF);
+    EXPECT_EQ(cmpPsMask(a, b, CmpPred::GT), 0x0000);
+    EXPECT_EQ(cmpPsMask(a, a, CmpPred::EQ), 0xFFFF);
+    EXPECT_EQ(cmpPsMask(a, a, CmpPred::GE), 0xFFFF);
+    EXPECT_EQ(cmpPsMask(a, b, CmpPred::NEQ), 0xFFFF);
+}
+
+TEST(Avx512, MaxPsIsRelu)
+{
+    Vec512 v = iota();
+    Vec512 r = maxPs(v, setzeroPs());
+    for (int i = 0; i < 16; i++) {
+        float x = v.lane<float>(i);
+        EXPECT_FLOAT_EQ(r.lane<float>(i), x > 0 ? x : 0.0f);
+    }
+}
+
+TEST(Avx512, Arithmetic)
+{
+    Vec512 a = set1Ps(3.0f);
+    Vec512 b = set1Ps(4.0f);
+    Vec512 c = set1Ps(10.0f);
+    EXPECT_FLOAT_EQ(addPs(a, b).lane<float>(5), 7.0f);
+    EXPECT_FLOAT_EQ(mulPs(a, b).lane<float>(0), 12.0f);
+    EXPECT_FLOAT_EQ(fmaddPs(a, b, c).lane<float>(15), 22.0f);
+    EXPECT_FLOAT_EQ(reduceAddPs(set1Ps(0.5f)), 8.0f);
+}
+
+TEST(Avx512, Popcnt)
+{
+    EXPECT_EQ(popcnt32(0), 0);
+    EXPECT_EQ(popcnt32(0x911C), 6);
+    EXPECT_EQ(popcnt32(0xFFFF), 16);
+}
+
+TEST(Avx512, CompressStoreExpandLoadRoundTrip)
+{
+    Vec512 v = iota();
+    Mask16 mask = cmpPsMask(v, setzeroPs(), CmpPred::NEQ);
+    float packed[16] = {};
+    int n = maskCompressStoreuPs(packed, mask, v);
+    EXPECT_EQ(n, popcnt32(mask));
+    Vec512 back = maskzExpandLoaduPs(mask, packed);
+    for (int i = 0; i < 16; i++) {
+        if ((mask >> i) & 1) {
+            EXPECT_FLOAT_EQ(back.lane<float>(i), v.lane<float>(i));
+        } else {
+            EXPECT_FLOAT_EQ(back.lane<float>(i), 0.0f);
+        }
+    }
+}
+
+TEST(Avx512, CompressStorePacksInLaneOrder)
+{
+    Vec512 v = setzeroPs();
+    v.setLane<float>(2, 2.0f);
+    v.setLane<float>(9, 9.0f);
+    v.setLane<float>(14, 14.0f);
+    float packed[16] = {};
+    int n = maskCompressStoreuPs(
+        packed, (1u << 2) | (1u << 9) | (1u << 14), v);
+    ASSERT_EQ(n, 3);
+    EXPECT_FLOAT_EQ(packed[0], 2.0f);
+    EXPECT_FLOAT_EQ(packed[1], 9.0f);
+    EXPECT_FLOAT_EQ(packed[2], 14.0f);
+}

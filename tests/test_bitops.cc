@@ -1,0 +1,80 @@
+/** @file Unit tests for common/bitops.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+using namespace zcomp;
+
+TEST(Bitops, Popcount64)
+{
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(popcount64(1), 1);
+    EXPECT_EQ(popcount64(0x911C), 6);   // header example from Figure 4
+    EXPECT_EQ(popcount64(~0ULL), 64);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_TRUE(isPow2(1ULL << 63));
+}
+
+TEST(Bitops, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0);
+    EXPECT_EQ(floorLog2(2), 1);
+    EXPECT_EQ(floorLog2(3), 1);
+    EXPECT_EQ(floorLog2(64), 6);
+    EXPECT_EQ(ceilLog2(64), 6);
+    EXPECT_EQ(ceilLog2(65), 7);
+    EXPECT_EQ(ceilLog2(1), 0);
+}
+
+TEST(Bitops, Align)
+{
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(65, 64), 128u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(127, 64), 64u);
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 16), 0);
+    EXPECT_EQ(divCeil(1, 16), 1);
+    EXPECT_EQ(divCeil(16, 16), 1);
+    EXPECT_EQ(divCeil(17, 16), 2);
+}
+
+TEST(Bitops, BitsExtractInsert)
+{
+    EXPECT_EQ(bits(0xABCD, 15, 8), 0xABu);
+    EXPECT_EQ(bits(0xABCD, 7, 0), 0xCDu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    uint64_t w = 0;
+    w = insertBits(w, 15, 8, 0xAB);
+    w = insertBits(w, 7, 0, 0xCD);
+    EXPECT_EQ(w, 0xABCDu);
+    // Overwrite a field.
+    w = insertBits(w, 15, 8, 0x12);
+    EXPECT_EQ(w, 0x12CDu);
+}
+
+TEST(BitopsProperty, InsertThenExtractRoundTrips)
+{
+    for (int first = 0; first < 60; first += 7) {
+        for (int width = 1; width <= 4; width++) {
+            int last = first + width - 1;
+            uint64_t val = 0x5A5A5A5A5A5A5A5AULL & ((1ULL << width) - 1);
+            uint64_t w = insertBits(0xFFFFFFFFFFFFFFFFULL, last, first, val);
+            EXPECT_EQ(bits(w, last, first), val)
+                << "first=" << first << " width=" << width;
+        }
+    }
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for FPC, FPC-D and the cache-compression architecture models
+ * behind the Figure 15 comparison.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cachecomp/cache_model.hh"
+#include "cachecomp/fpc.hh"
+#include "cachecomp/fpcd.hh"
+#include "workload/snapshot.hh"
+
+using namespace zcomp;
+
+namespace {
+
+std::vector<uint8_t>
+lineOf(std::initializer_list<uint32_t> words)
+{
+    std::vector<uint8_t> line(64, 0);
+    int i = 0;
+    for (uint32_t w : words) {
+        std::memcpy(line.data() + i * 4, &w, 4);
+        i++;
+    }
+    return line;
+}
+
+std::vector<uint8_t>
+snapshotBytes(size_t elems, double sparsity, uint64_t seed)
+{
+    SnapshotParams p;
+    p.sparsity = sparsity;
+    auto floats = makeActivations(elems, p, seed);
+    std::vector<uint8_t> bytes(elems * 4);
+    std::memcpy(bytes.data(), floats.data(), bytes.size());
+    return bytes;
+}
+
+} // namespace
+
+TEST(Fpc, PatternClassification)
+{
+    EXPECT_EQ(fpcClassify(0), FpcPattern::ZeroRun);
+    EXPECT_EQ(fpcClassify(3), FpcPattern::SignExt4);
+    EXPECT_EQ(fpcClassify(0xFFFFFFFF), FpcPattern::SignExt4);   // -1
+    EXPECT_EQ(fpcClassify(100), FpcPattern::SignExt8);
+    EXPECT_EQ(fpcClassify(30000), FpcPattern::SignExt16);
+    EXPECT_EQ(fpcClassify(0x12340000), FpcPattern::ZeroPaddedHalf);
+    EXPECT_EQ(fpcClassify(0x00050006), FpcPattern::SignExtHalves);
+    EXPECT_EQ(fpcClassify(0xABABABAB), FpcPattern::RepeatedBytes);
+    EXPECT_EQ(fpcClassify(0x3F8CC0DE), FpcPattern::Uncompressed);
+}
+
+TEST(Fpc, AllZeroLineCompressesHard)
+{
+    auto line = lineOf({});
+    // Two zero runs of 8: 2 * (3 prefix + 3 run) = 12 bits -> 2 bytes.
+    EXPECT_EQ(fpcLineBits(line.data()), 12);
+    EXPECT_EQ(fpcLineBytes(line.data()), 2);
+}
+
+TEST(Fpc, IncompressibleLineCapsAtRawSize)
+{
+    std::vector<uint8_t> line(64);
+    for (int i = 0; i < 64; i++)
+        line[static_cast<size_t>(i)] = static_cast<uint8_t>(37 + i * 71);
+    EXPECT_EQ(fpcLineBytes(line.data()), 64);
+}
+
+TEST(FpcD, ZeroLineIsPrefixOnly)
+{
+    auto line = lineOf({});
+    EXPECT_EQ(fpcdLineBytes(line.data()), fpcdPrefixBytes);
+}
+
+TEST(FpcD, DictionaryCatchesRepeatedFloats)
+{
+    // The same fp32 value repeated: first word uncompressed, the rest
+    // dictionary hits of 1 bit.
+    std::vector<uint8_t> line(64);
+    float v = 1.234567f;
+    for (int i = 0; i < 16; i++)
+        std::memcpy(line.data() + i * 4, &v, 4);
+    int sz = fpcdLineBytes(line.data());
+    EXPECT_LT(sz, 16);
+    EXPECT_GE(sz, fpcdPrefixBytes);
+}
+
+TEST(FpcD, PartialMatchesShareHighBytes)
+{
+    // Floats with identical exponent/high-mantissa differ only in the
+    // low byte: partial dictionary hits.
+    std::vector<uint8_t> line(64);
+    for (int i = 0; i < 16; i++) {
+        uint32_t w = 0x3F800000u | static_cast<uint32_t>(i);
+        std::memcpy(line.data() + i * 4, &w, 4);
+    }
+    EXPECT_LT(fpcdLineBytes(line.data()), 32);
+}
+
+TEST(FpcD, RandomFloatsBarelyCompress)
+{
+    auto bytes = snapshotBytes(16 * 64, 0.0, 5);
+    uint64_t total = 0;
+    for (size_t off = 0; off < bytes.size(); off += 64)
+        total += static_cast<uint64_t>(fpcdLineBytes(bytes.data() + off));
+    // Dense gaussian floats: prefix overhead eats most of the gains.
+    EXPECT_GT(total, bytes.size() / 2);
+}
+
+TEST(CacheModel, ZcompRatioTracksSparsity)
+{
+    auto bytes = snapshotBytes(1 << 16, 0.53, 7);
+    double r = zcompSnapshotRatio(bytes.data(), bytes.size());
+    // 64 / (2 + 0.47*64) ~ 2.0.
+    EXPECT_NEAR(r, 2.0, 0.25);
+}
+
+TEST(CacheModel, LimitCCBeatsTwoTag)
+{
+    auto bytes = snapshotBytes(1 << 16, 0.53, 9);
+    CompRatios r = analyzeSnapshot(bytes.data(), bytes.size());
+    EXPECT_GT(r.limitCC, r.twoTagCC);
+    EXPECT_GE(r.twoTagCC, 1.0);
+}
+
+TEST(CacheModel, Figure15Ordering)
+{
+    // ZCOMP > LimitCC > TwoTagCC on feature-map snapshots (Figure 15:
+    // geomeans 1.8 / 1.54 / 1.1).
+    std::vector<double> z, l, t;
+    for (double s : {0.49, 0.53, 0.58, 0.62, 0.55}) {
+        auto bytes =
+            snapshotBytes(1 << 16, s, static_cast<uint64_t>(s * 100));
+        CompRatios r = analyzeSnapshot(bytes.data(), bytes.size());
+        z.push_back(r.zcomp);
+        l.push_back(r.limitCC);
+        t.push_back(r.twoTagCC);
+    }
+    double gz = geomean(z), gl = geomean(l), gt = geomean(t);
+    EXPECT_GT(gz, gl);
+    EXPECT_GT(gl, gt);
+    EXPECT_NEAR(gz, 1.8, 0.45);
+    EXPECT_NEAR(gl, 1.54, 0.45);
+    EXPECT_NEAR(gt, 1.1, 0.3);
+}
+
+TEST(CacheModel, TwoTagPairsOnlyWithinSets)
+{
+    // All-zero snapshot: every pair fits, ratio approaches 2.
+    std::vector<uint8_t> zeros(64 * 128, 0);
+    EXPECT_NEAR(twoTagCCRatio(zeros.data(), zeros.size(), 4), 2.0,
+                0.05);
+    // Incompressible snapshot: no pairs fit, ratio 1.
+    auto dense = snapshotBytes(64 * 32, 0.0, 11);
+    EXPECT_NEAR(twoTagCCRatio(dense.data(), dense.size(), 4), 1.0,
+                0.05);
+}
+
+TEST(CacheModel, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+}

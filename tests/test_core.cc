@@ -1,0 +1,203 @@
+/** @file Unit tests for the core timing model. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+
+using namespace zcomp;
+
+namespace {
+
+ArchConfig
+cfg1core()
+{
+    ArchConfig cfg;
+    cfg.numCores = 1;
+    cfg.prefetch.l1IpStride = false;
+    cfg.prefetch.l2Stream = false;
+    return cfg;
+}
+
+/** Run a trace to completion on core 0; returns the core. */
+double
+run(const ArchConfig &cfg, MemoryHierarchy &mem, const CoreTrace &trace,
+    CycleBreakdown *bd = nullptr)
+{
+    CoreModel core(0, cfg, mem);
+    core.startPhase(&trace, 0.0);
+    while (!core.done())
+        core.step();
+    if (bd)
+        *bd = core.breakdown();
+    return core.time();
+}
+
+} // namespace
+
+TEST(Core, PureIssueCostsUopsOverWidth)
+{
+    ArchConfig cfg = cfg1core();
+    MemoryHierarchy mem(cfg);
+    CoreTrace t;
+    for (int i = 0; i < 100; i++)
+        t.push_back(TraceOp::issue(4));
+    CycleBreakdown bd;
+    double cycles = run(cfg, mem, t, &bd);
+    EXPECT_NEAR(cycles, 100.0, 1e-9);   // 4 uops / 4-wide = 1 cyc each
+    EXPECT_NEAR(bd.compute, 100.0, 1e-9);
+    EXPECT_NEAR(bd.memory, 0.0, 1e-9);
+}
+
+TEST(Core, L1HitLoadsDoNotStall)
+{
+    ArchConfig cfg = cfg1core();
+    MemoryHierarchy mem(cfg);
+    // Warm one line.
+    mem.access(0, 0x1000, 64, false, 0.0, 1);
+    CoreTrace t;
+    for (int i = 0; i < 100; i++)
+        t.push_back(TraceOp::load(0x1000, 64, 4, 1));
+    CycleBreakdown bd;
+    double cycles = run(cfg, mem, t, &bd);
+    EXPECT_NEAR(cycles, 100.0, 2.0);    // issue-bound
+    EXPECT_LT(bd.memory, 1.0);
+}
+
+TEST(Core, IndependentMissesOverlapUpToMshrs)
+{
+    ArchConfig cfg = cfg1core();
+    cfg.core.mshrs = 8;
+    MemoryHierarchy mem(cfg);
+    // 64 independent cold misses to distinct lines.
+    CoreTrace t;
+    for (int i = 0; i < 64; i++) {
+        t.push_back(TraceOp::load(0x100000 + static_cast<Addr>(i) * 64,
+                                  64, 1, 1));
+    }
+    double cycles = run(cfg, mem, t);
+    // Perfect MLP of 8 over ~150-cycle misses -> around 64/8 * latency,
+    // far less than the serialized 64 * 150.
+    EXPECT_LT(cycles, 64.0 * 150.0 / 4.0);
+    EXPECT_GT(cycles, 150.0);   // but at least one full miss latency
+}
+
+TEST(Core, DependentChainSerializes)
+{
+    ArchConfig cfg = cfg1core();
+    MemoryHierarchy mem(cfg);
+    // Warm lines so loads are L1 hits, then chain them on stream 0:
+    // each load waits for the previous completion + chainLat.
+    for (int i = 0; i < 32; i++)
+        mem.access(0, 0x1000 + static_cast<Addr>(i) * 64, 64, false,
+                   0.0, 1);
+    CoreTrace t;
+    for (int i = 0; i < 32; i++) {
+        TraceOp op = TraceOp::load(0x1000 + static_cast<Addr>(i) * 64,
+                                   64, 1, 1);
+        op.stream = 0;
+        op.chainLat = 2;
+        t.push_back(op);
+    }
+    CycleBreakdown bd;
+    double cycles = run(cfg, mem, t, &bd);
+    // Each link costs ~ L1 latency (4) + chain (2) = 6 cycles.
+    EXPECT_GT(cycles, 32.0 * 5.0);
+    EXPECT_GT(bd.memory, bd.compute);
+}
+
+TEST(Core, IndependentStreamsBreakTheChain)
+{
+    ArchConfig cfg = cfg1core();
+    MemoryHierarchy mem(cfg);
+    for (int i = 0; i < 32; i++)
+        mem.access(0, 0x1000 + static_cast<Addr>(i) * 64, 64, false,
+                   0.0, 1);
+    // Same loads spread over 4 streams (sub-block unrolling).
+    CoreTrace t;
+    for (int i = 0; i < 32; i++) {
+        TraceOp op = TraceOp::load(0x1000 + static_cast<Addr>(i) * 64,
+                                   64, 1, 1);
+        op.stream = static_cast<int8_t>(i % 4);
+        op.chainLat = 2;
+        t.push_back(op);
+    }
+    double chained4 = run(cfg, mem, t);
+
+    MemoryHierarchy mem2(cfg);
+    for (int i = 0; i < 32; i++)
+        mem2.access(0, 0x1000 + static_cast<Addr>(i) * 64, 64, false,
+                    0.0, 1);
+    CoreTrace t1;
+    for (int i = 0; i < 32; i++) {
+        TraceOp op = TraceOp::load(0x1000 + static_cast<Addr>(i) * 64,
+                                   64, 1, 1);
+        op.stream = 0;
+        op.chainLat = 2;
+        t1.push_back(op);
+    }
+    double chained1 = run(cfg, mem2, t1);
+    EXPECT_LT(chained4, 0.5 * chained1);
+}
+
+TEST(Core, ZcompUnitThroughputLimits)
+{
+    ArchConfig cfg = cfg1core();
+    MemoryHierarchy mem(cfg);
+    for (int i = 0; i < 64; i++)
+        mem.access(0, 0x1000 + static_cast<Addr>(i) * 64, 64, false,
+                   0.0, 1);
+    // 1-uop zcomp ops would issue at 4/cycle, but the zcomp unit only
+    // accepts 1 per cycle.
+    CoreTrace t;
+    for (int i = 0; i < 64; i++) {
+        TraceOp op = TraceOp::store(0x1000 + static_cast<Addr>(i) * 64,
+                                    64, 1, 1);
+        op.zcompUnit = true;
+        t.push_back(op);
+    }
+    double cycles = run(cfg, mem, t);
+    EXPECT_GE(cycles, 63.0);
+}
+
+TEST(Core, StoreBufferAbsorbsStoresUntilFull)
+{
+    ArchConfig cfg = cfg1core();
+    cfg.core.storeBuffer = 4;
+    MemoryHierarchy mem(cfg);
+    // Cold store misses go to DRAM; with a 4-entry buffer the core
+    // must eventually stall on them.
+    CoreTrace t;
+    for (int i = 0; i < 64; i++) {
+        t.push_back(TraceOp::store(
+            0x200000 + static_cast<Addr>(i) * 64, 64, 1, 2));
+    }
+    CycleBreakdown bd;
+    run(cfg, mem, t, &bd);
+    EXPECT_GT(bd.memory, 0.0);
+}
+
+TEST(Core, DrainChargesTrailingLatencyToMemory)
+{
+    ArchConfig cfg = cfg1core();
+    MemoryHierarchy mem(cfg);
+    CoreTrace t;
+    t.push_back(TraceOp::load(0x300000, 64, 1, 1));     // one cold miss
+    CycleBreakdown bd;
+    double cycles = run(cfg, mem, t, &bd);
+    EXPECT_GT(cycles, 100.0);           // full DRAM latency at drain
+    EXPECT_GT(bd.memory, 100.0);
+}
+
+TEST(Core, SyncToAccumulatesSyncStall)
+{
+    ArchConfig cfg = cfg1core();
+    MemoryHierarchy mem(cfg);
+    CoreModel core(0, cfg, mem);
+    CoreTrace t;
+    core.startPhase(&t, 0.0);
+    while (!core.done())
+        core.step();
+    core.syncTo(500.0);
+    EXPECT_DOUBLE_EQ(core.time(), 500.0);
+    EXPECT_DOUBLE_EQ(core.breakdown().sync, 500.0);
+}

@@ -1,0 +1,80 @@
+/** @file Unit tests for the DeepBench shape table. */
+
+#include <gtest/gtest.h>
+
+#include "workload/deepbench.hh"
+
+using namespace zcomp;
+
+TEST(DeepBench, Exactly44ShapesElevenPerSuite)
+{
+    const auto &all = deepBenchShapes();
+    EXPECT_EQ(all.size(), 44u);
+    EXPECT_EQ(shapesOf(BenchSuite::ConvTrain).size(), 11u);
+    EXPECT_EQ(shapesOf(BenchSuite::ConvInfer).size(), 11u);
+    EXPECT_EQ(shapesOf(BenchSuite::FcTrain).size(), 11u);
+    EXPECT_EQ(shapesOf(BenchSuite::FcInfer).size(), 11u);
+}
+
+TEST(DeepBench, SortedBySizeWithinSuite)
+{
+    for (int s = 0; s < numBenchSuites; s++) {
+        auto shapes = shapesOf(static_cast<BenchSuite>(s));
+        for (size_t i = 1; i < shapes.size(); i++)
+            EXPECT_LE(shapes[i - 1].elems, shapes[i].elems);
+    }
+}
+
+TEST(DeepBench, AllVectorAligned)
+{
+    for (const auto &s : deepBenchShapes())
+        EXPECT_EQ(s.elems % 16, 0u) << s.name;
+}
+
+TEST(DeepBench, SizeRangeCoversRegimes)
+{
+    const auto &all = deepBenchShapes();
+    size_t min_e = all[0].elems, max_e = all[0].elems;
+    for (const auto &s : all) {
+        min_e = std::min(min_e, s.elems);
+        max_e = std::max(max_e, s.elems);
+    }
+    EXPECT_LE(min_e * 4, 32u * 1024u);              // L1-resident shapes
+    EXPECT_GE(max_e * 4, 100u * 1024u * 1024u);     // DRAM-resident
+    // Shapes straddle the 24 MiB L3 for the Figure 12b cliff.
+    bool below = false, above = false;
+    for (const auto &s : shapesOf(BenchSuite::ConvTrain)) {
+        if (s.bytes() < 24u * 1024u * 1024u)
+            below = true;
+        if (s.bytes() > 24u * 1024u * 1024u)
+            above = true;
+    }
+    EXPECT_TRUE(below && above);
+}
+
+TEST(DeepBench, SparsitiesMatchPaperRange)
+{
+    double sum = 0;
+    for (const auto &s : deepBenchShapes()) {
+        EXPECT_GE(s.sparsity, 0.35) << s.name;
+        EXPECT_LE(s.sparsity, 0.70) << s.name;
+        sum += s.sparsity;
+    }
+    EXPECT_NEAR(sum / 44.0, 0.53, 0.02);    // paper: average 53%
+}
+
+TEST(DeepBench, InferShapesAreSmall)
+{
+    // Inference uses small batches; conv-infer feature maps should
+    // (almost) always fit in the on-chip caches (Section 5.2).
+    for (const auto &s : shapesOf(BenchSuite::ConvInfer))
+        EXPECT_LE(s.bytes(), 24u * 1024u * 1024u) << s.name;
+    for (const auto &s : shapesOf(BenchSuite::FcInfer))
+        EXPECT_LE(s.bytes(), 1u * 1024u * 1024u) << s.name;
+}
+
+TEST(DeepBench, SuiteNames)
+{
+    EXPECT_STREQ(benchSuiteName(BenchSuite::ConvTrain), "conv-train");
+    EXPECT_STREQ(benchSuiteName(BenchSuite::FcInfer), "fc-infer");
+}

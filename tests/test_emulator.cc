@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Integration tests for the ZCOMP architectural emulator: assembly ->
+ * encoding -> execution -> memory/register state, including the
+ * iterative Figure 8/9 loop pattern run entirely through the ISA.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/emulator.hh"
+#include "workload/snapshot.hh"
+#include "zcomp/stream.hh"
+
+using namespace zcomp;
+
+namespace {
+
+constexpr Addr memBase = 0x1000;
+
+struct Machine
+{
+    std::vector<uint8_t> mem;
+    ZcompEmulator emu;
+
+    explicit Machine(size_t bytes)
+        : mem(bytes, 0), emu(mem.data(), bytes, memBase)
+    {}
+};
+
+} // namespace
+
+TEST(Emulator, Figure4ThroughTheIsa)
+{
+    Machine m(256);
+    Vec512 v = Vec512::zero();
+    for (int lane : {2, 3, 4, 8, 12, 15})
+        v.setLane<float>(lane, static_cast<float>(lane));
+    m.emu.vreg(1) = v;
+    m.emu.reg(2) = 0x1000;
+
+    ZcompResult r = m.emu.exec("zcomps.i.ps [r2], zmm1, eqz");
+    EXPECT_EQ(r.header, 0x911Cu);
+    EXPECT_EQ(m.emu.reg(2), 0x101Au);   // auto-increment by 26
+
+    // Read it back through the ISA into another register.
+    m.emu.reg(3) = 0x1000;
+    m.emu.exec("zcompl.i.ps zmm7, [r3]");
+    EXPECT_TRUE(m.emu.vreg(7) == v);
+    EXPECT_EQ(m.emu.reg(3), 0x101Au);
+    EXPECT_EQ(m.emu.retired(), 2u);
+}
+
+TEST(Emulator, ExecutesRawInstructionWords)
+{
+    Machine m(256);
+    m.emu.vreg(0).setLane<float>(5, 2.5f);
+    m.emu.reg(1) = memBase;
+    ZcompInstr instr;
+    instr.isStore = true;
+    instr.vreg = 0;
+    instr.dataPtrReg = 1;
+    m.emu.exec(*encode(instr));
+    // 2-byte header + one fp32.
+    EXPECT_EQ(m.emu.reg(1), memBase + 6);
+    float stored;
+    std::memcpy(&stored, m.mem.data() + 2, 4);
+    EXPECT_FLOAT_EQ(stored, 2.5f);
+}
+
+TEST(Emulator, IterativeLoopFigure8And9)
+{
+    // Compress 64 vectors through the ISA in a loop, then expand them
+    // back, exactly as the paper's code snippets do.
+    const size_t n = 64 * 16;
+    auto data = makeActivations(n, SnapshotParams{}, 3);
+
+    Machine m(n * 4 + 2 * (n / 16) + 128);
+    m.emu.reg(2) = memBase;     // compressed stream cursor
+    for (size_t i = 0; i < n; i += 16) {
+        m.emu.vreg(1) = Vec512::load(data.data() + i);
+        m.emu.exec("zcomps.i.ps [r2], zmm1, ltez");
+    }
+    uint64_t end = m.emu.reg(2);
+    EXPECT_GT(end, memBase);
+    EXPECT_LT(end, memBase + n * 4);    // it compressed
+
+    m.emu.reg(3) = memBase;
+    for (size_t i = 0; i < n; i += 16) {
+        m.emu.exec("zcompl.i.ps zmm4, [r3]");
+        for (int l = 0; l < 16; l++) {
+            float x = data[i + static_cast<size_t>(l)];
+            EXPECT_FLOAT_EQ(m.emu.vreg(4).lane<float>(l),
+                            x > 0 ? x : 0.0f);
+        }
+    }
+    EXPECT_EQ(m.emu.reg(3), end);   // cursors agree end-to-end
+}
+
+TEST(Emulator, SeparateHeaderProgram)
+{
+    Machine m(4096);
+    Rng rng(4);
+    std::vector<Vec512> vecs;
+    for (int i = 0; i < 8; i++) {
+        Vec512 v = Vec512::zero();
+        for (int l = 0; l < 16; l++) {
+            if (rng.chance(0.5))
+                v.setLane<float>(l, static_cast<float>(l + i) + 0.5f);
+        }
+        vecs.push_back(v);
+    }
+
+    m.emu.reg(2) = memBase;             // payload cursor
+    m.emu.reg(3) = memBase + 2048;      // header store cursor
+    for (const Vec512 &v : vecs) {
+        m.emu.vreg(9) = v;
+        m.emu.exec("zcomps.s.ps [r2], zmm9, [r3], eqz");
+    }
+    EXPECT_EQ(m.emu.reg(3), memBase + 2048 + 8 * 2);
+
+    m.emu.reg(2) = memBase;
+    m.emu.reg(3) = memBase + 2048;
+    for (const Vec512 &v : vecs) {
+        m.emu.exec("zcompl.s.ps zmm10, [r2], [r3]");
+        EXPECT_TRUE(m.emu.vreg(10) == v);
+    }
+}
+
+TEST(Emulator, Int8Variant)
+{
+    Machine m(256);
+    Vec512 v = Vec512::zero();
+    v.setLane<int8_t>(0, 11);
+    v.setLane<int8_t>(63, -7);
+    m.emu.vreg(2) = v;
+    m.emu.reg(4) = memBase;
+    ZcompResult r = m.emu.exec("zcomps.i.b [r4], zmm2, eqz");
+    EXPECT_EQ(r.nnz, 2);
+    EXPECT_EQ(m.emu.reg(4), memBase + 8 + 2);   // 8B header + 2 bytes
+
+    m.emu.reg(5) = memBase;
+    m.emu.exec("zcompl.i.b zmm3, [r5]");
+    EXPECT_TRUE(m.emu.vreg(3) == v);
+}
+
+TEST(EmulatorDeath, OutOfWindowAccessFaults)
+{
+    Machine m(64);
+    m.emu.reg(2) = memBase + 60;    // worst case would overflow
+    m.emu.vreg(0).setLane<float>(0, 1.0f);
+    EXPECT_DEATH(m.emu.exec("zcomps.i.ps [r2], zmm0, eqz"),
+                 "outside the memory window");
+}
+
+TEST(EmulatorDeath, IllegalWordFaults)
+{
+    Machine m(64);
+    EXPECT_DEATH(m.emu.exec(static_cast<uint32_t>(0xFFFFFFFF)),
+                 "illegal instruction");
+}
+
+TEST(EmulatorDeath, SyntaxErrorFaults)
+{
+    Machine m(64);
+    EXPECT_DEATH(m.emu.exec(std::string("zcomps.q.ps [r0], zmm0")),
+                 "syntax error");
+}
+
+TEST(Emulator, Fp16AndInt32Variants)
+{
+    Machine m(512);
+    // fp16: 32 lanes, 4-byte header. Raw half bits set directly.
+    Vec512 h = Vec512::zero();
+    h.setLane<uint16_t>(3, 0x3C00);     // 1.0 in fp16
+    h.setLane<uint16_t>(31, 0xC000);    // -2.0 in fp16
+    m.emu.vreg(1) = h;
+    m.emu.reg(2) = memBase;
+    ZcompResult r = m.emu.exec("zcomps.i.ph [r2], zmm1, eqz");
+    EXPECT_EQ(r.nnz, 2);
+    EXPECT_EQ(m.emu.reg(2), memBase + 4 + 2 * 2);
+    m.emu.reg(3) = memBase;
+    m.emu.exec("zcompl.i.ph zmm2, [r3]");
+    EXPECT_TRUE(m.emu.vreg(2) == h);
+
+    // int32: 16 lanes, 2-byte header; LTEZ uses two's-complement sign.
+    Vec512 d = Vec512::zero();
+    d.setLane<int32_t>(0, -5);
+    d.setLane<int32_t>(7, 9);
+    m.emu.vreg(4) = d;
+    m.emu.reg(5) = memBase + 128;
+    ZcompResult rd = m.emu.exec("zcomps.i.d [r5], zmm4, ltez");
+    EXPECT_EQ(rd.nnz, 1);               // only the positive survives
+    m.emu.reg(6) = memBase + 128;
+    m.emu.exec("zcompl.i.d zmm5, [r6]");
+    EXPECT_EQ(m.emu.vreg(5).lane<int32_t>(0), 0);
+    EXPECT_EQ(m.emu.vreg(5).lane<int32_t>(7), 9);
+}
+
+TEST(Emulator, InteroperatesWithLibraryStreams)
+{
+    // A stream produced by the software CompressedWriter must be
+    // readable through the ISA (and vice versa): one on-memory format.
+    const size_t n = 8 * 16;
+    auto data = makeActivations(n, SnapshotParams{}, 12);
+    Machine m(4096);
+
+    // Library writes at memBase...
+    CompressedWriter w(m.mem.data(), m.mem.size(), ElemType::F32,
+                       Ccf::EQZ);
+    for (size_t i = 0; i < n; i += 16)
+        w.put(Vec512::load(data.data() + i));
+
+    // ... the ISA reads it back.
+    m.emu.reg(2) = memBase;
+    for (size_t i = 0; i < n; i += 16) {
+        m.emu.exec("zcompl.i.ps zmm1, [r2]");
+        for (int l = 0; l < 16; l++) {
+            EXPECT_FLOAT_EQ(m.emu.vreg(1).lane<float>(l),
+                            data[i + static_cast<size_t>(l)]);
+        }
+    }
+    EXPECT_EQ(m.emu.reg(2), memBase + w.bytesWritten());
+
+    // And the other direction: ISA writes, library reads.
+    m.emu.reg(3) = memBase + 2048;
+    for (size_t i = 0; i < n; i += 16) {
+        m.emu.vreg(7) = Vec512::load(data.data() + i);
+        m.emu.exec("zcomps.i.ps [r3], zmm7, eqz");
+    }
+    CompressedReader rd(m.mem.data() + 2048, 2048, ElemType::F32);
+    for (size_t i = 0; i < n; i += 16) {
+        Vec512 v = rd.get();
+        for (int l = 0; l < 16; l++) {
+            EXPECT_FLOAT_EQ(v.lane<float>(l),
+                            data[i + static_cast<size_t>(l)]);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+/** @file Unit and property tests for the ZCOMP binary encoding. */
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hh"
+
+using namespace zcomp;
+
+TEST(Encoding, EncodeDecodeBasicStore)
+{
+    ZcompInstr i;
+    i.isStore = true;
+    i.sepHeader = false;
+    i.etype = ElemType::F32;
+    i.ccf = Ccf::LTEZ;
+    i.vreg = 1;
+    i.dataPtrReg = 2;
+    auto word = encode(i);
+    ASSERT_TRUE(word.has_value());
+    auto back = decode(*word);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, i);
+}
+
+TEST(Encoding, RejectsOutOfRangeRegisters)
+{
+    ZcompInstr i;
+    i.vreg = 32;
+    EXPECT_FALSE(encode(i).has_value());
+    i.vreg = 0;
+    i.dataPtrReg = -1;
+    EXPECT_FALSE(encode(i).has_value());
+}
+
+TEST(Encoding, RejectsHeaderRegOnInterleaved)
+{
+    ZcompInstr i;
+    i.sepHeader = false;
+    i.hdrPtrReg = 3;
+    EXPECT_FALSE(encode(i).has_value());
+    i.sepHeader = true;
+    EXPECT_TRUE(encode(i).has_value());
+}
+
+TEST(Encoding, RejectsCcfOnLoad)
+{
+    ZcompInstr i;
+    i.isStore = false;
+    i.ccf = Ccf::LTEZ;
+    EXPECT_FALSE(encode(i).has_value());
+    i.ccf = Ccf::EQZ;
+    EXPECT_TRUE(encode(i).has_value());
+}
+
+TEST(Decoding, RejectsNonZcompOpcodes)
+{
+    EXPECT_FALSE(decode(0).has_value());
+    EXPECT_FALSE(decode(0xFFFFFFFF).has_value());
+}
+
+TEST(Decoding, RejectsReservedBits)
+{
+    ZcompInstr i;
+    auto word = encode(i);
+    ASSERT_TRUE(word.has_value());
+    EXPECT_FALSE(decode(*word | 0x1).has_value());
+}
+
+TEST(Decoding, RejectsInvalidElemType)
+{
+    ZcompInstr i;
+    auto word = encode(i);
+    ASSERT_TRUE(word.has_value());
+    // Force elem type field (bits 24:22) to 7 (invalid).
+    uint32_t bad = (*word & ~(0x7u << 22)) | (0x7u << 22);
+    EXPECT_FALSE(decode(bad).has_value());
+}
+
+// Exhaustive-ish round-trip across the full field space.
+class EncodingRoundTrip
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int>>
+{
+};
+
+TEST_P(EncodingRoundTrip, AllFieldCombinations)
+{
+    auto [is_store, sep, et] = GetParam();
+    for (int vreg : {0, 7, 31}) {
+        for (int dreg : {0, 15, 31}) {
+            for (int hreg : {0, 9, 31}) {
+                if (!sep && hreg != 0)
+                    continue;
+                for (Ccf ccf : {Ccf::EQZ, Ccf::LTEZ}) {
+                    if (!is_store && ccf != Ccf::EQZ)
+                        continue;
+                    ZcompInstr i;
+                    i.isStore = is_store;
+                    i.sepHeader = sep;
+                    i.etype = static_cast<ElemType>(et);
+                    i.ccf = ccf;
+                    i.vreg = vreg;
+                    i.dataPtrReg = dreg;
+                    i.hdrPtrReg = hreg;
+                    auto w = encode(i);
+                    ASSERT_TRUE(w.has_value());
+                    auto back = decode(*w);
+                    ASSERT_TRUE(back.has_value());
+                    EXPECT_EQ(*back, i);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, EncodingRoundTrip,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Range(0, numElemTypes)));

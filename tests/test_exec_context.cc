@@ -1,0 +1,76 @@
+/** @file Unit tests for ExecContext and RunStats accounting. */
+
+#include <gtest/gtest.h>
+
+#include "sim/exec_context.hh"
+
+using namespace zcomp;
+
+namespace {
+
+ArchConfig
+cfg2()
+{
+    ArchConfig cfg;
+    cfg.numCores = 2;
+    cfg.prefetch.l1IpStride = false;
+    cfg.prefetch.l2Stream = false;
+    return cfg;
+}
+
+TracePhase
+loadPhase(Addr base, int n, int cores)
+{
+    TracePhase p("loads", cores);
+    for (int i = 0; i < n; i++) {
+        p.perCore[0].push_back(TraceOp::load(
+            base + static_cast<Addr>(i) * 64, 64, 1, 1));
+    }
+    return p;
+}
+
+} // namespace
+
+TEST(ExecContext, RunReturnsPerPhaseDeltas)
+{
+    ExecContext ctx(cfg2());
+    RunStats a = ctx.run(loadPhase(0x100000, 64, 2));
+    EXPECT_GT(a.cycles, 0.0);
+    EXPECT_EQ(a.traffic.coreL1Bytes, 64u * 64);
+    // The second run re-touches warm lines: far less deep traffic.
+    RunStats b = ctx.run(loadPhase(0x100000, 64, 2));
+    EXPECT_EQ(b.traffic.coreL1Bytes, 64u * 64);
+    EXPECT_LT(b.traffic.l3DramBytes, a.traffic.l3DramBytes);
+    EXPECT_LT(b.cycles, a.cycles);
+}
+
+TEST(ExecContext, WarmDoesNotShowUpInNextDelta)
+{
+    ExecContext ctx(cfg2());
+    ctx.warm(loadPhase(0x200000, 64, 2));
+    RunStats r = ctx.run(loadPhase(0x200000, 64, 2));
+    // All warm: no DRAM traffic in the measured delta.
+    EXPECT_EQ(r.traffic.l3DramBytes, 0u);
+}
+
+TEST(ExecContext, RunStatsAccumulate)
+{
+    ExecContext ctx(cfg2());
+    RunStats a = ctx.run(loadPhase(0x300000, 32, 2));
+    RunStats b = ctx.run(loadPhase(0x340000, 32, 2));
+    RunStats sum = a;
+    sum += b;
+    EXPECT_DOUBLE_EQ(sum.cycles, a.cycles + b.cycles);
+    EXPECT_EQ(sum.traffic.coreL1Bytes,
+              a.traffic.coreL1Bytes + b.traffic.coreL1Bytes);
+    EXPECT_DOUBLE_EQ(sum.breakdown.memory,
+                     a.breakdown.memory + b.breakdown.memory);
+}
+
+TEST(ExecContext, VSpaceIsShared)
+{
+    ExecContext ctx(cfg2());
+    Buffer &buf = ctx.vs().alloc("b", 4096, AllocClass::Scratch);
+    EXPECT_NE(buf.host, nullptr);
+    EXPECT_EQ(ctx.vs().bytesInClass(AllocClass::Scratch), 4096u);
+}

@@ -1,0 +1,249 @@
+/** @file Integration-level tests for the full memory hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+using namespace zcomp;
+
+namespace {
+
+/** A small configuration so capacity effects are easy to trigger. */
+ArchConfig
+smallCfg()
+{
+    ArchConfig cfg;
+    cfg.numCores = 4;
+    cfg.l1.size = 4 * KiB;
+    cfg.l2.size = 16 * KiB;
+    cfg.l3.size = 64 * KiB;
+    cfg.l3.assoc = 8;   // 64 KiB / 64 B = 1024 lines, 8-way
+    cfg.prefetch.l1IpStride = false;
+    cfg.prefetch.l2Stream = false;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Hierarchy, ColdMissGoesToDramThenHitsInL1)
+{
+    MemoryHierarchy mem(smallCfg());
+    AccessResult r1 = mem.access(0, 0x100000, 64, false, 0.0, 1);
+    EXPECT_EQ(r1.level, 4);
+    EXPECT_GT(r1.latency, 100.0);
+
+    AccessResult r2 = mem.access(0, 0x100000, 64, false, 10000.0, 1);
+    EXPECT_EQ(r2.level, 1);
+    EXPECT_NEAR(r2.latency, 4.0, 1.0);
+}
+
+TEST(Hierarchy, TrafficCountersPerLink)
+{
+    MemoryHierarchy mem(smallCfg());
+    mem.access(0, 0x100000, 64, false, 0.0, 1);
+    HierSnapshot s = mem.snapshot();
+    EXPECT_EQ(s.coreL1Bytes, 64u);
+    EXPECT_EQ(s.l1L2Bytes, 64u);
+    EXPECT_EQ(s.l2L3Bytes, 64u);
+    EXPECT_EQ(s.l3DramBytes, 64u);
+}
+
+TEST(Hierarchy, SmallAccessCountsRequestedBytesOnly)
+{
+    MemoryHierarchy mem(smallCfg());
+    mem.access(0, 0x100000, 10, false, 0.0, 1);
+    HierSnapshot s = mem.snapshot();
+    // Core<->L1 moves the 10 requested bytes; fills move whole lines.
+    EXPECT_EQ(s.coreL1Bytes, 10u);
+    EXPECT_EQ(s.l1L2Bytes, 64u);
+}
+
+TEST(Hierarchy, LineCrossingAccessTouchesTwoLines)
+{
+    MemoryHierarchy mem(smallCfg());
+    mem.access(0, 0x100000 + 60, 8, false, 0.0, 1);
+    HierSnapshot s = mem.snapshot();
+    EXPECT_EQ(s.coreL1Bytes, 8u);
+    EXPECT_EQ(s.l1L2Bytes, 128u);   // two line fills
+}
+
+TEST(Hierarchy, DirtyEvictionWritesBack)
+{
+    ArchConfig cfg = smallCfg();
+    MemoryHierarchy mem(cfg);
+    // Write one line, then stream enough lines through to evict it
+    // from every level.
+    mem.access(0, 0x0, 64, true, 0.0, 1);
+    uint64_t span = cfg.l3.size * 4;
+    for (Addr a = 0x100000; a < 0x100000 + span; a += 64)
+        mem.access(0, a, 64, false, 1e6, 2);
+    HierSnapshot s = mem.snapshot();
+    // The dirty line must eventually have been written back to DRAM:
+    // DRAM write bytes appear on the l3<->dram link beyond the fills.
+    EXPECT_GT(mem.dram().bytesWritten, 0u);
+    EXPECT_GT(s.l3DramBytes, span);
+}
+
+TEST(Hierarchy, L3IsSharedAcrossCores)
+{
+    MemoryHierarchy mem(smallCfg());
+    mem.access(0, 0x100000, 64, false, 0.0, 1);
+    // Another core finds the line in L3 (not DRAM).
+    AccessResult r = mem.access(1, 0x100000, 64, false, 1000.0, 1);
+    EXPECT_EQ(r.level, 3);
+}
+
+TEST(Hierarchy, PrivateCachesAreNotShared)
+{
+    MemoryHierarchy mem(smallCfg());
+    mem.access(0, 0x100000, 64, false, 0.0, 1);
+    mem.access(0, 0x100000, 64, false, 100.0, 1);   // L1 hit for core 0
+    AccessResult r = mem.access(1, 0x100000, 64, false, 200.0, 1);
+    EXPECT_GT(r.level, 2);  // core 1 misses its own L1/L2
+}
+
+TEST(Hierarchy, WorkingSetRegimes)
+{
+    // Working set < L1: after warmup everything hits L1 and no L1<->L2
+    // traffic accrues.
+    ArchConfig cfg = smallCfg();
+    MemoryHierarchy mem(cfg);
+    auto stream = [&](uint64_t bytes, double t0) {
+        for (Addr a = 0; a < bytes; a += 64)
+            mem.access(0, 0x400000 + a, 64, false, t0 + a, 3);
+    };
+    stream(2 * KiB, 0);         // warmup, fits in 4 KiB L1
+    mem.resetStats();
+    stream(2 * KiB, 1e6);
+    HierSnapshot s = mem.snapshot();
+    EXPECT_EQ(s.l1Misses, 0u);
+    EXPECT_EQ(s.l1L2Bytes, 0u);
+
+    // Working set > L3: every pass goes to DRAM.
+    mem.resetStats();
+    uint64_t big = cfg.l3.size * 4;
+    for (int pass = 0; pass < 2; pass++) {
+        for (Addr a = 0; a < big; a += 64)
+            mem.access(0, 0x800000 + a, 64, false, 2e6 + a, 4);
+    }
+    s = mem.snapshot();
+    EXPECT_GT(s.l3DramBytes, big);  // both passes stream from DRAM
+}
+
+TEST(Hierarchy, InclusiveL3BackInvalidatesPrivateCaches)
+{
+    ArchConfig cfg = smallCfg();
+    MemoryHierarchy mem(cfg);
+    // Core 0 caches a line in L1/L2.
+    mem.access(0, 0x0, 64, false, 0.0, 1);
+    EXPECT_EQ(mem.access(0, 0x0, 64, false, 1.0, 1).level, 1);
+    // Core 1 streams through far more than L3 capacity, evicting the
+    // line from L3 and (by inclusion) from core 0's private caches.
+    for (Addr a = 0; a < cfg.l3.size * 8; a += 64)
+        mem.access(1, 0x1000000 + a, 64, false, 100.0 + a, 2);
+    AccessResult r = mem.access(0, 0x0, 64, false, 1e9, 1);
+    EXPECT_GT(r.level, 2);
+}
+
+TEST(Hierarchy, StreamPrefetcherHidesStreamingLatency)
+{
+    // Production-size caches: with a tiny L2 the SRRIP aging can evict
+    // in-flight prefetches before their demand use, which is not the
+    // regime the Section 3.3 accuracy/coverage claim is about.
+    ArchConfig cfg;
+    cfg.prefetch.l1IpStride = false;
+    cfg.prefetch.l2Stream = true;
+    MemoryHierarchy mem(cfg);
+    // Stream far beyond L3 capacity with generous inter-arrival time so
+    // prefetches have time to land.
+    double t = 0;
+    uint64_t dram_level_hits = 0, total = 0;
+    for (Addr a = 0; a < 2 * MiB; a += 64) {
+        AccessResult r = mem.access(0, 0x2000000 + a, 64, false, t, 5);
+        t += 50.0;
+        total++;
+        if (r.level == 4)
+            dram_level_hits++;
+    }
+    HierSnapshot s = mem.snapshot();
+    // Nearly all demand accesses are served above DRAM.
+    EXPECT_LT(static_cast<double>(dram_level_hits),
+              0.05 * static_cast<double>(total));
+    // Prefetcher quality in the range Section 3.3 reports.
+    EXPECT_GT(s.prefetchAccuracy(), 0.95);
+    EXPECT_GT(s.prefetchCoverage(), 0.90);
+}
+
+TEST(Hierarchy, PrefetchConsumesDramBandwidth)
+{
+    ArchConfig cfg = smallCfg();
+    cfg.prefetch.l2Stream = true;
+    MemoryHierarchy mem(cfg);
+    double t = 0;
+    for (Addr a = 0; a < 1 * MiB; a += 64) {
+        mem.access(0, 0x2000000 + a, 64, false, t, 5);
+        t += 50.0;
+    }
+    // All streamed lines came from DRAM exactly once (no duplicate
+    // fetches from prefetch + demand).
+    EXPECT_NEAR(static_cast<double>(mem.dram().bytesRead),
+                static_cast<double>(1 * MiB), 64.0 * 64.0);
+}
+
+TEST(Hierarchy, ResetStatsKeepsContents)
+{
+    MemoryHierarchy mem(smallCfg());
+    mem.access(0, 0x100000, 64, false, 0.0, 1);
+    mem.resetStats();
+    HierSnapshot s = mem.snapshot();
+    EXPECT_EQ(s.coreL1Bytes, 0u);
+    // Line still cached.
+    EXPECT_EQ(mem.access(0, 0x100000, 64, false, 1.0, 1).level, 1);
+}
+
+TEST(Hierarchy, ResetAllDropsContents)
+{
+    MemoryHierarchy mem(smallCfg());
+    mem.access(0, 0x100000, 64, false, 0.0, 1);
+    mem.resetAll();
+    EXPECT_EQ(mem.access(0, 0x100000, 64, false, 1.0, 1).level, 4);
+}
+
+TEST(Hierarchy, PrefetchThrottledUnderDramSaturation)
+{
+    // Issue a demand stream with zero inter-arrival time: the
+    // prefetcher must not run the DRAM queue away unboundedly; the
+    // worst single-access latency stays within a sane multiple of the
+    // queue cap.
+    auto worst_latency = [](bool prefetch) {
+        ArchConfig cfg;
+        cfg.prefetch.l2Stream = prefetch;
+        cfg.prefetch.l1IpStride = prefetch;
+        MemoryHierarchy mem(cfg);
+        double worst = 0;
+        for (Addr a = 0; a < 4 * MiB; a += 64) {
+            AccessResult r =
+                mem.access(0, 0x30000000 + a, 64, false, 0.0, 6);
+            worst = std::max(worst, r.latency);
+        }
+        return worst;
+    };
+    // The demand stream alone legitimately queues ~(lines/channels) *
+    // cycles-per-line; prefetching must not amplify that materially.
+    double off = worst_latency(false);
+    double on = worst_latency(true);
+    EXPECT_LT(on, 1.3 * off);
+}
+
+TEST(Hierarchy, DumpStatsStandalone)
+{
+    ArchConfig cfg = smallCfg();
+    MemoryHierarchy mem(cfg);
+    mem.access(0, 0x1000, 64, false, 0.0, 1);
+    StatGroup g("mem");
+    mem.dumpStats(g);
+    ASSERT_NE(g.findCounter("links.core_l1_bytes"), nullptr);
+    EXPECT_EQ(g.findCounter("links.core_l1_bytes")->value(), 64u);
+    ASSERT_NE(g.findCounter("l1_0.misses"), nullptr);
+    EXPECT_EQ(g.findCounter("l1_0.misses")->value(), 1u);
+}

@@ -1,0 +1,102 @@
+/** @file Unit tests for the intrinsic-style ZCOMP software interface. */
+
+#include <gtest/gtest.h>
+
+#include "zcomp/intrinsics.hh"
+
+using namespace zcomp;
+
+namespace {
+
+Vec512
+vecWith(std::initializer_list<std::pair<int, float>> vals)
+{
+    Vec512 v = Vec512::zero();
+    for (auto [lane, x] : vals)
+        v.setLane<float>(lane, x);
+    return v;
+}
+
+} // namespace
+
+TEST(Intrinsics, InterleavedAutoIncrement)
+{
+    uint8_t buf[256];
+    uint8_t *dst = buf;
+    // First vector: 2 non-zeros -> 2 + 8 = 10 bytes.
+    zcompsIPs(dst, vecWith({{0, 1.0f}, {8, 2.0f}}), Ccf::EQZ);
+    EXPECT_EQ(dst - buf, 10);
+    // Second vector: all zero -> 2 bytes.
+    zcompsIPs(dst, Vec512::zero(), Ccf::EQZ);
+    EXPECT_EQ(dst - buf, 12);
+
+    const uint8_t *src = buf;
+    Vec512 a = zcomplIPs(src);
+    EXPECT_EQ(src - buf, 10);
+    EXPECT_FLOAT_EQ(a.lane<float>(0), 1.0f);
+    EXPECT_FLOAT_EQ(a.lane<float>(8), 2.0f);
+    Vec512 b = zcomplIPs(src);
+    EXPECT_EQ(src - buf, 12);
+    EXPECT_TRUE(b == Vec512::zero());
+}
+
+TEST(Intrinsics, SeparateHeaderAutoIncrement)
+{
+    uint8_t data[256];
+    uint8_t hdrs[32];
+    uint8_t *dptr = data;
+    uint8_t *hptr = hdrs;
+    zcompsSPs(dptr, vecWith({{3, -4.0f}}), hptr, Ccf::EQZ);
+    EXPECT_EQ(dptr - data, 4);  // one fp32 payload
+    EXPECT_EQ(hptr - hdrs, 2);  // one 16-bit header
+    zcompsSPs(dptr, Vec512::zero(), hptr, Ccf::EQZ);
+    EXPECT_EQ(dptr - data, 4);  // no payload for the all-zero vector
+    EXPECT_EQ(hptr - hdrs, 4);
+
+    const uint8_t *rd = data;
+    const uint8_t *rh = hdrs;
+    Vec512 a = zcomplSPs(rd, rh);
+    EXPECT_FLOAT_EQ(a.lane<float>(3), -4.0f);
+    Vec512 b = zcomplSPs(rd, rh);
+    EXPECT_TRUE(b == Vec512::zero());
+    EXPECT_EQ(rd - data, 4);
+    EXPECT_EQ(rh - hdrs, 4);
+}
+
+TEST(Intrinsics, IterativeLoopMatchesFigure8And9)
+{
+    // The Figure 8/9 usage pattern: compress n elements in a loop via
+    // one intrinsic per vector, then retrieve them back in order.
+    constexpr size_t n = 16 * 32;
+    float x[n];
+    for (size_t i = 0; i < n; i++)
+        x[i] = (i % 3 == 0) ? -1.0f : static_cast<float>(i);
+
+    uint8_t region[n * 4 + 2 * (n / 16)];
+    uint8_t *y_ptr = region;
+    for (size_t i = 0; i < n; i += 16)
+        zcompsIPs(y_ptr, Vec512::load(x + i), Ccf::LTEZ);    // fused ReLU
+
+    const uint8_t *x_ptr = region;
+    for (size_t i = 0; i < n; i += 16) {
+        Vec512 t = zcomplIPs(x_ptr);
+        for (int l = 0; l < 16; l++) {
+            float expect = x[i + l] > 0 ? x[i + l] : 0.0f;
+            EXPECT_FLOAT_EQ(t.lane<float>(l), expect);
+        }
+    }
+}
+
+TEST(Intrinsics, GenericTypeVariants)
+{
+    uint8_t buf[256];
+    Vec512 v = Vec512::zero();
+    v.setLane<double>(2, 3.5);
+    uint8_t *dst = buf;
+    ZcompResult r = zcompsI(dst, v, ElemType::F64, Ccf::EQZ);
+    EXPECT_EQ(r.nnz, 1);
+    EXPECT_EQ(dst - buf, 1 + 8);    // 1-byte header + one fp64
+    const uint8_t *src = buf;
+    Vec512 out = zcomplI(src, ElemType::F64);
+    EXPECT_DOUBLE_EQ(out.lane<double>(2), 3.5);
+}

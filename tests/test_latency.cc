@@ -1,0 +1,50 @@
+/** @file Unit tests for the instruction cost tables and KernelBody. */
+
+#include <gtest/gtest.h>
+
+#include "isa/latency.hh"
+
+using namespace zcomp;
+
+TEST(Latency, ZcompMatchesSection33)
+{
+    // Section 3.3: logic component has 2-cycle latency and 1/cycle
+    // throughput for both zcomps and zcompl.
+    EXPECT_EQ(instrCost(InstrClass::ZcompS).latency, 2);
+    EXPECT_EQ(instrCost(InstrClass::ZcompL).latency, 2);
+    EXPECT_DOUBLE_EQ(instrCost(InstrClass::ZcompS).throughput, 1.0);
+    EXPECT_DOUBLE_EQ(instrCost(InstrClass::ZcompL).throughput, 1.0);
+}
+
+TEST(Latency, CompressExpandCostMoreThanPlainMoves)
+{
+    EXPECT_GT(instrCost(InstrClass::VecCompressStore).uops,
+              instrCost(InstrClass::VecStore).uops);
+    EXPECT_GT(instrCost(InstrClass::VecExpandLoad).uops,
+              instrCost(InstrClass::VecLoad).uops);
+}
+
+TEST(Latency, NamesAreDistinct)
+{
+    EXPECT_STREQ(instrClassName(InstrClass::ZcompS), "zcomps");
+    EXPECT_STREQ(instrClassName(InstrClass::ZcompL), "zcompl");
+    EXPECT_STRNE(instrClassName(InstrClass::VecLoad),
+                 instrClassName(InstrClass::VecStore));
+}
+
+TEST(KernelBody, CountsInstrsAndUops)
+{
+    KernelBody body;
+    body.name = "demo";
+    body.instrs = {
+        {InstrClass::VecLoad, 1},
+        {InstrClass::VecCompressStore, 1},
+        {InstrClass::LoopOverhead, 1},
+    };
+    body.vecRegs = 2;
+    body.maskRegs = 1;
+    body.scalarRegs = 3;
+    EXPECT_EQ(body.totalInstrs(), 3);
+    EXPECT_EQ(body.totalUops(), 1 + 4 + 2);
+    EXPECT_EQ(body.totalRegs(), 6);
+}

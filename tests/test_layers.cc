@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Unit tests for the DNN layers, including finite-difference gradient
+ * checks for conv and fc.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dnn/layers/activation.hh"
+#include "dnn/layers/conv.hh"
+#include "dnn/layers/fc.hh"
+#include "dnn/layers/norm.hh"
+#include "dnn/layers/pool.hh"
+#include "dnn/layers/structure.hh"
+
+using namespace zcomp;
+
+namespace {
+
+/** Fill with small deterministic pseudo-random values. */
+void
+fill(Tensor &t, uint64_t seed)
+{
+    Rng rng(seed);
+    for (size_t i = 0; i < t.elems(); i++)
+        t.data()[i] = static_cast<float>(rng.gaussian(0, 0.5));
+}
+
+/**
+ * Finite-difference check: for loss L = sum(out * w_loss), compare the
+ * layer's analytic input gradient against (L(x+eps) - L(x-eps)) / 2eps
+ * at a few sampled elements.
+ */
+void
+gradCheck(Layer &layer, VSpace &vs, TensorShape in_shape, uint64_t seed)
+{
+    Rng rng(seed);
+    Workspace ws;
+    std::vector<TensorShape> in_shapes{in_shape};
+    layer.init(vs, in_shapes, rng);
+    ws.ensure(layer.workspaceElems(in_shapes));
+
+    Tensor x(vs, "x", in_shape, AllocClass::FeatureMap);
+    fill(x, seed + 1);
+    TensorShape out_shape = layer.outputShape(in_shapes);
+    Tensor y(vs, "y", out_shape, AllocClass::FeatureMap);
+    Tensor dy(vs, "dy", out_shape, AllocClass::GradientMap);
+    Tensor dx(vs, "dx", in_shape, AllocClass::GradientMap);
+    fill(dy, seed + 2);     // dL/dy = random weighting
+
+    std::vector<const Tensor *> ins{&x};
+    layer.forward(ins, y, ws);
+    layer.backward(ins, y, dy, {&dx}, ws);
+
+    auto loss = [&]() {
+        layer.forward(ins, y, ws);
+        double l = 0;
+        for (size_t i = 0; i < y.elems(); i++)
+            l += static_cast<double>(y.data()[i]) * dy.data()[i];
+        return l;
+    };
+
+    const float eps = 1e-2f;
+    for (size_t probe = 0; probe < 8; probe++) {
+        size_t i = rng.below(x.elems());
+        float keep = x.data()[i];
+        x.data()[i] = keep + eps;
+        double lp = loss();
+        x.data()[i] = keep - eps;
+        double lm = loss();
+        x.data()[i] = keep;
+        double fd = (lp - lm) / (2 * eps);
+        EXPECT_NEAR(dx.data()[i], fd, 2e-2 + 0.05 * std::fabs(fd))
+            << "element " << i;
+    }
+}
+
+} // namespace
+
+TEST(ConvLayer, ShapeInference)
+{
+    ConvLayer conv("c", 8, 3, 3, 1, 1);
+    TensorShape out = conv.outputShape({{2, 4, 16, 16}});
+    EXPECT_EQ(out, (TensorShape{2, 8, 16, 16}));
+
+    ConvLayer strided("s", 8, 3, 3, 2, 0);
+    EXPECT_EQ(strided.outputShape({{1, 4, 17, 17}}),
+              (TensorShape{1, 8, 8, 8}));
+}
+
+TEST(ConvLayer, KnownConvolution)
+{
+    // 1x1 input channel, 2x2 image, identity-like 1x1 kernel.
+    VSpace vs;
+    ConvLayer conv("c", 1, 1, 1, 1, 0);
+    Rng rng(1);
+    conv.init(vs, {{1, 1, 2, 2}}, rng);
+    // Overwrite weight with 2.0 and bias with 1.0.
+    const_cast<Tensor &>(conv.weights()).data()[0] = 2.0f;
+
+    Tensor x(vs, "x", {1, 1, 2, 2}, AllocClass::FeatureMap);
+    for (int i = 0; i < 4; i++)
+        x.data()[i] = static_cast<float>(i + 1);
+    Tensor y(vs, "y", {1, 1, 2, 2}, AllocClass::FeatureMap);
+    Workspace ws;
+    ws.ensure(conv.workspaceElems({x.shape()}));
+    std::vector<const Tensor *> ins{&x};
+    conv.forward(ins, y, ws);
+    for (int i = 0; i < 4; i++)
+        EXPECT_FLOAT_EQ(y.data()[i], 2.0f * (i + 1));
+}
+
+TEST(ConvLayer, GradientCheck)
+{
+    VSpace vs;
+    ConvLayer conv("c", 3, 3, 3, 2, 1);
+    gradCheck(conv, vs, {2, 2, 6, 6}, 5);
+}
+
+TEST(ConvLayer, MacsAndWeights)
+{
+    VSpace vs;
+    ConvLayer conv("c", 8, 3, 3, 1, 1);
+    Rng rng(1);
+    conv.init(vs, {{1, 4, 8, 8}}, rng);
+    // MACs = N * Cout * Hout*Wout * Cin*kh*kw.
+    EXPECT_EQ(conv.forwardMacs({{1, 4, 8, 8}}), 1u * 8 * 64 * 36);
+    EXPECT_EQ(conv.weightBytes(), (8u * 36 + 8u) * 4);
+}
+
+TEST(FcLayer, GradientCheck)
+{
+    VSpace vs;
+    FcLayer fc("f", 5);
+    gradCheck(fc, vs, {3, 7, 1, 1}, 6);
+}
+
+TEST(FcLayer, FlattensSpatialInput)
+{
+    VSpace vs;
+    FcLayer fc("f", 4);
+    EXPECT_EQ(fc.outputShape({{2, 3, 4, 4}}), (TensorShape{2, 4, 1, 1}));
+    Rng rng(1);
+    fc.init(vs, {{2, 3, 4, 4}}, rng);
+    EXPECT_EQ(fc.weightBytes(), (4u * 48 + 4u) * 4);
+}
+
+TEST(ReluLayer, ForwardClampsAndBackwardMasks)
+{
+    VSpace vs;
+    ReluLayer relu("r");
+    Tensor x(vs, "x", {1, 1, 1, 4}, AllocClass::FeatureMap);
+    x.data()[0] = -1;
+    x.data()[1] = 2;
+    x.data()[2] = 0;
+    x.data()[3] = -0.5;
+    Tensor y(vs, "y", x.shape(), AllocClass::FeatureMap);
+    Tensor dy(vs, "dy", x.shape(), AllocClass::GradientMap);
+    Tensor dx(vs, "dx", x.shape(), AllocClass::GradientMap);
+    for (int i = 0; i < 4; i++)
+        dy.data()[i] = 1.0f;
+    Workspace ws;
+    std::vector<const Tensor *> ins{&x};
+    relu.forward(ins, y, ws);
+    EXPECT_FLOAT_EQ(y.data()[0], 0);
+    EXPECT_FLOAT_EQ(y.data()[1], 2);
+    relu.backward(ins, y, dy, {&dx}, ws);
+    EXPECT_FLOAT_EQ(dx.data()[0], 0);
+    EXPECT_FLOAT_EQ(dx.data()[1], 1);
+    EXPECT_FLOAT_EQ(dx.data()[2], 0);
+}
+
+TEST(PoolLayer, MaxPoolForwardAndArgmaxBackward)
+{
+    VSpace vs;
+    PoolLayer pool("p", LayerKind::MaxPool, 2, 2);
+    Tensor x(vs, "x", {1, 1, 2, 2}, AllocClass::FeatureMap);
+    x.data()[0] = 1;
+    x.data()[1] = 5;
+    x.data()[2] = 3;
+    x.data()[3] = 2;
+    Tensor y(vs, "y", {1, 1, 1, 1}, AllocClass::FeatureMap);
+    Workspace ws;
+    std::vector<const Tensor *> ins{&x};
+    pool.forward(ins, y, ws);
+    EXPECT_FLOAT_EQ(y.data()[0], 5);
+
+    Tensor dy(vs, "dy", y.shape(), AllocClass::GradientMap);
+    Tensor dx(vs, "dx", x.shape(), AllocClass::GradientMap);
+    dy.data()[0] = 7;
+    pool.backward(ins, y, dy, {&dx}, ws);
+    EXPECT_FLOAT_EQ(dx.data()[1], 7);   // the argmax position
+    EXPECT_FLOAT_EQ(dx.data()[0], 0);
+}
+
+TEST(PoolLayer, AvgPoolSpreadsGradient)
+{
+    VSpace vs;
+    PoolLayer pool("p", LayerKind::AvgPool, 2, 2);
+    Tensor x(vs, "x", {1, 1, 2, 2}, AllocClass::FeatureMap);
+    for (int i = 0; i < 4; i++)
+        x.data()[i] = static_cast<float>(i);
+    Tensor y(vs, "y", {1, 1, 1, 1}, AllocClass::FeatureMap);
+    Workspace ws;
+    std::vector<const Tensor *> ins{&x};
+    pool.forward(ins, y, ws);
+    EXPECT_FLOAT_EQ(y.data()[0], 1.5f);
+    Tensor dy(vs, "dy", y.shape(), AllocClass::GradientMap);
+    Tensor dx(vs, "dx", x.shape(), AllocClass::GradientMap);
+    dy.data()[0] = 4;
+    pool.backward(ins, y, dy, {&dx}, ws);
+    for (int i = 0; i < 4; i++)
+        EXPECT_FLOAT_EQ(dx.data()[i], 1.0f);
+}
+
+TEST(PoolLayer, GlobalAvgPool)
+{
+    VSpace vs;
+    auto pool = PoolLayer::globalAvg("g");
+    EXPECT_EQ(pool->outputShape({{2, 8, 7, 7}}),
+              (TensorShape{2, 8, 1, 1}));
+}
+
+TEST(PoolLayer, MaxPoolReducesSparsity)
+{
+    // Section 2.2: pooling layers reduce the sparsity at their inputs.
+    VSpace vs;
+    PoolLayer pool("p", LayerKind::MaxPool, 2, 2);
+    Tensor x(vs, "x", {1, 1, 8, 8}, AllocClass::FeatureMap);
+    Rng rng(3);
+    for (size_t i = 0; i < x.elems(); i++)
+        x.data()[i] = rng.chance(0.5) ? 0.0f
+                                      : static_cast<float>(
+                                            std::fabs(rng.gaussian()));
+    Tensor y(vs, "y", {1, 1, 4, 4}, AllocClass::FeatureMap);
+    Workspace ws;
+    std::vector<const Tensor *> ins{&x};
+    pool.forward(ins, y, ws);
+    EXPECT_LT(y.sparsity(), x.sparsity());
+}
+
+TEST(LrnLayer, PreservesZerosAndNormalizes)
+{
+    // Section 2.2: LRN carries over the sparsity from earlier layers.
+    VSpace vs;
+    LrnLayer lrn("n");
+    Tensor x(vs, "x", {1, 8, 2, 2}, AllocClass::FeatureMap);
+    Rng rng(4);
+    for (size_t i = 0; i < x.elems(); i++)
+        x.data()[i] = rng.chance(0.5) ? 0.0f
+                                      : static_cast<float>(
+                                            rng.gaussian(0, 2));
+    Tensor y(vs, "y", x.shape(), AllocClass::FeatureMap);
+    Workspace ws;
+    std::vector<const Tensor *> ins{&x};
+    lrn.forward(ins, y, ws);
+    for (size_t i = 0; i < x.elems(); i++) {
+        if (x.data()[i] == 0.0f) {
+            EXPECT_FLOAT_EQ(y.data()[i], 0.0f);
+        } else {
+            // Normalization shrinks magnitudes (k >= 1).
+            EXPECT_LE(std::fabs(y.data()[i]),
+                      std::fabs(x.data()[i]) + 1e-6);
+        }
+    }
+    EXPECT_DOUBLE_EQ(x.sparsity(), y.sparsity());
+}
+
+TEST(DropoutLayer, TrainingDropsInferencePasses)
+{
+    VSpace vs;
+    DropoutLayer drop("d", 0.5);
+    Tensor x(vs, "x", {1, 1, 1, 4096}, AllocClass::FeatureMap);
+    for (size_t i = 0; i < x.elems(); i++)
+        x.data()[i] = 1.0f;
+    Tensor y(vs, "y", x.shape(), AllocClass::FeatureMap);
+    Workspace ws;
+    std::vector<const Tensor *> ins{&x};
+
+    drop.setTraining(true);
+    drop.forward(ins, y, ws);
+    EXPECT_NEAR(y.sparsity(), 0.5, 0.05);
+    // Kept values are scaled by 1/(1-p).
+    for (size_t i = 0; i < y.elems(); i++) {
+        if (y.data()[i] != 0.0f) {
+            EXPECT_FLOAT_EQ(y.data()[i], 2.0f);
+        }
+    }
+
+    drop.setTraining(false);
+    drop.forward(ins, y, ws);
+    EXPECT_DOUBLE_EQ(y.sparsity(), 0.0);
+}
+
+TEST(SoftmaxLayer, RowsSumToOne)
+{
+    VSpace vs;
+    SoftmaxLayer sm("s");
+    Tensor x(vs, "x", {2, 4, 1, 1}, AllocClass::FeatureMap);
+    fill(x, 9);
+    Tensor y(vs, "y", x.shape(), AllocClass::FeatureMap);
+    Workspace ws;
+    std::vector<const Tensor *> ins{&x};
+    sm.forward(ins, y, ws);
+    for (int n = 0; n < 2; n++) {
+        double sum = 0;
+        for (int c = 0; c < 4; c++) {
+            float p = y.data()[n * 4 + c];
+            EXPECT_GT(p, 0.0f);
+            sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(EltwiseAdd, ForwardAndFanoutBackward)
+{
+    VSpace vs;
+    EltwiseAddLayer add("a");
+    Tensor a(vs, "a", {1, 1, 1, 4}, AllocClass::FeatureMap);
+    Tensor b(vs, "b", a.shape(), AllocClass::FeatureMap);
+    for (int i = 0; i < 4; i++) {
+        a.data()[i] = static_cast<float>(i);
+        b.data()[i] = 10.0f;
+    }
+    Tensor y(vs, "y", a.shape(), AllocClass::FeatureMap);
+    Workspace ws;
+    std::vector<const Tensor *> ins{&a, &b};
+    add.forward(ins, y, ws);
+    EXPECT_FLOAT_EQ(y.data()[3], 13.0f);
+
+    Tensor dy(vs, "dy", a.shape(), AllocClass::GradientMap);
+    Tensor da(vs, "da", a.shape(), AllocClass::GradientMap);
+    Tensor db(vs, "db", a.shape(), AllocClass::GradientMap);
+    for (int i = 0; i < 4; i++)
+        dy.data()[i] = static_cast<float>(i + 1);
+    add.backward(ins, y, dy, {&da, &db}, ws);
+    for (int i = 0; i < 4; i++) {
+        EXPECT_FLOAT_EQ(da.data()[i], dy.data()[i]);
+        EXPECT_FLOAT_EQ(db.data()[i], dy.data()[i]);
+    }
+}
+
+TEST(Concat, SplitsChannelsOnBackward)
+{
+    VSpace vs;
+    ConcatLayer cat("c");
+    Tensor a(vs, "a", {1, 1, 2, 2}, AllocClass::FeatureMap);
+    Tensor b(vs, "b", {1, 2, 2, 2}, AllocClass::FeatureMap);
+    for (size_t i = 0; i < a.elems(); i++)
+        a.data()[i] = 1.0f;
+    for (size_t i = 0; i < b.elems(); i++)
+        b.data()[i] = 2.0f;
+    EXPECT_EQ(cat.outputShape({a.shape(), b.shape()}),
+              (TensorShape{1, 3, 2, 2}));
+    Tensor y(vs, "y", {1, 3, 2, 2}, AllocClass::FeatureMap);
+    Workspace ws;
+    std::vector<const Tensor *> ins{&a, &b};
+    cat.forward(ins, y, ws);
+    EXPECT_FLOAT_EQ(y.data()[0], 1.0f);     // channel 0 from a
+    EXPECT_FLOAT_EQ(y.data()[4], 2.0f);     // channel 1 from b
+
+    Tensor dy(vs, "dy", y.shape(), AllocClass::GradientMap);
+    for (size_t i = 0; i < dy.elems(); i++)
+        dy.data()[i] = static_cast<float>(i);
+    Tensor da(vs, "da", a.shape(), AllocClass::GradientMap);
+    Tensor db(vs, "db", b.shape(), AllocClass::GradientMap);
+    cat.backward(ins, y, dy, {&da, &db}, ws);
+    EXPECT_FLOAT_EQ(da.data()[0], 0.0f);
+    EXPECT_FLOAT_EQ(db.data()[0], 4.0f);    // channel 1 of dy
+}
+
+namespace {
+
+/** Naive direct convolution used as a reference for the im2col path. */
+void
+directConv(const Tensor &x, const Tensor &w, int cout, int kh, int kw,
+           int stride, int pad, Tensor &y)
+{
+    const TensorShape &is = x.shape();
+    const TensorShape &os = y.shape();
+    for (int n = 0; n < os.n; n++) {
+        for (int co = 0; co < cout; co++) {
+            for (int oy = 0; oy < os.h; oy++) {
+                for (int ox = 0; ox < os.w; ox++) {
+                    double acc = 0;
+                    for (int ci = 0; ci < is.c; ci++) {
+                        for (int ky = 0; ky < kh; ky++) {
+                            for (int kx = 0; kx < kw; kx++) {
+                                int iy = oy * stride - pad + ky;
+                                int ix = ox * stride - pad + kx;
+                                if (iy < 0 || iy >= is.h || ix < 0 ||
+                                    ix >= is.w) {
+                                    continue;
+                                }
+                                size_t wi =
+                                    (static_cast<size_t>(co) * is.c +
+                                     ci) *
+                                        kh * kw +
+                                    static_cast<size_t>(ky) * kw + kx;
+                                acc += static_cast<double>(
+                                           x.at(n, ci, iy, ix)) *
+                                       w.data()[wi];
+                            }
+                        }
+                    }
+                    y.at(n, co, oy, ox) = static_cast<float>(acc);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+TEST(ConvLayer, Im2colPathMatchesDirectConvolution)
+{
+    VSpace vs;
+    ConvLayer conv("c", 5, 3, 3, 2, 1);
+    Rng rng(31);
+    TensorShape in_shape{2, 3, 9, 7};
+    conv.init(vs, {in_shape}, rng);
+
+    Tensor x(vs, "x", in_shape, AllocClass::FeatureMap);
+    fill(x, 32);
+    TensorShape out_shape = conv.outputShape({in_shape});
+    Tensor y(vs, "y", out_shape, AllocClass::FeatureMap);
+    Tensor ref(vs, "ref", out_shape, AllocClass::FeatureMap);
+
+    Workspace ws;
+    ws.ensure(conv.workspaceElems({in_shape}));
+    std::vector<const Tensor *> ins{&x};
+    conv.forward(ins, y, ws);
+
+    directConv(x, conv.weights(), 5, 3, 3, 2, 1, ref);
+    // The layer adds bias; replicate it on the reference.
+    // (bias was gaussian-initialized to 0 by init: conv biases start 0)
+    for (size_t i = 0; i < y.elems(); i++)
+        EXPECT_NEAR(y.data()[i], ref.data()[i], 1e-3) << "at " << i;
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the five-network model zoo: shapes, parameter scale, and
+ * forward/backward smoke runs at tiny configurations.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dnn/models.hh"
+
+using namespace zcomp;
+
+namespace {
+
+ModelOptions
+tinyOpts(ModelId id)
+{
+    ModelOptions opt;
+    opt.batch = 1;
+    opt.classes = 10;
+    opt.fcWidth = 64;
+    opt.widthScale = 0.25;
+    // Shrink the big ImageNet models for smoke tests; ResNet-32 and
+    // Inception-ResNet keep their native sizes (already small-ish).
+    switch (id) {
+      case ModelId::AlexNet:
+        opt.imageSize = 67;     // (67-11)/4+1 = 15
+        break;
+      case ModelId::GoogLeNet:
+      case ModelId::Vgg16:
+        opt.imageSize = 64;
+        break;
+      default:
+        break;
+    }
+    return opt;
+}
+
+} // namespace
+
+class ModelZoo : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ModelZoo, BuildsForwardAndTrains)
+{
+    auto id = static_cast<ModelId>(GetParam());
+    VSpace vs;
+    auto net = buildModel(id, vs, tinyOpts(id));
+    net->build(true, 11);
+    Rng rng(12);
+    net->fillSyntheticInput(rng);
+    net->forward();
+
+    // Output is a valid probability distribution.
+    const Tensor &p = *net->node(net->outputNode()).act;
+    double sum = 0;
+    for (size_t i = 0; i < p.elems(); i++) {
+        EXPECT_GE(p.data()[i], 0.0f);
+        EXPECT_FALSE(std::isnan(p.data()[i]));
+        sum += p.data()[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+
+    // One full train step runs without blowing up.
+    std::vector<int> labels(1, 3);
+    double loss = net->lossAndBackward(labels);
+    EXPECT_GT(loss, 0.0);
+    EXPECT_FALSE(std::isnan(loss));
+    net->sgdStep(0.001f);
+}
+
+TEST_P(ModelZoo, ReluSparsityInPaperRange)
+{
+    auto id = static_cast<ModelId>(GetParam());
+    VSpace vs;
+    auto net = buildModel(id, vs, tinyOpts(id));
+    net->build(false, 13);
+    Rng rng(14);
+    net->fillSyntheticInput(rng);
+    net->forward();
+
+    // Average sparsity across ReLU outputs: the paper reports 49-63%
+    // per network; He-initialized nets sit near 50%.
+    double sum = 0;
+    int count = 0;
+    for (size_t i = 1; i < net->numNodes(); i++) {
+        if (net->node(static_cast<int>(i)).layer->kind() ==
+            LayerKind::Relu) {
+            sum += net->node(static_cast<int>(i)).act->sparsity();
+            count++;
+        }
+    }
+    ASSERT_GT(count, 0);
+    double avg = sum / count;
+    EXPECT_GT(avg, 0.35) << modelName(id);
+    EXPECT_LT(avg, 0.75) << modelName(id);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelZoo,
+                         ::testing::Range(0, numModels));
+
+TEST(ModelZoo, LayerCountsMatchTopologies)
+{
+    VSpace vs;
+    ModelOptions opt = tinyOpts(ModelId::Vgg16);
+    auto vgg = buildVgg16(vs, opt);
+    int convs = 0, fcs = 0, pools = 0;
+    for (size_t i = 0; i < vgg->numNodes(); i++) {
+        switch (vgg->node(static_cast<int>(i)).layer->kind()) {
+          case LayerKind::Conv:
+            convs++;
+            break;
+          case LayerKind::Fc:
+            fcs++;
+            break;
+          case LayerKind::MaxPool:
+            pools++;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_EQ(convs, 13);   // VGG-16 = 13 convs + 3 FCs
+    EXPECT_EQ(fcs, 3);
+    EXPECT_EQ(pools, 5);
+}
+
+TEST(ModelZoo, GoogleNetHasNineInceptionModules)
+{
+    VSpace vs;
+    auto net = buildGoogleNet(vs, tinyOpts(ModelId::GoogLeNet));
+    int concats = 0;
+    for (size_t i = 0; i < net->numNodes(); i++) {
+        if (net->node(static_cast<int>(i)).layer->kind() ==
+            LayerKind::Concat) {
+            concats++;
+        }
+    }
+    EXPECT_EQ(concats, 9);
+}
+
+TEST(ModelZoo, Resnet32HasThirtyThreeConvsInMainPath)
+{
+    // 1 stem + 15 blocks x 2 convs + 2 projection shortcuts = 33 convs
+    // (the "32" counts stem + 30 block convs + the final FC).
+    VSpace vs;
+    auto net = buildResnet32(vs, tinyOpts(ModelId::Resnet32));
+    int convs = 0, adds = 0;
+    for (size_t i = 0; i < net->numNodes(); i++) {
+        auto kind = net->node(static_cast<int>(i)).layer->kind();
+        if (kind == LayerKind::Conv)
+            convs++;
+        if (kind == LayerKind::EltwiseAdd)
+            adds++;
+    }
+    EXPECT_EQ(adds, 15);    // 3 stages x 5 blocks
+    EXPECT_EQ(convs, 1 + 30 + 2);
+}
+
+TEST(ModelZoo, WeightsDominatedByFcInVggStyle)
+{
+    // Figure 1(b): weight data is only dominant in the FC layers.
+    VSpace vs;
+    ModelOptions opt = tinyOpts(ModelId::Vgg16);
+    auto net = buildVgg16(vs, opt);
+    net->build(false, 15);
+    uint64_t conv_w = 0, fc_w = 0;
+    for (size_t i = 0; i < net->numNodes(); i++) {
+        const auto &node = net->node(static_cast<int>(i));
+        if (node.layer->kind() == LayerKind::Conv)
+            conv_w += node.layer->weightBytes();
+        if (node.layer->kind() == LayerKind::Fc)
+            fc_w += node.layer->weightBytes();
+    }
+    EXPECT_GT(fc_w, 0u);
+    EXPECT_GT(conv_w, 0u);
+}
+
+TEST(ModelZoo, NativeSizes)
+{
+    EXPECT_EQ(nativeImageSize(ModelId::AlexNet), 227);
+    EXPECT_EQ(nativeImageSize(ModelId::Vgg16), 224);
+    EXPECT_EQ(nativeImageSize(ModelId::Resnet32), 32);
+    EXPECT_EQ(nativeImageSize(ModelId::InceptionResnetV2), 149);
+}

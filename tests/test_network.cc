@@ -1,0 +1,177 @@
+/** @file Integration tests for the Network DAG: training, footprints. */
+
+#include <gtest/gtest.h>
+
+#include "dnn/layers/activation.hh"
+#include "dnn/layers/conv.hh"
+#include "dnn/layers/fc.hh"
+#include "dnn/layers/norm.hh"
+#include "dnn/layers/pool.hh"
+#include "dnn/layers/structure.hh"
+#include "dnn/network.hh"
+
+using namespace zcomp;
+
+namespace {
+
+/** Tiny convnet: conv-relu-pool-fc-softmax on 8x8x2 inputs. */
+std::unique_ptr<Network>
+tinyNet(VSpace &vs, int batch, int classes = 4)
+{
+    auto net = std::make_unique<Network>(
+        "tiny", vs, TensorShape{batch, 2, 8, 8});
+    net->add(std::make_unique<ConvLayer>("conv1", 4, 3, 3, 1, 1));
+    net->add(std::make_unique<ReluLayer>("relu1"));
+    net->add(std::make_unique<PoolLayer>("pool1", LayerKind::MaxPool, 2,
+                                         2));
+    net->add(std::make_unique<FcLayer>("fc", classes));
+    net->add(std::make_unique<SoftmaxLayer>("prob"));
+    return net;
+}
+
+/** Tiny residual net exercising multi-consumer gradient accumulation. */
+std::unique_ptr<Network>
+tinyResNet(VSpace &vs, int batch)
+{
+    auto net = std::make_unique<Network>(
+        "tinyres", vs, TensorShape{batch, 4, 6, 6});
+    int stem = net->add(std::make_unique<ConvLayer>("stem", 4, 3, 3, 1,
+                                                    1),
+                        {0});
+    int r = net->add(std::make_unique<ReluLayer>("relu0"), {stem});
+    int c1 = net->add(std::make_unique<ConvLayer>("c1", 4, 3, 3, 1, 1),
+                      {r});
+    int sum = net->add(std::make_unique<EltwiseAddLayer>("add"),
+                       {c1, r});
+    int r2 = net->add(std::make_unique<ReluLayer>("relu1"), {sum});
+    int fc = net->add(std::make_unique<FcLayer>("fc", 3), {r2});
+    net->add(std::make_unique<SoftmaxLayer>("prob"), {fc});
+    return net;
+}
+
+} // namespace
+
+TEST(Network, ShapesInferredThroughChain)
+{
+    VSpace vs;
+    auto net = tinyNet(vs, 2);
+    net->build(false);
+    EXPECT_EQ(net->node(1).shape, (TensorShape{2, 4, 8, 8}));
+    EXPECT_EQ(net->node(3).shape, (TensorShape{2, 4, 4, 4}));
+    EXPECT_EQ(net->node(net->outputNode()).shape,
+              (TensorShape{2, 4, 1, 1}));
+}
+
+TEST(Network, ForwardProducesProbabilities)
+{
+    VSpace vs;
+    auto net = tinyNet(vs, 2);
+    net->build(false);
+    Rng rng(1);
+    net->fillSyntheticInput(rng);
+    net->forward();
+    const Tensor &p = *net->node(net->outputNode()).act;
+    for (int n = 0; n < 2; n++) {
+        double sum = 0;
+        for (int c = 0; c < 4; c++)
+            sum += p.data()[n * 4 + c];
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Network, ReluOutputsAreSparse)
+{
+    VSpace vs;
+    auto net = tinyNet(vs, 4);
+    net->build(false);
+    Rng rng(2);
+    net->fillSyntheticInput(rng);
+    net->forward();
+    // The ReLU node's output should be roughly half zeros.
+    double s = net->node(2).act->sparsity();
+    EXPECT_GT(s, 0.3);
+    EXPECT_LT(s, 0.7);
+}
+
+TEST(Network, TrainingReducesLoss)
+{
+    VSpace vs;
+    auto net = tinyNet(vs, 8);
+    net->build(true, 7);
+    Rng rng(3);
+    net->fillSyntheticInput(rng);
+    std::vector<int> labels = {0, 1, 2, 3, 0, 1, 2, 3};
+
+    net->forward();
+    double first = net->lossAndBackward(labels);
+    net->sgdStep(0.05f);
+    double last = first;
+    for (int step = 0; step < 20; step++) {
+        net->forward();
+        last = net->lossAndBackward(labels);
+        net->sgdStep(0.05f);
+    }
+    EXPECT_LT(last, first * 0.8);
+}
+
+TEST(Network, ResidualGradientAccumulation)
+{
+    // The relu0 node feeds both c1 and the skip add: its gradient is
+    // the sum of both paths. Training must still reduce the loss.
+    VSpace vs;
+    auto net = tinyResNet(vs, 6);
+    net->build(true, 8);
+    Rng rng(4);
+    net->fillSyntheticInput(rng);
+    std::vector<int> labels = {0, 1, 2, 0, 1, 2};
+    net->forward();
+    double first = net->lossAndBackward(labels);
+    for (int step = 0; step < 30; step++) {
+        net->sgdStep(0.05f);
+        net->forward();
+    }
+    double last = net->lossAndBackward(labels);
+    EXPECT_LT(last, first);
+}
+
+TEST(Network, FootprintByClass)
+{
+    VSpace vs;
+    auto net = tinyNet(vs, 2);
+    net->build(true);
+    Network::Footprint f = net->footprint();
+    EXPECT_EQ(f.inputBytes, 2u * 2 * 8 * 8 * 4);
+    // conv weights 4*18+4, fc weights 4*64+4 floats.
+    EXPECT_EQ(f.weightBytes, (4u * 18 + 4 + 4 * 64 + 4) * 4);
+    EXPECT_GT(f.featureMapBytes, 0u);
+    // Training build: every non-input node has a gradient map.
+    EXPECT_EQ(f.gradientMapBytes, f.featureMapBytes);
+}
+
+TEST(Network, InferenceBuildHasNoGradients)
+{
+    VSpace vs;
+    auto net = tinyNet(vs, 2);
+    net->build(false);
+    EXPECT_EQ(net->footprint().gradientMapBytes, 0u);
+    EXPECT_EQ(net->gradient(1), nullptr);
+}
+
+TEST(Network, PlanOnlyBuildTracksFootprintWithoutHostMemory)
+{
+    VSpace vs(0x10000, /*allocate_host=*/false);
+    auto net = tinyNet(vs, 64);     // "paper-scale" batch
+    net->build(true);
+    Network::Footprint f = net->footprint();
+    EXPECT_GT(f.featureMapBytes, 0u);
+    EXPECT_EQ(net->node(1).act->data(), nullptr);
+}
+
+TEST(Network, MacCount)
+{
+    VSpace vs;
+    auto net = tinyNet(vs, 1);
+    net->build(false);
+    // conv: 4*8*8*18 = 4608; fc: 64*4 = 256.
+    EXPECT_EQ(net->totalMacs(), 4608u + 256u);
+}

@@ -1,0 +1,52 @@
+/** @file Unit tests for the 2D-mesh NoC latency model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/noc.hh"
+
+using namespace zcomp;
+
+TEST(Noc, HopCountsOn4x4Mesh)
+{
+    NocConfig cfg;      // 4x4, 2-cycle hops
+    Mesh2D mesh(cfg);
+    EXPECT_EQ(mesh.numTiles(), 16);
+    EXPECT_EQ(mesh.hops(0, 0), 0);
+    EXPECT_EQ(mesh.hops(0, 1), 1);      // same row
+    EXPECT_EQ(mesh.hops(0, 4), 1);      // same column
+    EXPECT_EQ(mesh.hops(0, 5), 2);      // diagonal neighbor
+    EXPECT_EQ(mesh.hops(0, 15), 6);     // corner to corner
+    EXPECT_EQ(mesh.hops(15, 0), 6);     // symmetric
+}
+
+TEST(Noc, LatencyScalesWithHops)
+{
+    NocConfig cfg;
+    Mesh2D mesh(cfg);
+    EXPECT_EQ(mesh.latency(0, 15), 12);
+    EXPECT_EQ(mesh.roundTrip(0, 15), 24);
+    EXPECT_EQ(mesh.roundTrip(3, 3), 0);
+}
+
+TEST(Noc, SliceHashCoversAllTiles)
+{
+    NocConfig cfg;
+    Mesh2D mesh(cfg);
+    std::vector<int> counts(16, 0);
+    for (Addr line = 0; line < 16 * 64; line += 64)
+        counts[static_cast<size_t>(mesh.sliceOf(line))]++;
+    for (int c : counts)
+        EXPECT_EQ(c, 1);    // consecutive lines round-robin the slices
+}
+
+TEST(Noc, CustomMeshDimensions)
+{
+    NocConfig cfg;
+    cfg.meshX = 2;
+    cfg.meshY = 3;
+    cfg.hopCycles = 5;
+    Mesh2D mesh(cfg);
+    EXPECT_EQ(mesh.numTiles(), 6);
+    EXPECT_EQ(mesh.hops(0, 5), 3);      // (0,0) -> (1,2)
+    EXPECT_EQ(mesh.latency(0, 5), 15);
+}

@@ -1,0 +1,135 @@
+/** @file Unit tests for partitioned parallel compression (Section 4.3). */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "zcomp/partition.hh"
+
+using namespace zcomp;
+
+namespace {
+
+std::vector<float>
+makeSparse(size_t n, double sparsity, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.chance(sparsity) ? 0.0f : 1.0f + rng.uniform();
+    return v;
+}
+
+} // namespace
+
+TEST(Partition, CoversAllElementsWithoutOverlap)
+{
+    auto chunks = partitionElements(16 * 100, 16, ElemType::F32);
+    ASSERT_EQ(chunks.size(), 16u);
+    size_t expect_begin = 0;
+    for (const auto &c : chunks) {
+        EXPECT_EQ(c.elemBegin, expect_begin);
+        EXPECT_EQ(c.elemBegin % 16, 0u);
+        EXPECT_EQ(c.regionOffset, c.elemBegin * 4);
+        EXPECT_EQ(c.regionBytes, c.elems() * 4);
+        expect_begin = c.elemEnd;
+    }
+    EXPECT_EQ(expect_begin, 16u * 100u);
+}
+
+TEST(Partition, UnevenVectorCountsStayVectorAligned)
+{
+    // 10 vectors over 3 chunks: sizes must be multiples of 16 elements.
+    auto chunks = partitionElements(16 * 10, 3, ElemType::F32);
+    size_t total = 0;
+    for (const auto &c : chunks) {
+        EXPECT_EQ(c.elems() % 16, 0u);
+        total += c.elems();
+    }
+    EXPECT_EQ(total, 16u * 10u);
+}
+
+TEST(Partition, MoreChunksThanVectorsYieldsEmptyChunks)
+{
+    auto chunks = partitionElements(16 * 2, 4, ElemType::F32);
+    size_t total = 0, nonempty = 0;
+    for (const auto &c : chunks) {
+        total += c.elems();
+        if (c.elems() > 0)
+            nonempty++;
+    }
+    EXPECT_EQ(total, 32u);
+    EXPECT_EQ(nonempty, 2u);
+}
+
+TEST(Partition, SubPartitionNestsInsideChunk)
+{
+    auto chunks = partitionElements(16 * 64, 4, ElemType::F32);
+    auto subs = subPartition(chunks[1], 4, ElemType::F32);
+    ASSERT_EQ(subs.size(), 4u);
+    EXPECT_EQ(subs.front().elemBegin, chunks[1].elemBegin);
+    EXPECT_EQ(subs.back().elemEnd, chunks[1].elemEnd);
+    for (const auto &s : subs) {
+        EXPECT_GE(s.regionOffset, chunks[1].regionOffset);
+        EXPECT_LE(s.regionOffset + s.regionBytes,
+                  chunks[1].regionOffset + chunks[1].regionBytes);
+    }
+}
+
+TEST(Partition, CompressExpandRoundTrip)
+{
+    const size_t n = 16 * 1000;
+    auto src = makeSparse(n, 0.53, 11);
+    std::vector<uint8_t> region(n * 4);
+    PartitionedStream ps = compressPartitionedPs(
+        src.data(), n, region.data(), region.size(), 16, Ccf::EQZ);
+    EXPECT_EQ(ps.chunks.size(), 16u);
+    EXPECT_EQ(ps.stats.vectors, n / 16);
+
+    std::vector<float> out(n, -9.0f);
+    expandPartitionedPs(ps, region.data(), region.size(), out.data(), n);
+    EXPECT_EQ(out, src);
+}
+
+TEST(Partition, StreamsAreIsolatedPerChunk)
+{
+    // Each chunk's compressed bytes must fit within its own region so
+    // that threads never cross into a neighbor's slice.
+    const size_t n = 16 * 256;
+    auto src = makeSparse(n, 0.49, 12);
+    std::vector<uint8_t> region(n * 4);
+    PartitionedStream ps = compressPartitionedPs(
+        src.data(), n, region.data(), region.size(), 8, Ccf::EQZ);
+    for (size_t c = 0; c < ps.chunks.size(); c++)
+        EXPECT_LE(ps.chunkBytes[c], ps.chunks[c].regionBytes);
+}
+
+TEST(Partition, SingleChunkEqualsSequential)
+{
+    const size_t n = 16 * 128;
+    auto src = makeSparse(n, 0.6, 13);
+    std::vector<uint8_t> a(n * 4), b(n * 4);
+    PartitionedStream ps = compressPartitionedPs(src.data(), n, a.data(),
+                                                 a.size(), 1, Ccf::EQZ);
+    StreamStats seq = compressBufferPs(src.data(), n, b.data(), b.size(),
+                                       Ccf::EQZ);
+    EXPECT_EQ(ps.stats.totalBytes(), seq.totalBytes());
+    EXPECT_EQ(ps.chunkBytes[0], seq.totalBytes());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), seq.totalBytes()), 0);
+}
+
+TEST(Partition, LtezAppliesReluPerChunk)
+{
+    const size_t n = 16 * 32;
+    std::vector<float> src(n);
+    for (size_t i = 0; i < n; i++)
+        src[i] = (i % 2 == 0) ? -1.0f : 2.0f;
+    std::vector<uint8_t> region(n * 4);
+    PartitionedStream ps = compressPartitionedPs(
+        src.data(), n, region.data(), region.size(), 4, Ccf::LTEZ);
+    std::vector<float> out(n);
+    expandPartitionedPs(ps, region.data(), region.size(), out.data(), n);
+    for (size_t i = 0; i < n; i++)
+        EXPECT_FLOAT_EQ(out[i], src[i] > 0 ? src[i] : 0.0f);
+}

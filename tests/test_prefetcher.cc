@@ -1,0 +1,171 @@
+/** @file Unit tests for the L2 stream and L1 IP-stride prefetchers. */
+
+#include <gtest/gtest.h>
+
+#include "mem/prefetcher.hh"
+
+using namespace zcomp;
+
+namespace {
+
+PrefetchConfig
+defaultCfg()
+{
+    PrefetchConfig cfg;
+    return cfg;
+}
+
+} // namespace
+
+TEST(StreamPrefetcher, TrainsOnSequentialAccesses)
+{
+    StreamPrefetcher pf(defaultCfg());
+    std::vector<Addr> out;
+    Addr base = 0x10000;
+    pf.onAccess(base, out);
+    EXPECT_TRUE(out.empty());               // first touch: allocate
+    pf.onAccess(base + 64, out);
+    EXPECT_TRUE(out.empty());               // confidence building
+    pf.onAccess(base + 128, out);
+    EXPECT_FALSE(out.empty());              // trained
+    // Prefetches run ahead of the demand stream.
+    for (Addr a : out)
+        EXPECT_GT(a, base + 128);
+}
+
+TEST(StreamPrefetcher, SequentialStreamStaysAhead)
+{
+    PrefetchConfig cfg = defaultCfg();
+    StreamPrefetcher pf(cfg);
+    std::vector<Addr> all;
+    Addr base = 0x40000;
+    for (int i = 0; i < 64; i++) {
+        std::vector<Addr> out;
+        pf.onAccess(base + static_cast<Addr>(i) * 64, out);
+        all.insert(all.end(), out.begin(), out.end());
+    }
+    // Nearly every demand line (except the training prefix and the
+    // distance tail) must have been prefetched exactly once.
+    std::vector<Addr> sorted = all;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+              sorted.end())
+        << "duplicate prefetches issued";
+    int covered = 0;
+    for (int i = 3; i < 64; i++) {
+        Addr line = base + static_cast<Addr>(i) * 64;
+        if (std::find(all.begin(), all.end(), line) != all.end())
+            covered++;
+    }
+    EXPECT_GE(covered, 58);
+}
+
+TEST(StreamPrefetcher, CrossesPageBoundaries)
+{
+    StreamPrefetcher pf(defaultCfg());
+    std::vector<Addr> all;
+    Addr base = 0x100000 - 4 * 64;  // 4 lines before a 4 KiB boundary
+    for (int i = 0; i < 16; i++) {
+        std::vector<Addr> out;
+        pf.onAccess(base + static_cast<Addr>(i) * 64, out);
+        all.insert(all.end(), out.begin(), out.end());
+    }
+    // Lines beyond the page boundary must have been prefetched.
+    int beyond = 0;
+    for (Addr a : all) {
+        if (a >= 0x100000)
+            beyond++;
+    }
+    EXPECT_GT(beyond, 4);
+}
+
+TEST(StreamPrefetcher, DescendingStreams)
+{
+    StreamPrefetcher pf(defaultCfg());
+    std::vector<Addr> all;
+    Addr base = 0x80000;
+    for (int i = 0; i < 16; i++) {
+        std::vector<Addr> out;
+        pf.onAccess(base - static_cast<Addr>(i) * 64, out);
+        all.insert(all.end(), out.begin(), out.end());
+    }
+    EXPECT_FALSE(all.empty());
+    for (Addr a : all)
+        EXPECT_LT(a, base - 64);
+}
+
+TEST(StreamPrefetcher, RandomAccessesDoNotTrain)
+{
+    StreamPrefetcher pf(defaultCfg());
+    std::vector<Addr> all;
+    // Far-apart random-ish pages, never two sequential lines.
+    Addr addrs[] = {0x10000, 0x50000, 0x20000, 0x90000,
+                    0x30000, 0x70000, 0x15000, 0x85000};
+    for (Addr a : addrs) {
+        std::vector<Addr> out;
+        pf.onAccess(a, out);
+        all.insert(all.end(), out.begin(), out.end());
+    }
+    EXPECT_TRUE(all.empty());
+}
+
+TEST(StreamPrefetcher, TracksMultipleConcurrentStreams)
+{
+    StreamPrefetcher pf(defaultCfg());
+    uint64_t covered = 0;
+    // Interleave 4 streams, as partitioned ZCOMP chunks do.
+    Addr bases[] = {0x100000, 0x200000, 0x300000, 0x400000};
+    for (int i = 0; i < 32; i++) {
+        for (Addr b : bases) {
+            std::vector<Addr> out;
+            pf.onAccess(b + static_cast<Addr>(i) * 64, out);
+            covered += out.size();
+        }
+    }
+    EXPECT_GT(covered, 4u * 20u);
+}
+
+TEST(IpStridePrefetcher, DetectsStridedPattern)
+{
+    IpStridePrefetcher pf;
+    std::vector<Addr> out;
+    // Stride of 2 lines from one pc.
+    pf.onAccess(7, 0x1000, out);
+    pf.onAccess(7, 0x1080, out);
+    EXPECT_TRUE(out.empty());
+    pf.onAccess(7, 0x1100, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 0x1180u);
+}
+
+TEST(IpStridePrefetcher, SeparatePcsTrackSeparateStrides)
+{
+    IpStridePrefetcher pf;
+    std::vector<Addr> out1, out2;
+    for (int i = 0; i < 4; i++) {
+        pf.onAccess(1, 0x1000 + static_cast<Addr>(i) * 64, out1);
+        pf.onAccess(2, 0x8000 + static_cast<Addr>(i) * 128, out2);
+    }
+    EXPECT_FALSE(out1.empty());
+    EXPECT_FALSE(out2.empty());
+    for (Addr a : out1)
+        EXPECT_LT(a, 0x8000u);
+    for (Addr a : out2)
+        EXPECT_GE(a, 0x8000u);
+}
+
+TEST(IpStridePrefetcher, ChangingStrideRetrains)
+{
+    IpStridePrefetcher pf;
+    std::vector<Addr> out;
+    pf.onAccess(3, 0x1000, out);
+    pf.onAccess(3, 0x1040, out);
+    pf.onAccess(3, 0x1080, out);    // trained at +64
+    out.clear();
+    pf.onAccess(3, 0x2000, out);    // stride break
+    EXPECT_TRUE(out.empty());
+    pf.onAccess(3, 0x2100, out);    // new stride +256, conf 1
+    EXPECT_TRUE(out.empty());
+    pf.onAccess(3, 0x2200, out);    // conf 2 -> issue
+    EXPECT_FALSE(out.empty());
+}

@@ -1,0 +1,78 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using namespace zcomp;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.next64() == b.next64())
+            same++;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; i++) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0, sq = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++) {
+        double g = r.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++) {
+        if (r.chance(0.53))
+            hits++;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.53, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(19);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(r.below(44), 44u);
+}

@@ -1,0 +1,95 @@
+/** @file Unit tests for the feature-map snapshot generator. */
+
+#include <gtest/gtest.h>
+
+#include "workload/snapshot.hh"
+
+using namespace zcomp;
+
+TEST(Snapshot, HitsTargetSparsity)
+{
+    for (double s : {0.35, 0.49, 0.53, 0.62, 0.70}) {
+        SnapshotParams p;
+        p.sparsity = s;
+        auto v = makeActivations(1 << 18, p, 42);
+        EXPECT_NEAR(measuredSparsity(v.data(), v.size()), s, 0.03)
+            << "target " << s;
+    }
+}
+
+TEST(Snapshot, Deterministic)
+{
+    SnapshotParams p;
+    auto a = makeActivations(4096, p, 7);
+    auto b = makeActivations(4096, p, 7);
+    EXPECT_EQ(a, b);
+    auto c = makeActivations(4096, p, 8);
+    EXPECT_NE(a, c);
+}
+
+TEST(Snapshot, NegativeFraction)
+{
+    SnapshotParams p;
+    p.sparsity = 0.5;
+    p.negFraction = 0.10;
+    auto v = makeActivations(1 << 18, p, 3);
+    size_t neg = 0, nonzero = 0;
+    for (float x : v) {
+        if (x != 0.0f) {
+            nonzero++;
+            if (x < 0)
+                neg++;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(neg) / nonzero, 0.10, 0.02);
+}
+
+TEST(Snapshot, ZerosAreClustered)
+{
+    SnapshotParams p;
+    p.sparsity = 0.5;
+    p.meanZeroRun = 6.0;
+    auto v = makeActivations(1 << 18, p, 9);
+    // Count zero runs; mean run length should approach meanZeroRun,
+    // far above the ~1.0 of unclustered Bernoulli zeros.
+    size_t runs = 0, zeros = 0;
+    bool in_run = false;
+    for (float x : v) {
+        if (x == 0.0f) {
+            zeros++;
+            if (!in_run) {
+                runs++;
+                in_run = true;
+            }
+        } else {
+            in_run = false;
+        }
+    }
+    double mean_run = static_cast<double>(zeros) / runs;
+    EXPECT_GT(mean_run, 3.0);
+    EXPECT_LT(mean_run, 12.0);
+}
+
+TEST(Snapshot, ExtremeSparsities)
+{
+    SnapshotParams p;
+    p.sparsity = 0.0;
+    auto dense = makeActivations(4096, p, 1);
+    EXPECT_DOUBLE_EQ(measuredSparsity(dense.data(), dense.size()), 0.0);
+    p.sparsity = 1.0;
+    auto empty = makeActivations(4096, p, 1);
+    EXPECT_DOUBLE_EQ(measuredSparsity(empty.data(), empty.size()), 1.0);
+}
+
+TEST(Snapshot, NonZeroMagnitudesArePositiveScale)
+{
+    SnapshotParams p;
+    p.sparsity = 0.3;
+    p.scale = 2.0;
+    auto v = makeActivations(1 << 14, p, 5);
+    for (float x : v) {
+        if (x != 0.0f) {
+            EXPECT_GT(std::abs(x), 0.0f);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+/** @file Unit tests for the stats package. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace zcomp;
+
+TEST(Counter, IncAndReset)
+{
+    Counter c("hits", "cache hits");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsAndMean)
+{
+    Histogram h("lat", "latency", 100, 10);
+    h.sample(5);
+    h.sample(5);
+    h.sample(95);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_NEAR(h.mean(), 35.0, 1e-9);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+}
+
+TEST(Histogram, OverflowGoesToLastBucket)
+{
+    Histogram h("lat", "latency", 10, 5);
+    h.sample(1000);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(StatGroup, StableAddresses)
+{
+    StatGroup g("top");
+    Counter &a = g.addCounter("a", "first");
+    // Adding more counters must not invalidate earlier references.
+    for (int i = 0; i < 100; i++)
+        g.addCounter("c" + std::to_string(i), "filler");
+    a.inc(7);
+    EXPECT_EQ(g.findCounter("a")->value(), 7u);
+}
+
+TEST(StatGroup, SameNameReturnsSameCounter)
+{
+    StatGroup g("top");
+    Counter &a = g.addCounter("x", "");
+    Counter &b = g.addCounter("x", "");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(StatGroup, NestedLookupByPath)
+{
+    StatGroup g("sys");
+    StatGroup &l1 = g.addChild("l1");
+    StatGroup &pf = l1.addChild("prefetch");
+    pf.addCounter("issued", "prefetches issued").inc(3);
+    const Counter *c = g.findCounter("l1.prefetch.issued");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), 3u);
+    EXPECT_EQ(g.findCounter("l1.nothere"), nullptr);
+    EXPECT_EQ(g.findCounter("bogus.path"), nullptr);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup g("sys");
+    g.addCounter("top", "").inc(1);
+    g.addChild("c").addCounter("inner", "").inc(5);
+    g.resetAll();
+    EXPECT_EQ(g.findCounter("top")->value(), 0u);
+    EXPECT_EQ(g.findCounter("c.inner")->value(), 0u);
+}
+
+TEST(StatGroup, DumpContainsNamesAndValues)
+{
+    StatGroup g("sys");
+    g.addCounter("traffic", "bytes").inc(1234);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("traffic"), std::string::npos);
+    EXPECT_NE(os.str().find("1234"), std::string::npos);
+}

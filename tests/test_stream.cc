@@ -1,0 +1,200 @@
+/** @file Unit and property tests for compressed stream reader/writer. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "zcomp/stream.hh"
+
+using namespace zcomp;
+
+namespace {
+
+std::vector<float>
+makeSparse(size_t n, double sparsity, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.chance(sparsity) ? 0.0f
+                                 : static_cast<float>(rng.gaussian(0, 1)) +
+                                       3.0f;
+    return v;
+}
+
+} // namespace
+
+TEST(Stream, CompressExpandRoundTrip)
+{
+    const size_t n = 16 * 100;
+    auto src = makeSparse(n, 0.5, 1);
+    std::vector<uint8_t> buf(n * 4 + 2 * (n / 16));
+    StreamStats cs = compressBufferPs(src.data(), n, buf.data(),
+                                      buf.size(), Ccf::EQZ);
+    std::vector<float> out(n, -1.0f);
+    StreamStats es = expandBufferPs(buf.data(), buf.size(), out.data(), n);
+    EXPECT_EQ(cs.vectors, es.vectors);
+    EXPECT_EQ(cs.nnz, es.nnz);
+    EXPECT_EQ(out, src);
+}
+
+TEST(Stream, StatsMatchSparsity)
+{
+    const size_t n = 16 * 4096;
+    auto src = makeSparse(n, 0.53, 2);
+    std::vector<uint8_t> buf(n * 4 + 2 * (n / 16));
+    StreamStats s = compressBufferPs(src.data(), n, buf.data(),
+                                     buf.size(), Ccf::EQZ);
+    EXPECT_EQ(s.vectors, n / 16);
+    EXPECT_NEAR(s.sparsity(ElemType::F32), 0.53, 0.02);
+    // With ~53% sparsity: compressed = 0.47*64 + 2 bytes per vector.
+    double expected_ratio = 64.0 / (0.47 * 64.0 + 2.0);
+    EXPECT_NEAR(s.ratio(), expected_ratio, 0.15);
+}
+
+TEST(Stream, InterleavedFitsOriginalAllocationAtModestSparsity)
+{
+    // Section 4.1: >= 3.125% compressibility amortizes the metadata for
+    // fp32/512-bit, so the stream fits in the original allocation.
+    const size_t n = 16 * 1024;
+    auto src = makeSparse(n, 0.10, 3);
+    std::vector<uint8_t> buf(n * 4);    // exactly the original size
+    StreamStats s = compressBufferPs(src.data(), n, buf.data(),
+                                     buf.size(), Ccf::EQZ);
+    EXPECT_LE(s.totalBytes(), n * 4);
+}
+
+TEST(StreamDeath, IncompressibleDataOverflowsOriginalAllocation)
+{
+    const size_t n = 16 * 8;
+    std::vector<float> src(n, 1.0f);    // fully dense
+    std::vector<uint8_t> buf(n * 4);    // no room for headers
+    EXPECT_DEATH(
+        compressBufferPs(src.data(), n, buf.data(), buf.size(), Ccf::EQZ),
+        "memory violation");
+}
+
+TEST(Stream, WriterRecordsPerVectorNnz)
+{
+    const size_t n = 16 * 3;
+    std::vector<float> src(n, 0.0f);
+    src[0] = 1.0f;              // vector 0: nnz 1
+    src[16] = 1.0f;             // vector 1: nnz 2
+    src[17] = 2.0f;
+    std::vector<uint8_t> buf(n * 4 + 8);
+    CompressedWriter w(buf.data(), buf.size(), ElemType::F32, Ccf::EQZ);
+    for (size_t i = 0; i < n; i += 16)
+        w.put(Vec512::load(src.data() + i));
+    ASSERT_EQ(w.nnzRecord().size(), 3u);
+    EXPECT_EQ(w.nnzRecord()[0], 1);
+    EXPECT_EQ(w.nnzRecord()[1], 2);
+    EXPECT_EQ(w.nnzRecord()[2], 0);
+}
+
+TEST(Stream, SeparateHeaderWriterReader)
+{
+    const size_t n = 16 * 64;
+    auto src = makeSparse(n, 0.6, 4);
+    std::vector<uint8_t> data(n * 4);
+    std::vector<uint8_t> hdrs(2 * (n / 16));
+    CompressedWriter w(data.data(), data.size(), hdrs.data(), hdrs.size(),
+                       ElemType::F32, Ccf::EQZ);
+    for (size_t i = 0; i < n; i += 16)
+        w.put(Vec512::load(src.data() + i));
+    EXPECT_EQ(w.hdrBytesWritten(), hdrs.size());
+
+    CompressedReader r(data.data(), w.bytesWritten(), hdrs.data(),
+                       hdrs.size(), ElemType::F32);
+    for (size_t i = 0; i < n; i += 16) {
+        Vec512 v = r.get();
+        for (int l = 0; l < 16; l++)
+            EXPECT_FLOAT_EQ(v.lane<float>(l), src[i + l]);
+    }
+}
+
+TEST(Stream, ValidateStreamAcceptsWellFormed)
+{
+    const size_t n = 16 * 10;
+    auto src = makeSparse(n, 0.5, 5);
+    std::vector<uint8_t> buf(n * 4 + 2 * (n / 16));
+    StreamStats s = compressBufferPs(src.data(), n, buf.data(),
+                                     buf.size(), Ccf::EQZ);
+    EXPECT_EQ(validateStream(buf.data(), buf.size(), n / 16,
+                             ElemType::F32),
+              s.totalBytes());
+}
+
+TEST(Stream, ValidateStreamRejectsTruncated)
+{
+    const size_t n = 16 * 10;
+    auto src = makeSparse(n, 0.2, 6);
+    std::vector<uint8_t> buf(n * 4 + 2 * (n / 16));
+    StreamStats s = compressBufferPs(src.data(), n, buf.data(),
+                                     buf.size(), Ccf::EQZ);
+    EXPECT_EQ(validateStream(buf.data(), s.totalBytes() - 1, n / 16,
+                             ElemType::F32),
+              0u);
+}
+
+TEST(Stream, RatioOfEmptyStreamIsOne)
+{
+    StreamStats s;
+    EXPECT_DOUBLE_EQ(s.ratio(), 1.0);
+    EXPECT_DOUBLE_EQ(s.sparsity(ElemType::F32), 0.0);
+}
+
+class StreamSparsitySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(StreamSparsitySweep, RoundTripAndRatioMonotonicity)
+{
+    double sparsity = GetParam();
+    const size_t n = 16 * 512;
+    auto src = makeSparse(n, sparsity, 7);
+    std::vector<uint8_t> buf(n * 4 + 2 * (n / 16));
+    StreamStats s = compressBufferPs(src.data(), n, buf.data(),
+                                     buf.size(), Ccf::EQZ);
+    std::vector<float> out(n);
+    expandBufferPs(buf.data(), buf.size(), out.data(), n);
+    EXPECT_EQ(out, src);
+    // Ratio must be at least the worst case and grow with sparsity.
+    EXPECT_GE(s.ratio(), 64.0 / 66.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, StreamSparsitySweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.49, 0.62,
+                                           0.8, 0.95, 1.0));
+
+TEST(Stream, SeparateHeaderImmuneToIncompressibleData)
+{
+    // Section 4.1 option 2: with a decoupled header store, fully
+    // dense data still fits - payload occupies exactly the original
+    // allocation and the headers live in their own region.
+    const size_t n = 16 * 32;
+    std::vector<float> src(n, 1.0f);
+    std::vector<uint8_t> data(n * 4);
+    std::vector<uint8_t> hdrs(2 * (n / 16));
+    CompressedWriter w(data.data(), data.size(), hdrs.data(),
+                       hdrs.size(), ElemType::F32, Ccf::EQZ);
+    for (size_t i = 0; i < n; i += 16)
+        w.put(Vec512::load(src.data() + i));
+    EXPECT_EQ(w.bytesWritten(), n * 4);
+    EXPECT_EQ(w.hdrBytesWritten(), hdrs.size());
+    EXPECT_DOUBLE_EQ(w.stats().sparsity(ElemType::F32), 0.0);
+}
+
+TEST(Stream, FitsWorstCaseReportsHonestly)
+{
+    std::vector<uint8_t> buf(100);
+    CompressedWriter w(buf.data(), buf.size(), ElemType::F32,
+                       Ccf::EQZ);
+    EXPECT_TRUE(w.fitsWorstCase());     // 66 <= 100
+    // Write one dense vector (66 bytes): only 34 left.
+    Vec512 dense;
+    for (int i = 0; i < 16; i++)
+        dense.setLane<float>(i, 1.0f + i);
+    w.put(dense);
+    EXPECT_FALSE(w.fitsWorstCase());
+}

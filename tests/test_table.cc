@@ -1,0 +1,51 @@
+/** @file Unit tests for the console table printer. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace zcomp;
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    // Header separator rule exists.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers)
+{
+    EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(Table::fmt(1.0, 0), "1");
+    EXPECT_EQ(Table::fmtPct(0.31), "31.0%");
+    EXPECT_EQ(Table::fmtPct(-0.02), "-2.0%");
+    EXPECT_EQ(Table::fmtBytes(512), "512.00 B");
+    EXPECT_EQ(Table::fmtBytes(2048), "2.00 KiB");
+    EXPECT_EQ(Table::fmtBytes(3.5 * 1024 * 1024), "3.50 MiB");
+    EXPECT_EQ(Table::fmtBytes(2.0 * 1024 * 1024 * 1024), "2.00 GiB");
+}
+
+TEST(Table, EmptyTablePrintsNothing)
+{
+    Table t;
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(TableDeath, RowWidthMismatchPanics)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "table row");
+}

@@ -1,0 +1,180 @@
+/** @file Unit tests for tensors and GEMM/im2col primitives. */
+
+#include <gtest/gtest.h>
+
+#include "dnn/gemm.hh"
+#include "dnn/im2col.hh"
+#include "dnn/tensor.hh"
+
+using namespace zcomp;
+
+TEST(TensorShape, ElemsAndBytes)
+{
+    TensorShape s{2, 3, 4, 5};
+    EXPECT_EQ(s.elems(), 120u);
+    EXPECT_EQ(s.bytes(), 480u);
+    EXPECT_EQ(s.str(), "2x3x4x5");
+}
+
+TEST(Tensor, NchwIndexing)
+{
+    VSpace vs;
+    Tensor t(vs, "t", {2, 3, 4, 5}, AllocClass::FeatureMap);
+    t.at(1, 2, 3, 4) = 42.0f;
+    // NCHW: offset = ((n*C + c)*H + h)*W + w.
+    EXPECT_FLOAT_EQ(t.data()[((1 * 3 + 2) * 4 + 3) * 5 + 4], 42.0f);
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 42.0f);
+}
+
+TEST(Tensor, SparsityAndZero)
+{
+    VSpace vs;
+    Tensor t(vs, "t", {1, 1, 1, 8}, AllocClass::FeatureMap);
+    EXPECT_DOUBLE_EQ(t.sparsity(), 1.0);
+    t.data()[0] = 1.0f;
+    t.data()[5] = -1.0f;
+    EXPECT_DOUBLE_EQ(t.sparsity(), 0.75);
+    t.zero();
+    EXPECT_DOUBLE_EQ(t.sparsity(), 1.0);
+}
+
+TEST(Tensor, SimulatedAddresses)
+{
+    VSpace vs;
+    Tensor t(vs, "t", {1, 1, 1, 16}, AllocClass::FeatureMap);
+    EXPECT_EQ(t.addrAt(4), t.addrAt(0) + 16);
+}
+
+TEST(Gemm, SmallKnownProduct)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    float a[] = {1, 2, 3, 4};
+    float b[] = {5, 6, 7, 8};
+    float c[4];
+    gemm(2, 2, 2, a, b, c);
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[1], 22);
+    EXPECT_FLOAT_EQ(c[2], 43);
+    EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(Gemm, BetaAccumulates)
+{
+    float a[] = {1, 0, 0, 1};
+    float b[] = {1, 2, 3, 4};
+    float c[] = {10, 10, 10, 10};
+    gemm(2, 2, 2, a, b, c, 1.0f);
+    EXPECT_FLOAT_EQ(c[0], 11);
+    EXPECT_FLOAT_EQ(c[3], 14);
+}
+
+TEST(Gemm, TransposedVariantsAgree)
+{
+    // Random small matrices; check A^T B and A B^T against gemm on
+    // explicitly transposed inputs.
+    const size_t m = 3, n = 4, k = 5;
+    float a[m * k], at[k * m], b[k * n], bt[n * k];
+    for (size_t i = 0; i < m * k; i++)
+        a[i] = static_cast<float>(i % 7) - 3;
+    for (size_t i = 0; i < k * n; i++)
+        b[i] = static_cast<float>(i % 5) - 2;
+    for (size_t i = 0; i < m; i++)
+        for (size_t p = 0; p < k; p++)
+            at[p * m + i] = a[i * k + p];
+    for (size_t p = 0; p < k; p++)
+        for (size_t j = 0; j < n; j++)
+            bt[j * k + p] = b[p * n + j];
+
+    float ref[m * n], c1[m * n], c2[m * n];
+    gemm(m, n, k, a, b, ref);
+    gemmAtB(m, n, k, at, b, c1);
+    gemmABt(m, n, k, a, bt, c2);
+    for (size_t i = 0; i < m * n; i++) {
+        EXPECT_FLOAT_EQ(c1[i], ref[i]);
+        EXPECT_FLOAT_EQ(c2[i], ref[i]);
+    }
+}
+
+TEST(Im2col, IdentityKernelIsCopy)
+{
+    // 1x1 kernel, stride 1, no pad: cols == img.
+    ConvGeom g;
+    g.cin = 2;
+    g.hin = 3;
+    g.win = 3;
+    float img[18];
+    for (int i = 0; i < 18; i++)
+        img[i] = static_cast<float>(i);
+    float cols[18];
+    im2col(g, img, cols);
+    for (int i = 0; i < 18; i++)
+        EXPECT_FLOAT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2col, PaddingProducesZeros)
+{
+    ConvGeom g;
+    g.cin = 1;
+    g.hin = 2;
+    g.win = 2;
+    g.kh = 3;
+    g.kw = 3;
+    g.pad = 1;
+    EXPECT_EQ(g.hout(), 2);
+    EXPECT_EQ(g.wout(), 2);
+    float img[] = {1, 2, 3, 4};
+    float cols[9 * 4];
+    im2col(g, img, cols);
+    // Patch row (ky=0, kx=0) for output (0,0) samples img(-1,-1) -> 0.
+    EXPECT_FLOAT_EQ(cols[0], 0.0f);
+    // Center patch row (ky=1, kx=1) equals the image itself.
+    EXPECT_FLOAT_EQ(cols[4 * 4 + 0], 1.0f);
+    EXPECT_FLOAT_EQ(cols[4 * 4 + 3], 4.0f);
+}
+
+TEST(Im2col, StrideSkipsPositions)
+{
+    ConvGeom g;
+    g.cin = 1;
+    g.hin = 4;
+    g.win = 4;
+    g.kh = 2;
+    g.kw = 2;
+    g.stride = 2;
+    EXPECT_EQ(g.hout(), 2);
+    EXPECT_EQ(g.outPixels(), 4u);
+}
+
+TEST(Im2col, Col2imIsAdjoint)
+{
+    // <im2col(x), y> == <x, col2im(y)> for random x, y - the defining
+    // property that makes the conv backward pass correct.
+    ConvGeom g;
+    g.cin = 2;
+    g.hin = 5;
+    g.win = 4;
+    g.kh = 3;
+    g.kw = 3;
+    g.stride = 2;
+    g.pad = 1;
+    size_t img_elems = static_cast<size_t>(g.cin) * g.hin * g.win;
+    size_t col_elems = g.patchRows() * g.outPixels();
+
+    std::vector<float> x(img_elems), y(col_elems);
+    for (size_t i = 0; i < img_elems; i++)
+        x[i] = static_cast<float>((i * 7) % 11) - 5;
+    for (size_t i = 0; i < col_elems; i++)
+        y[i] = static_cast<float>((i * 3) % 13) - 6;
+
+    std::vector<float> ax(col_elems);
+    im2col(g, x.data(), ax.data());
+    std::vector<float> aty(img_elems, 0.0f);
+    col2im(g, y.data(), aty.data());
+
+    double lhs = 0, rhs = 0;
+    for (size_t i = 0; i < col_elems; i++)
+        lhs += static_cast<double>(ax[i]) * y[i];
+    for (size_t i = 0; i < img_elems; i++)
+        rhs += static_cast<double>(x[i]) * aty[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}

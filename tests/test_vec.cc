@@ -1,0 +1,62 @@
+/** @file Unit tests for the Vec512 register value type. */
+
+#include <gtest/gtest.h>
+
+#include "isa/vec.hh"
+
+using namespace zcomp;
+
+TEST(Vec512, ZeroIsAllZeroBytes)
+{
+    Vec512 v = Vec512::zero();
+    for (uint8_t b : v.bytes)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Vec512, FloatLaneRoundTrip)
+{
+    Vec512 v = Vec512::zero();
+    for (int i = 0; i < 16; i++)
+        v.setLane<float>(i, static_cast<float>(i) * 1.5f);
+    for (int i = 0; i < 16; i++)
+        EXPECT_FLOAT_EQ(v.lane<float>(i), static_cast<float>(i) * 1.5f);
+}
+
+TEST(Vec512, Int8LaneRoundTrip)
+{
+    Vec512 v = Vec512::zero();
+    for (int i = 0; i < 64; i++)
+        v.setLane<int8_t>(i, static_cast<int8_t>(i - 32));
+    for (int i = 0; i < 64; i++)
+        EXPECT_EQ(v.lane<int8_t>(i), static_cast<int8_t>(i - 32));
+}
+
+TEST(Vec512, DoubleLaneRoundTrip)
+{
+    Vec512 v = Vec512::zero();
+    for (int i = 0; i < 8; i++)
+        v.setLane<double>(i, i * 0.25);
+    for (int i = 0; i < 8; i++)
+        EXPECT_DOUBLE_EQ(v.lane<double>(i), i * 0.25);
+}
+
+TEST(Vec512, LoadStoreRoundTrip)
+{
+    float buf[16];
+    for (int i = 0; i < 16; i++)
+        buf[i] = static_cast<float>(i);
+    Vec512 v = Vec512::load(buf);
+    float out[16] = {};
+    v.store(out);
+    for (int i = 0; i < 16; i++)
+        EXPECT_FLOAT_EQ(out[i], buf[i]);
+}
+
+TEST(Vec512, EqualityComparesAllBytes)
+{
+    Vec512 a = Vec512::zero();
+    Vec512 b = Vec512::zero();
+    EXPECT_TRUE(a == b);
+    b.setLane<uint8_t>(63, 1);
+    EXPECT_FALSE(a == b);
+}

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit and property tests for the functional ZCOMP semantics,
+ * including the worked example of Figure 4 (header 0x911C, 26 bytes
+ * written, pointer 0x1000 -> 0x101A).
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/zcomp_isa.hh"
+
+using namespace zcomp;
+
+namespace {
+
+/** fp32 vector with non-zero values in exactly the given lanes. */
+Vec512
+sparseVec(std::initializer_list<int> lanes)
+{
+    Vec512 v = Vec512::zero();
+    for (int i : lanes)
+        v.setLane<float>(i, static_cast<float>(i) + 1.0f);
+    return v;
+}
+
+} // namespace
+
+TEST(ZcompIsa, HeaderSizesPerType)
+{
+    EXPECT_EQ(headerBytes(ElemType::F64), 1);
+    EXPECT_EQ(headerBytes(ElemType::F32), 2);
+    EXPECT_EQ(headerBytes(ElemType::F16), 4);
+    EXPECT_EQ(headerBytes(ElemType::I8), 8);
+    EXPECT_EQ(lanesPerVec(ElemType::F32), 16);
+    EXPECT_EQ(lanesPerVec(ElemType::I8), 64);
+    EXPECT_EQ(maxCompressedBytes(ElemType::F32), 66);
+}
+
+TEST(ZcompIsa, Figure4WorkedExample)
+{
+    // Figure 4: 6 non-zero fp32 elements, comparison result
+    // 1001000100011100 (bit 15 .. bit 0) = 0x911C, so the non-zero
+    // lanes are {2,3,4,8,12,15}. Total output = 2-byte header +
+    // 6*4 bytes = 26 bytes, advancing reg2 from 0x1000 to 0x101A.
+    Vec512 v = sparseVec({2, 3, 4, 8, 12, 15});
+    uint8_t buf[66];
+    ZcompResult r = zcompsInterleaved(v, ElemType::F32, Ccf::EQZ, buf);
+    EXPECT_EQ(r.header, 0x911Cu);
+    EXPECT_EQ(r.nnz, 6);
+    EXPECT_EQ(r.dataBytes, 24);
+    EXPECT_EQ(r.totalBytes, 26);
+    EXPECT_EQ(0x1000 + r.totalBytes, 0x101A);
+
+    // Header is stored little-endian in the first two bytes.
+    EXPECT_EQ(buf[0], 0x1C);
+    EXPECT_EQ(buf[1], 0x91);
+}
+
+TEST(ZcompIsa, CompressedPayloadKeepsLaneOrder)
+{
+    Vec512 v = sparseVec({1, 5, 13});
+    uint8_t buf[66];
+    zcompsInterleaved(v, ElemType::F32, Ccf::EQZ, buf);
+    float f0, f1, f2;
+    std::memcpy(&f0, buf + 2, 4);
+    std::memcpy(&f1, buf + 6, 4);
+    std::memcpy(&f2, buf + 10, 4);
+    EXPECT_FLOAT_EQ(f0, 2.0f);
+    EXPECT_FLOAT_EQ(f1, 6.0f);
+    EXPECT_FLOAT_EQ(f2, 14.0f);
+}
+
+TEST(ZcompIsa, AllZeroVectorCompressesToHeaderOnly)
+{
+    uint8_t buf[66];
+    ZcompResult r = zcompsInterleaved(Vec512::zero(), ElemType::F32,
+                                      Ccf::EQZ, buf);
+    EXPECT_EQ(r.header, 0u);
+    EXPECT_EQ(r.nnz, 0);
+    EXPECT_EQ(r.totalBytes, 2);
+
+    Vec512 out;
+    ZcompResult e = zcomplInterleaved(buf, ElemType::F32, out);
+    EXPECT_EQ(e.totalBytes, 2);
+    EXPECT_TRUE(out == Vec512::zero());
+}
+
+TEST(ZcompIsa, DenseVectorIsIncompressible)
+{
+    Vec512 v;
+    for (int i = 0; i < 16; i++)
+        v.setLane<float>(i, 1.0f + i);
+    uint8_t buf[66];
+    ZcompResult r = zcompsInterleaved(v, ElemType::F32, Ccf::EQZ, buf);
+    EXPECT_EQ(r.nnz, 16);
+    EXPECT_EQ(r.totalBytes, 66);    // 64 payload + 2 header
+}
+
+TEST(ZcompIsa, LtezFusesRelu)
+{
+    Vec512 v = Vec512::zero();
+    v.setLane<float>(0, -3.0f);
+    v.setLane<float>(1, 2.0f);
+    v.setLane<float>(2, 0.0f);
+    v.setLane<float>(3, -0.0f);   // sign bit set, magnitude zero
+    v.setLane<float>(4, 5.0f);
+    uint8_t buf[66];
+    ZcompResult r = zcompsInterleaved(v, ElemType::F32, Ccf::LTEZ, buf);
+    EXPECT_EQ(r.header, (1u << 1) | (1u << 4));
+    EXPECT_EQ(r.nnz, 2);
+
+    Vec512 out;
+    zcomplInterleaved(buf, ElemType::F32, out);
+    EXPECT_FLOAT_EQ(out.lane<float>(0), 0.0f);  // ReLU'd away
+    EXPECT_FLOAT_EQ(out.lane<float>(1), 2.0f);
+    EXPECT_FLOAT_EQ(out.lane<float>(4), 5.0f);
+}
+
+TEST(ZcompIsa, EqzKeepsNegativeValues)
+{
+    Vec512 v = Vec512::zero();
+    v.setLane<float>(7, -1.25f);
+    uint8_t buf[66];
+    ZcompResult r = zcompsInterleaved(v, ElemType::F32, Ccf::EQZ, buf);
+    EXPECT_EQ(r.nnz, 1);
+    Vec512 out;
+    zcomplInterleaved(buf, ElemType::F32, out);
+    EXPECT_FLOAT_EQ(out.lane<float>(7), -1.25f);
+}
+
+TEST(ZcompIsa, SeparateHeaderSplitsMetadata)
+{
+    Vec512 v = sparseVec({0, 15});
+    uint8_t data[64];
+    uint8_t hdr[2];
+    ZcompResult r =
+        zcompsSeparate(v, ElemType::F32, Ccf::EQZ, data, hdr);
+    EXPECT_EQ(r.nnz, 2);
+    EXPECT_EQ(r.dataBytes, 8);
+    EXPECT_EQ(r.totalBytes, 8);     // payload only; header is decoupled
+
+    Vec512 out;
+    ZcompResult e = zcomplSeparate(data, hdr, ElemType::F32, out);
+    EXPECT_EQ(e.totalBytes, 8);
+    EXPECT_TRUE(out == v);
+}
+
+TEST(ZcompIsa, Int8SignHandling)
+{
+    Vec512 v = Vec512::zero();
+    v.setLane<int8_t>(0, -5);
+    v.setLane<int8_t>(1, 7);
+    v.setLane<int8_t>(63, -128);
+    uint8_t buf[72];
+    ZcompResult eqz = zcompsInterleaved(v, ElemType::I8, Ccf::EQZ, buf);
+    EXPECT_EQ(eqz.nnz, 3);
+    ZcompResult ltez = zcompsInterleaved(v, ElemType::I8, Ccf::LTEZ, buf);
+    EXPECT_EQ(ltez.nnz, 1);     // only lane 1 is positive
+    EXPECT_EQ(ltez.header, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Property tests: round-trip over random vectors at swept sparsities
+// for every element type and both header variants.
+// ---------------------------------------------------------------------
+
+class ZcompRoundTrip
+    : public ::testing::TestWithParam<std::tuple<ElemType, double>>
+{
+};
+
+TEST_P(ZcompRoundTrip, ExpandInvertsCompressEqz)
+{
+    auto [etype, sparsity] = GetParam();
+    Rng rng(static_cast<uint64_t>(sparsity * 1000) + 77 +
+            static_cast<uint64_t>(etype));
+    const int eb = elemBytes(etype);
+    const int lanes = lanesPerVec(etype);
+
+    for (int iter = 0; iter < 200; iter++) {
+        Vec512 v = Vec512::zero();
+        for (int i = 0; i < lanes; i++) {
+            if (!rng.chance(sparsity)) {
+                // Non-zero raw lane bits (any bit pattern except 0).
+                uint64_t raw = rng.next64() | 1;
+                std::memcpy(v.bytes + i * eb, &raw,
+                            static_cast<size_t>(eb));
+            }
+        }
+        uint8_t buf[72];
+        ZcompResult c = zcompsInterleaved(v, etype, Ccf::EQZ, buf);
+        Vec512 out;
+        ZcompResult e = zcomplInterleaved(buf, etype, out);
+        EXPECT_EQ(c.header, e.header);
+        EXPECT_EQ(c.totalBytes, e.totalBytes);
+        EXPECT_TRUE(out == v);
+
+        // Separate-header variant agrees with interleaved.
+        uint8_t data[64], hdr[8];
+        ZcompResult cs = zcompsSeparate(v, etype, Ccf::EQZ, data, hdr);
+        EXPECT_EQ(cs.header, c.header);
+        Vec512 out2;
+        zcomplSeparate(data, hdr, etype, out2);
+        EXPECT_TRUE(out2 == v);
+    }
+}
+
+TEST_P(ZcompRoundTrip, CompressedSizeMatchesSparsity)
+{
+    auto [etype, sparsity] = GetParam();
+    Rng rng(42);
+    const int eb = elemBytes(etype);
+    const int lanes = lanesPerVec(etype);
+    uint64_t total_bytes = 0;
+    const int iters = 2000;
+    for (int iter = 0; iter < iters; iter++) {
+        Vec512 v = Vec512::zero();
+        for (int i = 0; i < lanes; i++) {
+            if (!rng.chance(sparsity)) {
+                uint64_t raw = rng.next64() | 1;
+                std::memcpy(v.bytes + i * eb, &raw,
+                            static_cast<size_t>(eb));
+            }
+        }
+        uint8_t buf[72];
+        total_bytes += static_cast<uint64_t>(
+            zcompsInterleaved(v, etype, Ccf::EQZ, buf).totalBytes);
+    }
+    double expect = iters * (headerBytes(etype) +
+                             (1.0 - sparsity) * 64.0);
+    double got = static_cast<double>(total_bytes);
+    EXPECT_NEAR(got / expect, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypesAndSparsities, ZcompRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(ElemType::F32, ElemType::F16, ElemType::I8,
+                          ElemType::I32, ElemType::F64),
+        ::testing::Values(0.0, 0.25, 0.53, 0.9, 1.0)));

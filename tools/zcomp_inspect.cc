@@ -1,0 +1,138 @@
+/**
+ * @file
+ * zcomp_inspect - a command-line compressibility explorer.
+ *
+ * Feeds a raw binary file (or a generated synthetic snapshot) through
+ * the ZCOMP functional model and the FPC-D cache-compression model,
+ * reporting per-block and aggregate compression statistics. Useful for
+ * checking how a real feature-map dump would fare before committing to
+ * interleaved headers (Section 4.1's compressibility question).
+ *
+ * Usage:
+ *   zcomp_inspect <file>            analyze a raw fp32 binary dump
+ *   zcomp_inspect --synth <sparsity> [bytes]
+ *                                   analyze a generated snapshot
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "cachecomp/cache_model.hh"
+#include "common/table.hh"
+#include "workload/snapshot.hh"
+#include "zcomp/stream.hh"
+
+using namespace zcomp;
+
+namespace {
+
+std::vector<uint8_t>
+readFile(const char *path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        std::exit(1);
+    }
+    auto size = static_cast<size_t>(in.tellg());
+    size -= size % 64;      // line-align
+    if (size == 0) {
+        std::fprintf(stderr, "%s: too small (need >= 64 bytes)\n",
+                     path);
+        std::exit(1);
+    }
+    std::vector<uint8_t> bytes(size);
+    in.seekg(0);
+    in.read(reinterpret_cast<char *>(bytes.data()),
+            static_cast<std::streamsize>(size));
+    return bytes;
+}
+
+std::vector<uint8_t>
+makeSynthetic(double sparsity, size_t bytes)
+{
+    SnapshotParams p;
+    p.sparsity = sparsity;
+    auto floats = makeActivations(bytes / 4, p, 0x5eed);
+    std::vector<uint8_t> out(floats.size() * 4);
+    std::memcpy(out.data(), floats.data(), out.size());
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<uint8_t> data;
+    std::string source;
+    if (argc >= 3 && std::string(argv[1]) == "--synth") {
+        double sparsity = std::atof(argv[2]);
+        size_t bytes = argc >= 4
+                           ? static_cast<size_t>(std::atoll(argv[3]))
+                           : (1u << 20);
+        bytes -= bytes % 64;
+        data = makeSynthetic(sparsity, bytes);
+        source = "synthetic snapshot";
+    } else if (argc == 2) {
+        data = readFile(argv[1]);
+        source = argv[1];
+    } else {
+        std::fprintf(stderr,
+                     "usage: %s <file> | --synth <sparsity> [bytes]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    const size_t n = data.size() / 4;
+    std::printf("source : %s (%zu bytes, %zu fp32 elements)\n",
+                source.c_str(), data.size(), n);
+
+    // Whole-buffer ZCOMP statistics (interleaved fp32 headers).
+    std::vector<uint8_t> dst(data.size() + (n / 16 + 1) * 2 + 64);
+    const float *floats = reinterpret_cast<const float *>(data.data());
+    size_t vec_elems = n - n % 16;
+    StreamStats s = compressBufferPs(floats, vec_elems, dst.data(),
+                                     dst.size(), Ccf::EQZ);
+    std::printf("zero sparsity      : %5.1f%%\n",
+                s.sparsity(ElemType::F32) * 100);
+    std::printf("zcomp ratio        : %5.2fx (%llu -> %llu bytes, "
+                "%llu header bytes)\n",
+                s.ratio(), (unsigned long long)s.originalBytes(),
+                (unsigned long long)s.totalBytes(),
+                (unsigned long long)s.headerBytes);
+    std::printf("fits orig. alloc.  : %s (needs >= 3.125%% "
+                "compressibility)\n",
+                s.totalBytes() <= s.originalBytes() ? "yes" : "NO");
+
+    // Cache-compression comparison on the same data.
+    CompRatios r = analyzeSnapshot(data.data(),
+                                   data.size() - data.size() % 64);
+    std::printf("FPC-D LimitCC ratio: %5.2fx\n", r.limitCC);
+    std::printf("FPC-D TwoTagCC     : %5.2fx\n", r.twoTagCC);
+
+    // Per-block (1 MiB) profile: sparsity and ratio across the file.
+    const size_t block = 1u << 20;
+    if (data.size() > 2 * block) {
+        Table t("per-MiB profile");
+        t.setHeader({"offset", "sparsity", "zcomp ratio"});
+        for (size_t off = 0; off + block <= data.size();
+             off += block) {
+            const float *bf =
+                reinterpret_cast<const float *>(data.data() + off);
+            size_t bn = block / 4;
+            std::vector<uint8_t> bd(block + (bn / 16) * 2 + 64);
+            StreamStats bs = compressBufferPs(bf, bn, bd.data(),
+                                              bd.size(), Ccf::EQZ);
+            t.addRow({Table::fmtBytes(static_cast<double>(off)),
+                      Table::fmtPct(bs.sparsity(ElemType::F32)),
+                      Table::fmt(bs.ratio(), 2) + "x"});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}
