@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_logic_latency.dir/bench_ablation_logic_latency.cc.o"
+  "CMakeFiles/bench_ablation_logic_latency.dir/bench_ablation_logic_latency.cc.o.d"
+  "bench_ablation_logic_latency"
+  "bench_ablation_logic_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_logic_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

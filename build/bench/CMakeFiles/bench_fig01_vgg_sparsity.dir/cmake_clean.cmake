@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_vgg_sparsity.dir/bench_fig01_vgg_sparsity.cc.o"
+  "CMakeFiles/bench_fig01_vgg_sparsity.dir/bench_fig01_vgg_sparsity.cc.o.d"
+  "bench_fig01_vgg_sparsity"
+  "bench_fig01_vgg_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_vgg_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

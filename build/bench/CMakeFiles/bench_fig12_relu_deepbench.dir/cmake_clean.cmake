@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_relu_deepbench.dir/bench_fig12_relu_deepbench.cc.o"
+  "CMakeFiles/bench_fig12_relu_deepbench.dir/bench_fig12_relu_deepbench.cc.o.d"
+  "bench_fig12_relu_deepbench"
+  "bench_fig12_relu_deepbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_relu_deepbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

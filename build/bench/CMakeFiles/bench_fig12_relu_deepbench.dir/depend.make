@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_relu_deepbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_traffic_full.dir/bench_fig13_traffic_full.cc.o"
+  "CMakeFiles/bench_fig13_traffic_full.dir/bench_fig13_traffic_full.cc.o.d"
+  "bench_fig13_traffic_full"
+  "bench_fig13_traffic_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_traffic_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

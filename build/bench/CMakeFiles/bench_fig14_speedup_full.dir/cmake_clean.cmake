@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_speedup_full.dir/bench_fig14_speedup_full.cc.o"
+  "CMakeFiles/bench_fig14_speedup_full.dir/bench_fig14_speedup_full.cc.o.d"
+  "bench_fig14_speedup_full"
+  "bench_fig14_speedup_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_speedup_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

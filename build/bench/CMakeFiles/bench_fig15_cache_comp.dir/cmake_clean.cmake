@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cache_comp.dir/bench_fig15_cache_comp.cc.o"
+  "CMakeFiles/bench_fig15_cache_comp.dir/bench_fig15_cache_comp.cc.o.d"
+  "bench_fig15_cache_comp"
+  "bench_fig15_cache_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cache_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

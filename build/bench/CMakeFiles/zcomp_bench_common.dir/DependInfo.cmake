@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/zcomp_bench_common.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/zcomp_bench_common.dir/bench_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/zcomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachecomp/CMakeFiles/zcomp_cachecomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/zcomp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/zcomp_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zcomp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/zcomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/zcomp/CMakeFiles/zcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/zcomp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

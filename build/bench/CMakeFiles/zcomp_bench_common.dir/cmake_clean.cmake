@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/zcomp_bench_common.dir/bench_common.cc.o.d"
+  "libzcomp_bench_common.a"
+  "libzcomp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

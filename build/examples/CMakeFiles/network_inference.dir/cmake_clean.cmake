@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_inference.dir/network_inference.cpp.o"
+  "CMakeFiles/network_inference.dir/network_inference.cpp.o.d"
+  "network_inference"
+  "network_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

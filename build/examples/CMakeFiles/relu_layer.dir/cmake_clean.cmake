@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relu_layer.dir/relu_layer.cpp.o"
+  "CMakeFiles/relu_layer.dir/relu_layer.cpp.o.d"
+  "relu_layer"
+  "relu_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relu_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_asm.dir/zcomp_asm.cpp.o"
+  "CMakeFiles/zcomp_asm.dir/zcomp_asm.cpp.o.d"
+  "zcomp_asm"
+  "zcomp_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_cachecomp.dir/cache_model.cc.o"
+  "CMakeFiles/zcomp_cachecomp.dir/cache_model.cc.o.d"
+  "CMakeFiles/zcomp_cachecomp.dir/fpc.cc.o"
+  "CMakeFiles/zcomp_cachecomp.dir/fpc.cc.o.d"
+  "CMakeFiles/zcomp_cachecomp.dir/fpcd.cc.o"
+  "CMakeFiles/zcomp_cachecomp.dir/fpcd.cc.o.d"
+  "libzcomp_cachecomp.a"
+  "libzcomp_cachecomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_cachecomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

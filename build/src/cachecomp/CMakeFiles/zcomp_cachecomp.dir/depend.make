@@ -1,0 +1,2 @@
+# Empty dependencies file for zcomp_cachecomp.
+# This may be replaced when dependencies are built.

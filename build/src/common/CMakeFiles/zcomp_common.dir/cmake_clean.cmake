@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_common.dir/config.cc.o"
+  "CMakeFiles/zcomp_common.dir/config.cc.o.d"
+  "CMakeFiles/zcomp_common.dir/log.cc.o"
+  "CMakeFiles/zcomp_common.dir/log.cc.o.d"
+  "CMakeFiles/zcomp_common.dir/rng.cc.o"
+  "CMakeFiles/zcomp_common.dir/rng.cc.o.d"
+  "CMakeFiles/zcomp_common.dir/stats.cc.o"
+  "CMakeFiles/zcomp_common.dir/stats.cc.o.d"
+  "CMakeFiles/zcomp_common.dir/table.cc.o"
+  "CMakeFiles/zcomp_common.dir/table.cc.o.d"
+  "libzcomp_common.a"
+  "libzcomp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_cpu.dir/core.cc.o"
+  "CMakeFiles/zcomp_cpu.dir/core.cc.o.d"
+  "CMakeFiles/zcomp_cpu.dir/system.cc.o"
+  "CMakeFiles/zcomp_cpu.dir/system.cc.o.d"
+  "libzcomp_cpu.a"
+  "libzcomp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/gemm.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/gemm.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/gemm.cc.o.d"
+  "/root/repo/src/dnn/im2col.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/im2col.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/im2col.cc.o.d"
+  "/root/repo/src/dnn/layers/activation.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/activation.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/activation.cc.o.d"
+  "/root/repo/src/dnn/layers/conv.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/conv.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/conv.cc.o.d"
+  "/root/repo/src/dnn/layers/fc.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/fc.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/fc.cc.o.d"
+  "/root/repo/src/dnn/layers/norm.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/norm.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/norm.cc.o.d"
+  "/root/repo/src/dnn/layers/pool.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/pool.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/pool.cc.o.d"
+  "/root/repo/src/dnn/layers/structure.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/structure.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/layers/structure.cc.o.d"
+  "/root/repo/src/dnn/models/alexnet.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/alexnet.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/alexnet.cc.o.d"
+  "/root/repo/src/dnn/models/googlenet.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/googlenet.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/googlenet.cc.o.d"
+  "/root/repo/src/dnn/models/inception_resnet_v2.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/inception_resnet_v2.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/inception_resnet_v2.cc.o.d"
+  "/root/repo/src/dnn/models/resnet32.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/resnet32.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/resnet32.cc.o.d"
+  "/root/repo/src/dnn/models/vgg16.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/vgg16.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/models/vgg16.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/network.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/network.cc.o.d"
+  "/root/repo/src/dnn/tensor.cc" "src/dnn/CMakeFiles/zcomp_dnn.dir/tensor.cc.o" "gcc" "src/dnn/CMakeFiles/zcomp_dnn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/zcomp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zcomp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

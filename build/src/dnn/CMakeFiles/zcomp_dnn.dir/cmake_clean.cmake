@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_dnn.dir/gemm.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/gemm.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/im2col.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/im2col.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/layers/activation.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/layers/activation.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/layers/conv.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/layers/conv.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/layers/fc.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/layers/fc.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/layers/norm.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/layers/norm.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/layers/pool.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/layers/pool.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/layers/structure.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/layers/structure.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/models/alexnet.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/models/alexnet.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/models/googlenet.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/models/googlenet.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/models/inception_resnet_v2.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/models/inception_resnet_v2.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/models/resnet32.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/models/resnet32.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/models/vgg16.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/models/vgg16.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/network.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/network.cc.o.d"
+  "CMakeFiles/zcomp_dnn.dir/tensor.cc.o"
+  "CMakeFiles/zcomp_dnn.dir/tensor.cc.o.d"
+  "libzcomp_dnn.a"
+  "libzcomp_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/zcomp_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/zcomp_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/avx512.cc" "src/isa/CMakeFiles/zcomp_isa.dir/avx512.cc.o" "gcc" "src/isa/CMakeFiles/zcomp_isa.dir/avx512.cc.o.d"
+  "/root/repo/src/isa/emulator.cc" "src/isa/CMakeFiles/zcomp_isa.dir/emulator.cc.o" "gcc" "src/isa/CMakeFiles/zcomp_isa.dir/emulator.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/isa/CMakeFiles/zcomp_isa.dir/encoding.cc.o" "gcc" "src/isa/CMakeFiles/zcomp_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/isa/latency.cc" "src/isa/CMakeFiles/zcomp_isa.dir/latency.cc.o" "gcc" "src/isa/CMakeFiles/zcomp_isa.dir/latency.cc.o.d"
+  "/root/repo/src/isa/zcomp_isa.cc" "src/isa/CMakeFiles/zcomp_isa.dir/zcomp_isa.cc.o" "gcc" "src/isa/CMakeFiles/zcomp_isa.dir/zcomp_isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

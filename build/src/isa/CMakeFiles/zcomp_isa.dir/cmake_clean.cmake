@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_isa.dir/assembler.cc.o"
+  "CMakeFiles/zcomp_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/zcomp_isa.dir/avx512.cc.o"
+  "CMakeFiles/zcomp_isa.dir/avx512.cc.o.d"
+  "CMakeFiles/zcomp_isa.dir/emulator.cc.o"
+  "CMakeFiles/zcomp_isa.dir/emulator.cc.o.d"
+  "CMakeFiles/zcomp_isa.dir/encoding.cc.o"
+  "CMakeFiles/zcomp_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/zcomp_isa.dir/latency.cc.o"
+  "CMakeFiles/zcomp_isa.dir/latency.cc.o.d"
+  "CMakeFiles/zcomp_isa.dir/zcomp_isa.cc.o"
+  "CMakeFiles/zcomp_isa.dir/zcomp_isa.cc.o.d"
+  "libzcomp_isa.a"
+  "libzcomp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

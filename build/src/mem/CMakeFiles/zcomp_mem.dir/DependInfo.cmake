@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/zcomp_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/zcomp_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/zcomp_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/zcomp_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/zcomp_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/zcomp_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/noc.cc" "src/mem/CMakeFiles/zcomp_mem.dir/noc.cc.o" "gcc" "src/mem/CMakeFiles/zcomp_mem.dir/noc.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/mem/CMakeFiles/zcomp_mem.dir/prefetcher.cc.o" "gcc" "src/mem/CMakeFiles/zcomp_mem.dir/prefetcher.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/mem/CMakeFiles/zcomp_mem.dir/replacement.cc.o" "gcc" "src/mem/CMakeFiles/zcomp_mem.dir/replacement.cc.o.d"
+  "/root/repo/src/mem/vspace.cc" "src/mem/CMakeFiles/zcomp_mem.dir/vspace.cc.o" "gcc" "src/mem/CMakeFiles/zcomp_mem.dir/vspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

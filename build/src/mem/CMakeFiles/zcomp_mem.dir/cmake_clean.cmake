@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_mem.dir/cache.cc.o"
+  "CMakeFiles/zcomp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/zcomp_mem.dir/dram.cc.o"
+  "CMakeFiles/zcomp_mem.dir/dram.cc.o.d"
+  "CMakeFiles/zcomp_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/zcomp_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/zcomp_mem.dir/noc.cc.o"
+  "CMakeFiles/zcomp_mem.dir/noc.cc.o.d"
+  "CMakeFiles/zcomp_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/zcomp_mem.dir/prefetcher.cc.o.d"
+  "CMakeFiles/zcomp_mem.dir/replacement.cc.o"
+  "CMakeFiles/zcomp_mem.dir/replacement.cc.o.d"
+  "CMakeFiles/zcomp_mem.dir/vspace.cc.o"
+  "CMakeFiles/zcomp_mem.dir/vspace.cc.o.d"
+  "libzcomp_mem.a"
+  "libzcomp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

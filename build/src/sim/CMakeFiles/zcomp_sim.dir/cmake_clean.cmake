@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_sim.dir/exec_context.cc.o"
+  "CMakeFiles/zcomp_sim.dir/exec_context.cc.o.d"
+  "CMakeFiles/zcomp_sim.dir/kernels.cc.o"
+  "CMakeFiles/zcomp_sim.dir/kernels.cc.o.d"
+  "CMakeFiles/zcomp_sim.dir/network_sim.cc.o"
+  "CMakeFiles/zcomp_sim.dir/network_sim.cc.o.d"
+  "libzcomp_sim.a"
+  "libzcomp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzcomp_sim.a"
+)

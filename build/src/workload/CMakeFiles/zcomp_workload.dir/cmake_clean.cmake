@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_workload.dir/deepbench.cc.o"
+  "CMakeFiles/zcomp_workload.dir/deepbench.cc.o.d"
+  "CMakeFiles/zcomp_workload.dir/snapshot.cc.o"
+  "CMakeFiles/zcomp_workload.dir/snapshot.cc.o.d"
+  "libzcomp_workload.a"
+  "libzcomp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzcomp_workload.a"
+)

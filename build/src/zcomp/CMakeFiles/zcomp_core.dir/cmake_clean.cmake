@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_core.dir/intrinsics.cc.o"
+  "CMakeFiles/zcomp_core.dir/intrinsics.cc.o.d"
+  "CMakeFiles/zcomp_core.dir/partition.cc.o"
+  "CMakeFiles/zcomp_core.dir/partition.cc.o.d"
+  "CMakeFiles/zcomp_core.dir/stream.cc.o"
+  "CMakeFiles/zcomp_core.dir/stream.cc.o.d"
+  "libzcomp_core.a"
+  "libzcomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzcomp_core.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avx512.dir/test_avx512.cc.o"
+  "CMakeFiles/test_avx512.dir/test_avx512.cc.o.d"
+  "test_avx512"
+  "test_avx512.pdb"
+  "test_avx512[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avx512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachecomp.dir/test_cachecomp.cc.o"
+  "CMakeFiles/test_cachecomp.dir/test_cachecomp.cc.o.d"
+  "test_cachecomp"
+  "test_cachecomp.pdb"
+  "test_cachecomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachecomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deepbench.dir/test_deepbench.cc.o"
+  "CMakeFiles/test_deepbench.dir/test_deepbench.cc.o.d"
+  "test_deepbench"
+  "test_deepbench.pdb"
+  "test_deepbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deepbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

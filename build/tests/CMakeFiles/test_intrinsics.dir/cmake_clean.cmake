@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intrinsics.dir/test_intrinsics.cc.o"
+  "CMakeFiles/test_intrinsics.dir/test_intrinsics.cc.o.d"
+  "test_intrinsics"
+  "test_intrinsics.pdb"
+  "test_intrinsics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intrinsics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vspace.dir/test_vspace.cc.o"
+  "CMakeFiles/test_vspace.dir/test_vspace.cc.o.d"
+  "test_vspace"
+  "test_vspace.pdb"
+  "test_vspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

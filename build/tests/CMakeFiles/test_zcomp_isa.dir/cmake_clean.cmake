@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zcomp_isa.dir/test_zcomp_isa.cc.o"
+  "CMakeFiles/test_zcomp_isa.dir/test_zcomp_isa.cc.o.d"
+  "test_zcomp_isa"
+  "test_zcomp_isa.pdb"
+  "test_zcomp_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zcomp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

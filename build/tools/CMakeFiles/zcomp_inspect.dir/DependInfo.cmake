@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/zcomp_inspect.cc" "tools/CMakeFiles/zcomp_inspect.dir/zcomp_inspect.cc.o" "gcc" "tools/CMakeFiles/zcomp_inspect.dir/zcomp_inspect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachecomp/CMakeFiles/zcomp_cachecomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zcomp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zcomp/CMakeFiles/zcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/zcomp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zcomp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcomp_inspect.dir/zcomp_inspect.cc.o"
+  "CMakeFiles/zcomp_inspect.dir/zcomp_inspect.cc.o.d"
+  "zcomp_inspect"
+  "zcomp_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcomp_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
