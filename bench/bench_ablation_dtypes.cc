@@ -51,9 +51,10 @@ compressAs(ElemType t, size_t vectors, double sparsity, uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner("data-type ablation: header amortization");
+    bench::parseBenchArgs(argc, argv,
+        "data-type ablation: header amortization");
 
     Table table("compression ratio by element type (64 KiB buffers)");
     table.setHeader({"dtype", "lanes", "header", "ratio @35%",

@@ -35,9 +35,9 @@ runVariant(bool separate, size_t elems, double sparsity)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner(
+    bench::parseBenchArgs(argc, argv,
         "Section 3.2/4.1 ablation: interleaved vs separate headers");
 
     Table table("zcomp ReLU + retrieval");

@@ -33,9 +33,9 @@ runWithLatency(int latency, size_t elems, double sparsity)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner(
+    bench::parseBenchArgs(argc, argv,
         "Section 3.3 ablation: 2-cycle vs 3-cycle ZCOMP logic");
 
     Table table("zcomp runtime at different logic latencies");

@@ -38,9 +38,9 @@ runCase(int cores, int sub_blocks, size_t elems)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner(
+    bench::parseBenchArgs(argc, argv,
         "Figure 7 ablation: ZCOMP parallelization strategies");
 
     const size_t elems = 16 * 262144;   // 16 MiB feature map

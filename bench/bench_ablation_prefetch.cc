@@ -43,9 +43,9 @@ runCase(bool prefetch, size_t elems)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner(
+    bench::parseBenchArgs(argc, argv,
         "Section 3.3 ablation: prefetching for ZCOMP streams");
 
     Table table("zcomp ReLU + retrieval, prefetchers on vs off");

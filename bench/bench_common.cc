@@ -1,10 +1,27 @@
 #include "bench/bench_common.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
 
 #include "common/log.hh"
 
 namespace zcomp::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 const std::vector<StudyModel> &
 studyModels()
@@ -50,33 +67,130 @@ prepareNet(const StudyModel &m, bool training, uint64_t seed)
     return p;
 }
 
+namespace {
+
+/**
+ * One (model, mode) study cell: build + functionally execute the
+ * network (the preparation tensors are then shared read-only by the
+ * policy runs), and time all three policies back to back. Each cell
+ * owns its ExecContext and MemoryHierarchy, so cells are mutually
+ * independent; the policies within a cell stay sequential because
+ * they share the cell's simulated address space.
+ */
+StudyRow
+runStudyCell(const StudyModel &m, bool training)
+{
+    const char *mode = training ? "training" : "inference";
+    inform("preparing %s (%s)...", modelName(m.id), mode);
+
+    Clock::time_point t0 = Clock::now();
+    PreparedNet p = prepareNet(m, training);
+    StudyRow row;
+    row.model = modelName(m.id);
+    row.training = training;
+    row.prepMillis = msSince(t0);
+
+    NetworkSim sim(*p.ctx, *p.net);
+    for (int pol = 0; pol < numIoPolicies; pol++) {
+        NetworkSimConfig cfg;
+        cfg.policy = static_cast<IoPolicy>(pol);
+        Clock::time_point t1 = Clock::now();
+        row.results[pol] = sim.run(cfg);
+        row.simMillis[pol] = msSince(t1);
+    }
+    inform("%s (%s) row done: prep %.0f ms, sim %.0f/%.0f/%.0f ms",
+           modelName(m.id), mode, row.prepMillis, row.simMillis[0],
+           row.simMillis[1], row.simMillis[2]);
+    return row;
+}
+
+} // namespace
+
+std::vector<StudyRow>
+runStudy(const StudyOptions &opt)
+{
+    const std::vector<StudyModel> &models =
+        opt.models.empty() ? studyModels() : opt.models;
+    ThreadPool &pool = opt.pool ? *opt.pool : ThreadPool::global();
+
+    struct Cell
+    {
+        StudyModel m;
+        bool training;
+    };
+    std::vector<Cell> cells;
+    for (const StudyModel &m : models) {
+        for (int mode = 0; mode < 2; mode++) {
+            bool training = mode == 0;
+            if (training && opt.inferenceOnly)
+                continue;
+            if (!training && opt.trainingOnly)
+                continue;
+            cells.push_back({m, training});
+        }
+    }
+
+    // Fan the cells out; collecting the futures in submission order
+    // keeps the row order (and hence the figure output) identical to
+    // the sequential loop. With a 1-job pool, submit() runs inline
+    // and this *is* the sequential loop.
+    std::vector<std::future<StudyRow>> futs;
+    futs.reserve(cells.size());
+    for (const Cell &cell : cells) {
+        StudyModel m = cell.m;
+        bool training = cell.training;
+        futs.push_back(pool.submit(
+            [m, training] { return runStudyCell(m, training); }));
+    }
+    std::vector<StudyRow> rows;
+    rows.reserve(futs.size());
+    for (std::future<StudyRow> &f : futs)
+        rows.push_back(f.get());
+    return rows;
+}
+
 std::vector<StudyRow>
 runFullStudy(bool training_only, bool inference_only)
 {
-    std::vector<StudyRow> rows;
-    for (const StudyModel &m : studyModels()) {
-        for (int mode = 0; mode < 2; mode++) {
-            bool training = mode == 0;
-            if (training && inference_only)
-                continue;
-            if (!training && training_only)
-                continue;
-            inform("preparing %s (%s)...", modelName(m.id),
-                   training ? "training" : "inference");
-            PreparedNet p = prepareNet(m, training);
-            NetworkSim sim(*p.ctx, *p.net);
-            StudyRow row;
-            row.model = modelName(m.id);
-            row.training = training;
-            for (int pol = 0; pol < numIoPolicies; pol++) {
-                NetworkSimConfig cfg;
-                cfg.policy = static_cast<IoPolicy>(pol);
-                row.results[pol] = sim.run(cfg);
-            }
-            rows.push_back(std::move(row));
+    StudyOptions opt;
+    opt.trainingOnly = training_only;
+    opt.inferenceOnly = inference_only;
+    return runStudy(opt);
+}
+
+void
+parseBenchArgs(int argc, char **argv, const std::string &title)
+{
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            std::printf("usage: %s [--jobs N]\n\n"
+                        "  --jobs N, -j N  run N study cells in "
+                        "parallel (default: ZCOMP_JOBS\n"
+                        "                  or the hardware thread "
+                        "count; 1 = sequential)\n",
+                        argv[0]);
+            std::exit(0);
+        } else if (std::strcmp(arg, "--jobs") == 0 ||
+                   std::strcmp(arg, "-j") == 0) {
+            fatal_if(i + 1 >= argc, "%s needs a value", arg);
+            value = argv[++i];
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg);
         }
+        char *rest = nullptr;
+        long jobs = std::strtol(value, &rest, 10);
+        fatal_if(*value == '\0' || (rest && *rest != '\0') ||
+                     jobs < 1 || jobs > 1024,
+                 "bad --jobs value '%s' (want an integer in "
+                 "[1, 1024])", value);
+        ThreadPool::setGlobalJobs(static_cast<int>(jobs));
     }
-    return rows;
+    printBanner(title);
 }
 
 void

@@ -4,6 +4,15 @@
  * scaled-down model configurations used for full-network simulation
  * (documented in EXPERIMENTS.md), functional execution driving, and
  * the per-policy study runner behind Figures 2, 13 and 14.
+ *
+ * The study runner fans its (model, mode) cells out over a
+ * ThreadPool - each cell owns a private ExecContext/MemoryHierarchy,
+ * prepares its network once, and times the three I/O policies
+ * sequentially against those shared read-only tensors. Rows come
+ * back in the same deterministic order as the old sequential loop
+ * and with bitwise-identical numbers for any worker count;
+ * parallelism only ever spans independent simulations, never the
+ * inside of one timing run.
  */
 
 #ifndef ZCOMP_BENCH_BENCH_COMMON_HH
@@ -13,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "dnn/models.hh"
 #include "sim/network_sim.hh"
 
@@ -53,15 +63,42 @@ struct StudyRow
     std::string model;
     bool training = false;
     NetworkSimResult results[numIoPolicies];
+
+    // Harness wall-clock (host seconds, not simulated cycles), logged
+    // per row so BENCH_*.json entries can track runner speed.
+    double prepMillis = 0;
+    double simMillis[numIoPolicies] = {0, 0, 0};
 };
+
+/** Knobs for runStudy(); the defaults reproduce the full study. */
+struct StudyOptions
+{
+    bool trainingOnly = false;
+    bool inferenceOnly = false;
+    std::vector<StudyModel> models; //!< empty = studyModels()
+    ThreadPool *pool = nullptr;     //!< null = ThreadPool::global()
+};
+
+/**
+ * Run every (model, mode) cell of the study under all three
+ * policies, in parallel across cells on the pool. Row order and
+ * simulation numbers are independent of the worker count.
+ */
+std::vector<StudyRow> runStudy(const StudyOptions &opt);
 
 /**
  * Run the full five-network study: every model in both training and
  * inference mode under all three policies.
- * @param quick restrict to fewer models (smoke runs)
  */
 std::vector<StudyRow> runFullStudy(bool training_only = false,
                                    bool inference_only = false);
+
+/**
+ * Parse the arguments shared by all bench mains (--jobs N sizes the
+ * global ThreadPool; ZCOMP_JOBS is the env equivalent) and print the
+ * Table 1 machine banner. fatal()s on unknown arguments.
+ */
+void parseBenchArgs(int argc, char **argv, const std::string &title);
 
 /** Print the Table 1 machine banner. */
 void printBanner(const std::string &title);

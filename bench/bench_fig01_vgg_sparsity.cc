@@ -23,9 +23,10 @@
 using namespace zcomp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner("Figure 1: VGG-16 sparsity and footprints");
+    bench::parseBenchArgs(argc, argv,
+        "Figure 1: VGG-16 sparsity and footprints");
 
     // ---------------------------------------------- (a) zero ratios
     constexpr int epochs = 5;

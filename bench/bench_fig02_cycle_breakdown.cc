@@ -15,9 +15,10 @@
 using namespace zcomp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner("Figure 2: CPU cycle breakdown (training)");
+    bench::parseBenchArgs(argc, argv,
+        "Figure 2: CPU cycle breakdown (training)");
 
     Table table("normalized cycle breakdown per network");
     table.setHeader({"network", "compute", "memory", "sync"});

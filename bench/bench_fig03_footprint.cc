@@ -20,9 +20,9 @@
 using namespace zcomp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner(
+    bench::parseBenchArgs(argc, argv,
         "Figure 3: memory footprint by data structure (batch 64; "
         "ResNet-32 batch 128)");
 

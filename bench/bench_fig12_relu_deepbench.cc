@@ -26,9 +26,9 @@
 using namespace zcomp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner(
+    bench::parseBenchArgs(argc, argv,
         "Figure 12: ReLU activation layer on DeepBench shapes");
 
     Table table("per-shape results (store + retrieve passes)");

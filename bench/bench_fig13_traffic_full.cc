@@ -16,9 +16,10 @@
 using namespace zcomp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner("Figure 13: full-network data traffic reduction");
+    bench::parseBenchArgs(argc, argv,
+        "Figure 13: full-network data traffic reduction");
 
     auto rows = bench::runFullStudy();
 

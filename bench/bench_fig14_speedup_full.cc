@@ -18,9 +18,10 @@
 using namespace zcomp;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner("Figure 14: full-network speedup");
+    bench::parseBenchArgs(argc, argv,
+        "Figure 14: full-network speedup");
 
     auto rows = bench::runFullStudy();
 

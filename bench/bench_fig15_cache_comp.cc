@@ -50,9 +50,10 @@ snapshotsOf(const bench::StudyModel &m)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner("Figure 15: ZCOMP vs cache compression");
+    bench::parseBenchArgs(argc, argv,
+        "Figure 15: ZCOMP vs cache compression");
 
     Table table("compression ratios (5 snapshots per network)");
     table.setHeader({"network", "zcomp", "limitCC", "twoTagCC"});

@@ -39,9 +39,9 @@ printBody(const KernelBody &body, Table &table)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::printBanner(
+    bench::parseBenchArgs(argc, argv,
         "Section 4.4: static loop-body comparison (Figures 8-11)");
 
     Table table("per-iteration loop bodies");

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Smoke test for the parallel study runner, wired into the tier-1
+ * ctest run (`--jobs 2`) so the pool-backed path is exercised on
+ * every build: one small model (ResNet-32 at reduced batches), both
+ * modes, all three I/O policies, with basic sanity checks on the
+ * results. Per-row wall-clock is printed by the runner itself.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "common/table.hh"
+
+using namespace zcomp;
+
+int
+main(int argc, char **argv)
+{
+    bench::parseBenchArgs(argc, argv,
+        "bench smoke: ResNet-32 study under all three policies");
+
+    bench::StudyOptions opt;
+    opt.models = {{ModelId::Resnet32, 4, 2, 0, 1.0}};
+    auto rows = bench::runStudy(opt);
+
+    int failures = 0;
+    auto check = [&](bool ok, const char *what) {
+        if (!ok) {
+            std::printf("FAIL: %s\n", what);
+            failures++;
+        }
+    };
+
+    check(rows.size() == 2, "study produced one row per mode");
+    Table table("smoke results (cycles / traffic bytes)");
+    table.setHeader({"mode", "policy", "cycles", "traffic", "wall ms"});
+    for (const auto &row : rows) {
+        for (int pol = 0; pol < numIoPolicies; pol++) {
+            const NetworkSimResult &r = row.results[pol];
+            check(r.cycles() > 0, "simulated cycles are positive");
+            check(r.trafficBytes() > 0, "traffic bytes are positive");
+            check(!r.layers.empty(), "per-layer stats were recorded");
+            table.addRow({row.training ? "train" : "infer",
+                          ioPolicyName(static_cast<IoPolicy>(pol)),
+                          Table::fmt(r.cycles(), 0),
+                          Table::fmtBytes(static_cast<double>(
+                              r.trafficBytes())),
+                          Table::fmt(row.simMillis[pol], 0)});
+        }
+        check(row.results[2].trafficBytes() <
+                  row.results[0].trafficBytes(),
+              "zcomp moves less data than the uncompressed baseline");
+    }
+    table.print(std::cout);
+
+    if (failures) {
+        std::printf("bench_smoke: %d check(s) failed\n", failures);
+        return 1;
+    }
+    std::printf("bench_smoke: all checks passed\n");
+    return 0;
+}

@@ -1,13 +1,24 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace zcomp {
 
 namespace {
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
+
+/**
+ * Serializes the message lines of concurrent warn()/inform() callers
+ * (study-runner tasks log from worker threads). Each message is
+ * pre-formatted into one string and written by a single fprintf, so
+ * the mutex only orders whole lines - the single-threaded output is
+ * unchanged.
+ */
+std::mutex outputMu;
 } // namespace
 
 void
@@ -53,7 +64,11 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lk(outputMu);
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
@@ -64,7 +79,11 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lk(outputMu);
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
@@ -77,6 +96,7 @@ warnImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lk(outputMu);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -89,6 +109,7 @@ informImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lk(outputMu);
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

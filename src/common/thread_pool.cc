@@ -1,0 +1,182 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace zcomp {
+
+ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs)
+{
+    if (jobs_ <= 1)
+        return;
+    workers_.reserve(static_cast<size_t>(jobs_));
+    for (int i = 0; i < jobs_; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> fn;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;     // stop_ and drained
+            fn = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        fn();
+    }
+}
+
+namespace {
+
+/** Shared progress of one parallelFor call. */
+struct ForState
+{
+    std::atomic<size_t> next{0};    //!< next unclaimed chunk
+    std::atomic<size_t> done{0};    //!< chunks fully executed
+    std::atomic<bool> aborted{false};
+    size_t chunks = 0;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t grain = 1;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+};
+
+/**
+ * Claim-and-run chunks until the range is exhausted. Both the caller
+ * and the enqueued helpers drive this; whoever finishes the last
+ * chunk wakes the caller. body is only dereferenced after a
+ * successful claim - a claimed chunk pins the caller (and hence the
+ * body object) in parallelFor until the chunk's done increment.
+ */
+void
+drain(ForState &st, const std::function<void(size_t, size_t)> *body)
+{
+    for (;;) {
+        size_t c = st.next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= st.chunks)
+            return;
+        if (!st.aborted.load(std::memory_order_relaxed)) {
+            size_t b = st.begin + c * st.grain;
+            size_t e = b + st.grain < st.end ? b + st.grain : st.end;
+            try {
+                (*body)(b, e);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(st.mu);
+                if (!st.error)
+                    st.error = std::current_exception();
+                st.aborted.store(true, std::memory_order_relaxed);
+            }
+        }
+        size_t d = st.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (d == st.chunks) {
+            std::lock_guard<std::mutex> lk(st.mu);
+            st.cv.notify_all();
+        }
+    }
+}
+
+} // namespace
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)> &body)
+{
+    if (end <= begin)
+        return;
+    if (grain == 0)
+        grain = 1;
+    size_t n = end - begin;
+    size_t chunks = (n + grain - 1) / grain;
+    if (chunks == 1 || jobs_ <= 1) {
+        body(begin, end);
+        return;
+    }
+
+    auto st = std::make_shared<ForState>();
+    st->chunks = chunks;
+    st->begin = begin;
+    st->end = end;
+    st->grain = grain;
+
+    // Helpers beyond the caller; extras would find nothing to claim.
+    size_t helpers = static_cast<size_t>(jobs_) - 1;
+    if (helpers > chunks - 1)
+        helpers = chunks - 1;
+    const auto *bodyp = &body;
+    for (size_t h = 0; h < helpers; h++)
+        enqueue([st, bodyp] { drain(*st, bodyp); });
+
+    drain(*st, bodyp);
+
+    std::unique_lock<std::mutex> lk(st->mu);
+    st->cv.wait(lk, [&] {
+        return st->done.load(std::memory_order_acquire) == st->chunks;
+    });
+    if (st->error)
+        std::rethrow_exception(st->error);
+}
+
+namespace {
+std::mutex globalMu;
+std::unique_ptr<ThreadPool> globalPool;
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(globalMu);
+    if (!globalPool)
+        globalPool = std::make_unique<ThreadPool>(defaultJobs());
+    return *globalPool;
+}
+
+void
+ThreadPool::setGlobalJobs(int jobs)
+{
+    std::lock_guard<std::mutex> lk(globalMu);
+    globalPool = std::make_unique<ThreadPool>(jobs);
+}
+
+int
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("ZCOMP_JOBS")) {
+        char *rest = nullptr;
+        long v = std::strtol(env, &rest, 10);
+        if (rest && *rest == '\0' && v > 0)
+            return static_cast<int>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace zcomp

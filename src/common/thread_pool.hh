@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A small fixed-size thread pool shared by the functional kernels and
+ * the bench study runner.
+ *
+ * Two usage patterns are supported:
+ *  - submit(): fire-and-collect task futures (exceptions propagate
+ *    through std::future::get), used to fan independent simulations
+ *    out across workers;
+ *  - parallelFor(): blocking data-parallel loops over an index range.
+ *    The calling thread participates in the loop, so nested use from
+ *    inside a submitted task cannot deadlock even when every worker
+ *    is busy: the task's own thread chews through the chunks itself.
+ *
+ * A pool built with jobs == 1 spawns no worker threads at all and
+ * runs everything inline on the caller - the degenerate case is
+ * exactly the old sequential code path.
+ *
+ * The process-wide pool returned by global() sizes itself from the
+ * ZCOMP_JOBS environment variable, falling back to
+ * hardware_concurrency(); benches override it with --jobs N via
+ * setGlobalJobs().
+ */
+
+#ifndef ZCOMP_COMMON_THREAD_POOL_HH
+#define ZCOMP_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace zcomp {
+
+class ThreadPool
+{
+  public:
+    /** @param jobs total parallelism; clamped to >= 1. */
+    explicit ThreadPool(int jobs);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * Queue a task and return its future. With jobs == 1 the task
+     * runs inline before submit() returns (exceptions still arrive
+     * via the future, never thrown from submit itself).
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        if (jobs_ <= 1) {
+            (*task)();
+            return fut;
+        }
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Run body(chunk_begin, chunk_end) over [begin, end) split into
+     * chunks of at most `grain` indices. Chunks run concurrently on
+     * the workers *and* the calling thread; the call returns once the
+     * whole range is done. The first exception thrown by any chunk is
+     * rethrown here (remaining chunks are skipped, already-running
+     * ones finish).
+     *
+     * The partitioning is a pure function of (begin, end, grain), so
+     * any body whose chunks touch disjoint state produces results
+     * independent of the worker count.
+     */
+    void parallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t, size_t)> &body);
+
+    /** The process-wide pool (lazily built with defaultJobs()). */
+    static ThreadPool &global();
+
+    /**
+     * Resize the process-wide pool (benches' --jobs N, tests). Only
+     * safe while no tasks are in flight on the old pool.
+     */
+    static void setGlobalJobs(int jobs);
+
+    /** ZCOMP_JOBS if set to a positive integer, else
+     *  hardware_concurrency() (>= 1). */
+    static int defaultJobs();
+
+  private:
+    void enqueue(std::function<void()> fn);
+    void workerLoop();
+
+    int jobs_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_THREAD_POOL_HH

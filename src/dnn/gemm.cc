@@ -1,66 +1,151 @@
 #include "dnn/gemm.hh"
 
+#include <algorithm>
 #include <cstring>
 
+#include "common/thread_pool.hh"
+
 namespace zcomp {
+
+namespace {
+
+/*
+ * Cache-blocked kernels, parallel over disjoint row blocks of C.
+ *
+ * The tile sizes are fixed constants (never derived from the worker
+ * count) and every C element accumulates its K-dimension products in
+ * strictly ascending p order, exactly like the old naive loops. Row
+ * blocks touch disjoint output rows, so the results are bitwise
+ * independent of how many threads execute them - the determinism the
+ * study runner relies on (jobs=1 and jobs=N agree exactly).
+ */
+constexpr size_t Mc = 32;       //!< C rows per parallel chunk
+constexpr size_t Kc = 256;      //!< K panel kept hot across the block
+
+/** Small products are not worth the fork/join overhead. */
+constexpr size_t minParallelFlops = size_t(1) << 22;
+
+void
+forRowBlocks(size_t m, size_t n, size_t k,
+             const std::function<void(size_t, size_t)> &body)
+{
+    ThreadPool &pool = ThreadPool::global();
+    if (pool.jobs() <= 1 || 2 * m * n * k < minParallelFlops) {
+        body(0, m);
+        return;
+    }
+    pool.parallelFor(0, m, Mc, body);
+}
+
+void
+gemmRows(size_t i0, size_t i1, size_t n, size_t k, const float *a,
+         const float *b, float *c, float beta)
+{
+    if (beta == 0.0f)
+        std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(float));
+    for (size_t pc = 0; pc < k; pc += Kc) {
+        size_t pe = std::min(k, pc + Kc);
+        for (size_t i = i0; i < i1; i++) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            for (size_t p = pc; p < pe; p++) {
+                float av = arow[p];
+                if (av == 0.0f)
+                    continue;
+                const float *brow = b + p * n;
+                for (size_t j = 0; j < n; j++)
+                    crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+void
+gemmAtBRows(size_t i0, size_t i1, size_t m, size_t n, size_t k,
+            const float *a, const float *b, float *c, float beta)
+{
+    // A is (K x M): A^T(i, p) = a[p*m + i].
+    if (beta == 0.0f)
+        std::memset(c + i0 * n, 0, (i1 - i0) * n * sizeof(float));
+    for (size_t pc = 0; pc < k; pc += Kc) {
+        size_t pe = std::min(k, pc + Kc);
+        for (size_t p = pc; p < pe; p++) {
+            const float *arow = a + p * m;
+            const float *brow = b + p * n;
+            for (size_t i = i0; i < i1; i++) {
+                float av = arow[i];
+                if (av == 0.0f)
+                    continue;
+                float *crow = c + i * n;
+                for (size_t j = 0; j < n; j++)
+                    crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+void
+gemmABtRows(size_t i0, size_t i1, size_t n, size_t k, const float *a,
+            const float *b, float *c, float beta)
+{
+    // B is (N x K): B^T(p, j) = b[j*k + p]. Dot products over K,
+    // K-blocked so the touched B panel stays cache-resident across
+    // the rows of the block. Storing the running sums through C
+    // between panels keeps the per-element operation sequence
+    // identical to the unblocked dot product (float stores are
+    // exact).
+    for (size_t i = i0; i < i1; i++) {
+        float *crow = c + i * n;
+        if (beta == 0.0f) {
+            std::memset(crow, 0, n * sizeof(float));
+        } else {
+            for (size_t j = 0; j < n; j++)
+                crow[j] *= beta;
+        }
+    }
+    for (size_t pc = 0; pc < k; pc += Kc) {
+        size_t pe = std::min(k, pc + Kc);
+        for (size_t i = i0; i < i1; i++) {
+            const float *arow = a + i * k;
+            float *crow = c + i * n;
+            for (size_t j = 0; j < n; j++) {
+                const float *brow = b + j * k;
+                float acc = crow[j];
+                for (size_t p = pc; p < pe; p++)
+                    acc += arow[p] * brow[p];
+                crow[j] = acc;
+            }
+        }
+    }
+}
+
+} // namespace
 
 void
 gemm(size_t m, size_t n, size_t k, const float *a, const float *b,
      float *c, float beta)
 {
-    if (beta == 0.0f)
-        std::memset(c, 0, m * n * sizeof(float));
-    for (size_t i = 0; i < m; i++) {
-        const float *arow = a + i * k;
-        float *crow = c + i * n;
-        for (size_t p = 0; p < k; p++) {
-            float av = arow[p];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b + p * n;
-            for (size_t j = 0; j < n; j++)
-                crow[j] += av * brow[j];
-        }
-    }
+    forRowBlocks(m, n, k, [&](size_t i0, size_t i1) {
+        gemmRows(i0, i1, n, k, a, b, c, beta);
+    });
 }
 
 void
 gemmAtB(size_t m, size_t n, size_t k, const float *a, const float *b,
         float *c, float beta)
 {
-    // A is (K x M): A^T(i, p) = a[p*m + i].
-    if (beta == 0.0f)
-        std::memset(c, 0, m * n * sizeof(float));
-    for (size_t p = 0; p < k; p++) {
-        const float *arow = a + p * m;
-        const float *brow = b + p * n;
-        for (size_t i = 0; i < m; i++) {
-            float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c + i * n;
-            for (size_t j = 0; j < n; j++)
-                crow[j] += av * brow[j];
-        }
-    }
+    forRowBlocks(m, n, k, [&](size_t i0, size_t i1) {
+        gemmAtBRows(i0, i1, m, n, k, a, b, c, beta);
+    });
 }
 
 void
 gemmABt(size_t m, size_t n, size_t k, const float *a, const float *b,
         float *c, float beta)
 {
-    // B is (N x K): B^T(p, j) = b[j*k + p]. Dot products over K.
-    for (size_t i = 0; i < m; i++) {
-        const float *arow = a + i * k;
-        float *crow = c + i * n;
-        for (size_t j = 0; j < n; j++) {
-            const float *brow = b + j * k;
-            float acc = beta == 0.0f ? 0.0f : beta * crow[j];
-            for (size_t p = 0; p < k; p++)
-                acc += arow[p] * brow[p];
-            crow[j] = acc;
-        }
-    }
+    forRowBlocks(m, n, k, [&](size_t i0, size_t i1) {
+        gemmABtRows(i0, i1, n, k, a, b, c, beta);
+    });
 }
 
 } // namespace zcomp

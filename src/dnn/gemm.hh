@@ -2,9 +2,13 @@
  * @file
  * Single-precision GEMM for the DNN framework's functional pass.
  *
- * The loops are arranged (i, k, j with a contiguous-j inner loop) so
- * the compiler auto-vectorizes them; this is the numeric workhorse
- * behind conv (via im2col) and FC layers. Timing for GEMMs is
+ * The kernels are cache-blocked (fixed Mc row / Kc depth tiles) with
+ * a contiguous-j inner loop the compiler auto-vectorizes, and large
+ * products split their row blocks across the global ThreadPool; this
+ * is the numeric workhorse behind conv (via im2col) and FC layers.
+ * Row blocks write disjoint C rows and every element accumulates its
+ * K products in ascending order, so results are bitwise identical
+ * for any worker count (including ZCOMP_JOBS=1). Timing for GEMMs is
  * generated separately by the simulation layer's blocked-walk emitter
  * - functional math and timing replay are deliberately decoupled (see
  * DESIGN.md Section 4.1).

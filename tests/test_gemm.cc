@@ -1,0 +1,197 @@
+#include "dnn/gemm.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+
+using namespace zcomp;
+
+namespace {
+
+// Reference implementations: the pre-blocking naive triple loops.
+void
+refGemm(size_t m, size_t n, size_t k, const float *a, const float *b,
+        float *c, float beta)
+{
+    if (beta == 0.0f)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (size_t i = 0; i < m; i++) {
+        for (size_t p = 0; p < k; p++) {
+            float av = a[i * k + p];
+            if (av == 0.0f)
+                continue;
+            for (size_t j = 0; j < n; j++)
+                c[i * n + j] += av * b[p * n + j];
+        }
+    }
+}
+
+void
+refGemmAtB(size_t m, size_t n, size_t k, const float *a, const float *b,
+           float *c, float beta)
+{
+    if (beta == 0.0f)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (size_t p = 0; p < k; p++) {
+        for (size_t i = 0; i < m; i++) {
+            float av = a[p * m + i];
+            if (av == 0.0f)
+                continue;
+            for (size_t j = 0; j < n; j++)
+                c[i * n + j] += av * b[p * n + j];
+        }
+    }
+}
+
+void
+refGemmABt(size_t m, size_t n, size_t k, const float *a, const float *b,
+           float *c, float beta)
+{
+    for (size_t i = 0; i < m; i++) {
+        for (size_t j = 0; j < n; j++) {
+            float acc = beta == 0.0f ? 0.0f : beta * c[i * n + j];
+            for (size_t p = 0; p < k; p++)
+                acc += a[i * k + p] * b[j * k + p];
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/** ~40% zeros, like a post-ReLU map, to exercise the zero skip. */
+std::vector<float>
+randomMatrix(Rng &rng, size_t elems)
+{
+    std::vector<float> v(elems);
+    for (float &x : v)
+        x = rng.chance(0.4) ? 0.0f
+                            : static_cast<float>(rng.gaussian());
+    return v;
+}
+
+struct Shape
+{
+    size_t m, n, k;
+};
+
+// Odd shapes: nothing is a multiple of the Mc=32/Kc=256 tiles, plus
+// degenerate single-row/column cases and one tile-aligned shape.
+const Shape oddShapes[] = {
+    {1, 1, 1},   {3, 5, 7},    {33, 65, 17}, {37, 1, 259},
+    {1, 130, 300}, {50, 31, 257}, {64, 128, 256}, {67, 129, 513},
+};
+
+void
+expectNear(const std::vector<float> &got, const std::vector<float> &want,
+           const char *what)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); i++) {
+        ASSERT_NEAR(got[i], want[i],
+                    1e-5 * (1.0 + std::abs(want[i])))
+            << what << " at " << i;
+    }
+}
+
+} // namespace
+
+TEST(Gemm, BlockedMatchesNaiveOddShapes)
+{
+    Rng rng(42);
+    for (const Shape &s : oddShapes) {
+        for (float beta : {0.0f, 1.0f}) {
+            auto a = randomMatrix(rng, s.m * s.k);
+            auto b = randomMatrix(rng, s.k * s.n);
+            auto c0 = randomMatrix(rng, s.m * s.n);
+            auto c1 = c0;
+            refGemm(s.m, s.n, s.k, a.data(), b.data(), c0.data(), beta);
+            gemm(s.m, s.n, s.k, a.data(), b.data(), c1.data(), beta);
+            expectNear(c1, c0, "gemm");
+        }
+    }
+}
+
+TEST(Gemm, BlockedAtBMatchesNaiveOddShapes)
+{
+    Rng rng(43);
+    for (const Shape &s : oddShapes) {
+        for (float beta : {0.0f, 1.0f}) {
+            auto a = randomMatrix(rng, s.k * s.m);
+            auto b = randomMatrix(rng, s.k * s.n);
+            auto c0 = randomMatrix(rng, s.m * s.n);
+            auto c1 = c0;
+            refGemmAtB(s.m, s.n, s.k, a.data(), b.data(), c0.data(),
+                       beta);
+            gemmAtB(s.m, s.n, s.k, a.data(), b.data(), c1.data(),
+                    beta);
+            expectNear(c1, c0, "gemmAtB");
+        }
+    }
+}
+
+TEST(Gemm, BlockedABtMatchesNaiveOddShapes)
+{
+    Rng rng(44);
+    for (const Shape &s : oddShapes) {
+        for (float beta : {0.0f, 1.0f}) {
+            auto a = randomMatrix(rng, s.m * s.k);
+            auto b = randomMatrix(rng, s.n * s.k);
+            auto c0 = randomMatrix(rng, s.m * s.n);
+            auto c1 = c0;
+            refGemmABt(s.m, s.n, s.k, a.data(), b.data(), c0.data(),
+                       beta);
+            gemmABt(s.m, s.n, s.k, a.data(), b.data(), c1.data(),
+                    beta);
+            expectNear(c1, c0, "gemmABt");
+        }
+    }
+}
+
+TEST(Gemm, ParallelBitwiseMatchesSequential)
+{
+    // Big enough to clear the parallel threshold; the partitioning
+    // into Mc row blocks must make the result bitwise independent of
+    // the worker count.
+    const size_t m = 123, n = 257, k = 511;
+    Rng rng(45);
+    auto a = randomMatrix(rng, m * k);
+    auto b = randomMatrix(rng, k * n);
+    auto at = randomMatrix(rng, k * m);
+    auto bt = randomMatrix(rng, n * k);
+    auto cInit = randomMatrix(rng, m * n);
+
+    struct Case
+    {
+        const char *name;
+        void (*fn)(size_t, size_t, size_t, const float *,
+                   const float *, float *, float);
+        const std::vector<float> *a, *b;
+    };
+    const Case cases[] = {
+        {"gemm", gemm, &a, &b},
+        {"gemmAtB", gemmAtB, &at, &b},
+        {"gemmABt", gemmABt, &a, &bt},
+    };
+
+    for (const Case &cs : cases) {
+        for (float beta : {0.0f, 1.0f}) {
+            ThreadPool::setGlobalJobs(1);
+            auto cSeq = cInit;
+            cs.fn(m, n, k, cs.a->data(), cs.b->data(), cSeq.data(),
+                  beta);
+            ThreadPool::setGlobalJobs(4);
+            auto cPar = cInit;
+            cs.fn(m, n, k, cs.a->data(), cs.b->data(), cPar.data(),
+                  beta);
+            for (size_t i = 0; i < cSeq.size(); i++) {
+                ASSERT_EQ(cPar[i], cSeq[i])
+                    << cs.name << " beta=" << beta << " at " << i;
+            }
+        }
+    }
+    ThreadPool::setGlobalJobs(ThreadPool::defaultJobs());
+}

@@ -1,0 +1,134 @@
+#include "bench/bench_common.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/thread_pool.hh"
+
+using namespace zcomp;
+using namespace zcomp::bench;
+
+namespace {
+
+// A cut-down study cell set (ResNet-32 at small batches) so the test
+// stays quick while still covering training + inference and all
+// three policies.
+StudyOptions
+quickOptions()
+{
+    StudyOptions opt;
+    opt.models = {{ModelId::Resnet32, 2, 1, 0, 1.0}};
+    return opt;
+}
+
+void
+expectStatsEqual(const RunStats &a, const RunStats &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what << " cycles";
+    EXPECT_EQ(a.breakdown.compute, b.breakdown.compute)
+        << what << " compute";
+    EXPECT_EQ(a.breakdown.memory, b.breakdown.memory)
+        << what << " memory";
+    EXPECT_EQ(a.breakdown.sync, b.breakdown.sync) << what << " sync";
+    EXPECT_EQ(a.traffic.coreL1Bytes, b.traffic.coreL1Bytes)
+        << what << " core-L1";
+    EXPECT_EQ(a.traffic.l1L2Bytes, b.traffic.l1L2Bytes)
+        << what << " L1-L2";
+    EXPECT_EQ(a.traffic.l2L3Bytes, b.traffic.l2L3Bytes)
+        << what << " L2-L3";
+    EXPECT_EQ(a.traffic.l3DramBytes, b.traffic.l3DramBytes)
+        << what << " L3-DRAM";
+}
+
+} // namespace
+
+/**
+ * The determinism guarantee behind the figure benches: a parallel
+ * runStudy() produces NetworkSimResult numbers identical to the
+ * sequential path, row for row and layer for layer.
+ */
+TEST(StudyRunner, ParallelMatchesSequentialExactly)
+{
+    setQuiet(true);
+    // Exercise the parallel GEMM in functional preparation too.
+    ThreadPool::setGlobalJobs(4);
+
+    ThreadPool seq(1), par(4);
+    StudyOptions opt = quickOptions();
+    opt.pool = &seq;
+    auto a = runStudy(opt);
+    opt.pool = &par;
+    auto b = runStudy(opt);
+
+    ThreadPool::setGlobalJobs(ThreadPool::defaultJobs());
+    setQuiet(false);
+
+    ASSERT_EQ(a.size(), 2u);
+    ASSERT_EQ(b.size(), a.size());
+    for (size_t r = 0; r < a.size(); r++) {
+        const StudyRow &ra = a[r], &rb = b[r];
+        EXPECT_EQ(ra.model, rb.model);
+        EXPECT_EQ(ra.training, rb.training);
+        for (int pol = 0; pol < numIoPolicies; pol++) {
+            std::string what =
+                ra.model + (ra.training ? "/train/" : "/infer/") +
+                ioPolicyName(static_cast<IoPolicy>(pol));
+            const NetworkSimResult &sa = ra.results[pol];
+            const NetworkSimResult &sb = rb.results[pol];
+            expectStatsEqual(sa.total, sb.total, what);
+            ASSERT_EQ(sa.layers.size(), sb.layers.size()) << what;
+            for (size_t l = 0; l < sa.layers.size(); l++) {
+                EXPECT_EQ(sa.layers[l].name, sb.layers[l].name);
+                EXPECT_EQ(sa.layers[l].backward,
+                          sb.layers[l].backward);
+                expectStatsEqual(sa.layers[l].stats,
+                                 sb.layers[l].stats,
+                                 what + "." + sa.layers[l].name);
+            }
+        }
+    }
+}
+
+/** Row order must match the sequential (model, mode) nesting. */
+TEST(StudyRunner, RowOrderIsDeterministic)
+{
+    setQuiet(true);
+    ThreadPool par(3);
+    StudyOptions opt;
+    opt.models = {{ModelId::Resnet32, 2, 1, 0, 1.0},
+                  {ModelId::AlexNet, 2, 1, 0, 1.0}};
+    opt.pool = &par;
+    auto rows = runStudy(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].model, "resnet-32");
+    EXPECT_TRUE(rows[0].training);
+    EXPECT_EQ(rows[1].model, "resnet-32");
+    EXPECT_FALSE(rows[1].training);
+    EXPECT_EQ(rows[2].model, "alexnet");
+    EXPECT_TRUE(rows[2].training);
+    EXPECT_EQ(rows[3].model, "alexnet");
+    EXPECT_FALSE(rows[3].training);
+}
+
+/** trainingOnly / inferenceOnly filters prune the cell grid. */
+TEST(StudyRunner, ModeFilters)
+{
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyOptions opt = quickOptions();
+    opt.pool = &seq;
+    opt.trainingOnly = true;
+    auto train = runStudy(opt);
+    opt.trainingOnly = false;
+    opt.inferenceOnly = true;
+    auto infer = runStudy(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(train.size(), 1u);
+    EXPECT_TRUE(train[0].training);
+    ASSERT_EQ(infer.size(), 1u);
+    EXPECT_FALSE(infer[0].training);
+}

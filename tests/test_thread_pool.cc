@@ -1,0 +1,136 @@
+#include "common/thread_pool.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace zcomp;
+
+TEST(ThreadPool, SubmitCompletesAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 100; i++) {
+        futs.push_back(pool.submit([i, &ran] {
+            ran.fetch_add(1);
+            return i * i;
+        }));
+    }
+    int sum = 0;
+    for (auto &f : futs)
+        sum += f.get();
+    EXPECT_EQ(ran.load(), 100);
+    int expect = 0;
+    for (int i = 0; i < 100; i++)
+        expect += i * i;
+    EXPECT_EQ(sum, expect);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, SingleJobRunsInlineOnCaller)
+{
+    ThreadPool pool(1);
+    std::thread::id caller = std::this_thread::get_id();
+
+    auto f = pool.submit([] { return std::this_thread::get_id(); });
+    EXPECT_EQ(f.get(), caller);
+
+    std::thread::id body_thread;
+    pool.parallelFor(0, 100, 10, [&](size_t, size_t) {
+        body_thread = std::this_thread::get_id();
+    });
+    EXPECT_EQ(body_thread, caller);
+
+    auto g = pool.submit(
+        []() -> int { throw std::runtime_error("inline boom"); });
+    EXPECT_THROW(g.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1003);
+    pool.parallelFor(3, 1003, 7, [&](size_t b, size_t e) {
+        ASSERT_LE(b, e);
+        ASSERT_LE(e - b, 7u);
+        for (size_t i = b; i < e; i++)
+            hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < hits.size(); i++)
+        EXPECT_EQ(hits[i].load(), i >= 3 ? 1 : 0) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleChunk)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(5, 5, 4, [&](size_t, size_t) { calls++; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(0, 3, 16, [&](size_t b, size_t e) {
+        calls++;
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 3u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 64, 1,
+                         [&](size_t b, size_t) {
+                             if (b == 33)
+                                 throw std::runtime_error("chunk");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // Outer tasks occupy every worker; the inner loops still finish
+    // because the blocked caller participates in its own chunks.
+    ThreadPool pool(2);
+    std::atomic<size_t> total{0};
+    std::vector<std::future<void>> futs;
+    for (int t = 0; t < 4; t++) {
+        futs.push_back(pool.submit([&] {
+            pool.parallelFor(0, 100, 3, [&](size_t b, size_t e) {
+                total.fetch_add(e - b);
+            });
+        }));
+    }
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(total.load(), 400u);
+}
+
+TEST(ThreadPool, DefaultJobsHonoursEnvOverride)
+{
+    ASSERT_EQ(setenv("ZCOMP_JOBS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3);
+    ASSERT_EQ(setenv("ZCOMP_JOBS", "1", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 1);
+    // Garbage and non-positive values fall back to the hardware.
+    ASSERT_EQ(setenv("ZCOMP_JOBS", "banana", 1), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1);
+    ASSERT_EQ(setenv("ZCOMP_JOBS", "0", 1), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1);
+    unsetenv("ZCOMP_JOBS");
+}
