@@ -7,6 +7,9 @@
 #include <future>
 
 #include "common/log.hh"
+#include "common/report.hh"
+#include "common/stats.hh"
+#include "common/trace_writer.hh"
 
 namespace zcomp::bench {
 
@@ -82,21 +85,44 @@ runStudyCell(const StudyModel &m, bool training)
 {
     const char *mode = training ? "training" : "inference";
     inform("preparing %s (%s)...", modelName(m.id), mode);
+    TraceWriter *tw = TraceWriter::global();
+    std::string cell =
+        std::string(modelName(m.id)) + " (" + mode + ")";
 
     Clock::time_point t0 = Clock::now();
+    double tus0 = tw ? tw->nowUs() : 0;
     PreparedNet p = prepareNet(m, training);
     StudyRow row;
     row.model = modelName(m.id);
     row.training = training;
     row.prepMillis = msSince(t0);
+    if (tw)
+        tw->hostSpan("prep " + cell, tus0, tw->nowUs());
 
     NetworkSim sim(*p.ctx, *p.net);
     for (int pol = 0; pol < numIoPolicies; pol++) {
         NetworkSimConfig cfg;
         cfg.policy = static_cast<IoPolicy>(pol);
+        cfg.traceLabel = cell;
         Clock::time_point t1 = Clock::now();
+        double tus1 = tw ? tw->nowUs() : 0;
         row.results[pol] = sim.run(cfg);
         row.simMillis[pol] = msSince(t1);
+        if (tw) {
+            tw->hostSpan(std::string("sim ") +
+                             ioPolicyName(cfg.policy) + " " + cell,
+                         tus1, tw->nowUs());
+        }
+    }
+
+    // Snapshot the cell's full stats tree only when a report wants
+    // it. Each policy run resets the counters (coldCaches), so the
+    // tree reflects the final (Zcomp) run; the per-policy numbers
+    // live in results[] either way.
+    if (RunReport::global()) {
+        StatGroup sg("system");
+        p.ctx->sys().dumpStats(sg);
+        row.stats = sg.dumpJson();
     }
     inform("%s (%s) row done: prep %.0f ms, sim %.0f/%.0f/%.0f ms",
            modelName(m.id), mode, row.prepMillis, row.simMillis[0],
@@ -105,6 +131,38 @@ runStudyCell(const StudyModel &m, bool training)
 }
 
 } // namespace
+
+Json
+studyRowToJson(const StudyRow &row)
+{
+    Json j = Json::object();
+    j["model"] = row.model;
+    j["mode"] = row.training ? "training" : "inference";
+    j["prepMillis"] = row.prepMillis;
+
+    Json &pols = j["policies"];
+    pols = Json::object();
+    for (int pol = 0; pol < numIoPolicies; pol++) {
+        const NetworkSimResult &res = row.results[pol];
+        Json p = Json::object();
+        p["simMillis"] = row.simMillis[pol];
+        p["total"] = runStatsToJson(res.total);
+
+        Json layers = Json::array();
+        for (const LayerPassStats &lp : res.layers) {
+            Json l = Json::object();
+            l["name"] = lp.name;
+            l["backward"] = lp.backward;
+            l["stats"] = runStatsToJson(lp.stats);
+            layers.push(std::move(l));
+        }
+        p["layers"] = std::move(layers);
+        pols[ioPolicyName(static_cast<IoPolicy>(pol))] = std::move(p);
+    }
+    if (!row.stats.isNull())
+        j["stats"] = row.stats;
+    return j;
+}
 
 std::vector<StudyRow>
 runStudy(const StudyOptions &opt)
@@ -146,6 +204,14 @@ runStudy(const StudyOptions &opt)
     rows.reserve(futs.size());
     for (std::future<StudyRow> &f : futs)
         rows.push_back(f.get());
+
+    // Rows land in the report here, after the ordered collection
+    // above, so the report's row order matches the printed tables no
+    // matter how the pool scheduled the cells.
+    if (RunReport *rep = RunReport::global()) {
+        for (const StudyRow &row : rows)
+            rep->addRow(studyRowToJson(row));
+    }
     return rows;
 }
 
@@ -158,37 +224,94 @@ runFullStudy(bool training_only, bool inference_only)
     return runStudy(opt);
 }
 
+namespace {
+
+/**
+ * Match "--name V" / "--name=V"; on a hit *value points at V and i is
+ * advanced past any consumed extra argv slot.
+ */
+bool
+valueArg(int argc, char **argv, int &i, const char *name,
+         const char *shortName, const char **value)
+{
+    const char *arg = argv[i];
+    if (std::strcmp(arg, name) == 0 ||
+        (shortName && std::strcmp(arg, shortName) == 0)) {
+        fatal_if(i + 1 >= argc, "%s needs a value", arg);
+        *value = argv[++i];
+        return true;
+    }
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        *value = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
 void
 parseBenchArgs(int argc, char **argv, const std::string &title)
 {
+    std::string report_path, trace_path;
     for (int i = 1; i < argc; i++) {
         const char *arg = argv[i];
         const char *value = nullptr;
         if (std::strcmp(arg, "--help") == 0 ||
             std::strcmp(arg, "-h") == 0) {
-            std::printf("usage: %s [--jobs N]\n\n"
-                        "  --jobs N, -j N  run N study cells in "
-                        "parallel (default: ZCOMP_JOBS\n"
-                        "                  or the hardware thread "
-                        "count; 1 = sequential)\n",
-                        argv[0]);
+            std::printf(
+                "usage: %s [--jobs N] [--quiet] [--report PATH] "
+                "[--trace PATH]\n\n"
+                "  --jobs N, -j N  run N study cells in parallel "
+                "(default: ZCOMP_JOBS\n"
+                "                  or the hardware thread count; "
+                "1 = sequential)\n"
+                "  --quiet, -q     suppress informational messages "
+                "(tables still print)\n"
+                "  --report PATH   write a structured JSON run "
+                "report (schema\n"
+                "                  zcomp-run-report-v1; see "
+                "EXPERIMENTS.md)\n"
+                "  --trace PATH    write a Chrome/Perfetto trace of "
+                "the run\n"
+                "                  (open at ui.perfetto.dev)\n",
+                argv[0]);
             std::exit(0);
-        } else if (std::strcmp(arg, "--jobs") == 0 ||
-                   std::strcmp(arg, "-j") == 0) {
-            fatal_if(i + 1 >= argc, "%s needs a value", arg);
-            value = argv[++i];
-        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            value = arg + 7;
+        } else if (std::strcmp(arg, "--quiet") == 0 ||
+                   std::strcmp(arg, "-q") == 0) {
+            setQuiet(true);
+        } else if (valueArg(argc, argv, i, "--jobs", "-j", &value)) {
+            char *rest = nullptr;
+            long jobs = std::strtol(value, &rest, 10);
+            fatal_if(*value == '\0' || (rest && *rest != '\0') ||
+                         jobs < 1 || jobs > 1024,
+                     "bad --jobs value '%s' (want an integer in "
+                     "[1, 1024])", value);
+            ThreadPool::setGlobalJobs(static_cast<int>(jobs));
+        } else if (valueArg(argc, argv, i, "--report", nullptr,
+                            &value)) {
+            report_path = value;
+        } else if (valueArg(argc, argv, i, "--trace", nullptr,
+                            &value)) {
+            trace_path = value;
         } else {
             fatal("unknown argument '%s' (try --help)", arg);
         }
-        char *rest = nullptr;
-        long jobs = std::strtol(value, &rest, 10);
-        fatal_if(*value == '\0' || (rest && *rest != '\0') ||
-                     jobs < 1 || jobs > 1024,
-                 "bad --jobs value '%s' (want an integer in "
-                 "[1, 1024])", value);
-        ThreadPool::setGlobalJobs(static_cast<int>(jobs));
+    }
+
+    // Install the process-wide report/trace sinks before any work
+    // runs, and flush them at exit so every bench main gets both
+    // without being edited. The atexit handlers are idempotent.
+    if (!report_path.empty()) {
+        std::vector<std::string> args(argv, argv + argc);
+        RunReport::enableGlobal(report_path, title, std::move(args));
+        RunReport::global()->setMachine(ArchConfig{});
+        std::atexit(RunReport::finishGlobal);
+    }
+    if (!trace_path.empty()) {
+        TraceWriter::enableGlobal(trace_path);
+        std::atexit(TraceWriter::finishGlobal);
     }
     printBanner(title);
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/thread_pool.hh"
 #include "dnn/models.hh"
 #include "sim/network_sim.hh"
@@ -68,7 +69,22 @@ struct StudyRow
     // per row so BENCH_*.json entries can track runner speed.
     double prepMillis = 0;
     double simMillis[numIoPolicies] = {0, 0, 0};
+
+    /**
+     * gem5-style stats-tree snapshot of the cell's system after all
+     * three policy runs (StatGroup::dumpJson() form). Only populated
+     * when a --report is being collected; Null otherwise so the
+     * default path stays cheap.
+     */
+    Json stats;
 };
+
+/**
+ * Serialize one StudyRow into the report schema: model/mode, prep and
+ * per-policy sim wall-clock, and for each policy the total RunStats
+ * (cycles, breakdown, per-level traffic) plus per-layer attribution.
+ */
+Json studyRowToJson(const StudyRow &row);
 
 /** Knobs for runStudy(); the defaults reproduce the full study. */
 struct StudyOptions
@@ -94,9 +110,18 @@ std::vector<StudyRow> runFullStudy(bool training_only = false,
                                    bool inference_only = false);
 
 /**
- * Parse the arguments shared by all bench mains (--jobs N sizes the
- * global ThreadPool; ZCOMP_JOBS is the env equivalent) and print the
- * Table 1 machine banner. fatal()s on unknown arguments.
+ * Parse the arguments shared by all bench mains and print the Table 1
+ * machine banner. fatal()s on unknown arguments.
+ *
+ *   --jobs N, -j N   size the global ThreadPool (env: ZCOMP_JOBS)
+ *   --quiet, -q      silence inform()/warn() (setQuiet)
+ *   --report PATH    write a structured JSON RunReport at exit
+ *   --trace PATH     write a Perfetto/Chrome trace at exit
+ *
+ * --report and --trace install the process-wide RunReport/TraceWriter
+ * and register atexit flushes, so every bench binary gets them
+ * without touching its main(). With neither flag the run is
+ * byte-identical to before.
  */
 void parseBenchArgs(int argc, char **argv, const std::string &title);
 

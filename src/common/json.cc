@@ -1,0 +1,649 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+double
+Json::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return static_cast<double>(int_);
+      case Kind::Uint:
+        return static_cast<double>(uint_);
+      case Kind::Double:
+        return double_;
+      default:
+        return 0.0;
+    }
+}
+
+int64_t
+Json::asInt() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return int_;
+      case Kind::Uint:
+        return static_cast<int64_t>(uint_);
+      case Kind::Double:
+        return static_cast<int64_t>(double_);
+      default:
+        return 0;
+    }
+}
+
+uint64_t
+Json::asUint() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return static_cast<uint64_t>(int_);
+      case Kind::Uint:
+        return uint_;
+      case Kind::Double:
+        return static_cast<uint64_t>(double_);
+      default:
+        return 0;
+    }
+}
+
+size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    return 0;
+}
+
+void
+Json::push(Json v)
+{
+    panic_if(kind_ != Kind::Null && kind_ != Kind::Array,
+             "Json::push on a non-array value");
+    kind_ = Kind::Array;
+    array_.push_back(std::move(v));
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    panic_if(kind_ != Kind::Null && kind_ != Kind::Object,
+             "Json::operator[] on a non-object value");
+    kind_ = Kind::Object;
+    for (auto &m : object_) {
+        if (m.first == key)
+            return m.second;
+    }
+    object_.emplace_back(key, Json());
+    return object_.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &m : object_) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    // Shortest form that survives a round trip.
+    for (int prec = 15; prec <= 17; prec++) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent < 0)
+            return;
+        out += '\n';
+        out.append(static_cast<size_t>(indent) *
+                       static_cast<size_t>(d),
+                   ' ');
+    };
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int:
+        out += std::to_string(int_);
+        break;
+      case Kind::Uint:
+        out += std::to_string(uint_);
+        break;
+      case Kind::Double:
+        out += jsonNumber(double_);
+        break;
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(string_);
+        out += '"';
+        break;
+      case Kind::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < array_.size(); i++) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < object_.size(); i++) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += jsonEscape(object_[i].first);
+            out += indent < 0 ? "\":" : "\": ";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+bool
+Json::operator==(const Json &o) const
+{
+    if (isNumber() && o.isNumber()) {
+        // Exact integer comparison where both sides are integral.
+        if (kind_ != Kind::Double && o.kind_ != Kind::Double) {
+            bool neg_a = kind_ == Kind::Int && int_ < 0;
+            bool neg_b = o.kind_ == Kind::Int && o.int_ < 0;
+            if (neg_a != neg_b)
+                return false;
+            return asUint() == o.asUint() || asInt() == o.asInt();
+        }
+        return asDouble() == o.asDouble();
+    }
+    if (kind_ != o.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return bool_ == o.bool_;
+      case Kind::String:
+        return string_ == o.string_;
+      case Kind::Array:
+        if (array_.size() != o.array_.size())
+            return false;
+        for (size_t i = 0; i < array_.size(); i++) {
+            if (array_[i] != o.array_[i])
+                return false;
+        }
+        return true;
+      case Kind::Object:
+        if (object_.size() != o.object_.size())
+            return false;
+        for (const auto &m : object_) {
+            const Json *v = o.find(m.first);
+            if (!v || *v != m.second)
+                return false;
+        }
+        return true;
+      default:
+        return false;   // numbers handled above
+    }
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over an in-memory string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : s_(text), err_(err)
+    {}
+
+    Json
+    parseDocument()
+    {
+        Json v = parseValue();
+        if (failed_)
+            return Json();
+        skipWs();
+        if (pos_ != s_.size()) {
+            fail("trailing garbage");
+            return Json();
+        }
+        return v;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (!failed_ && err_)
+            *err_ = what + " at byte " + std::to_string(pos_);
+        failed_ = true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            pos_++;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        if (depth_ > maxDepth_) {
+            fail("nesting too deep");
+            return Json();
+        }
+        skipWs();
+        if (pos_ >= s_.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        char c = s_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        fail("unexpected character");
+        return Json();
+    }
+
+    Json
+    parseObject()
+    {
+        consume('{');
+        depth_++;
+        Json obj = Json::object();
+        skipWs();
+        if (consume('}')) {
+            depth_--;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != '"') {
+                fail("expected object key");
+                return Json();
+            }
+            Json key = parseString();
+            if (failed_)
+                return Json();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return Json();
+            }
+            Json value = parseValue();
+            if (failed_)
+                return Json();
+            obj[key.asString()] = std::move(value);
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}')) {
+                depth_--;
+                return obj;
+            }
+            fail("expected ',' or '}'");
+            return Json();
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        consume('[');
+        depth_++;
+        Json arr = Json::array();
+        skipWs();
+        if (consume(']')) {
+            depth_--;
+            return arr;
+        }
+        for (;;) {
+            Json value = parseValue();
+            if (failed_)
+                return Json();
+            arr.push(std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']')) {
+                depth_--;
+                return arr;
+            }
+            fail("expected ',' or ']'");
+            return Json();
+        }
+    }
+
+    int
+    hex4()
+    {
+        if (pos_ + 4 > s_.size()) {
+            fail("truncated \\u escape");
+            return -1;
+        }
+        int v = 0;
+        for (int i = 0; i < 4; i++) {
+            char c = s_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= c - '0';
+            else if (c >= 'a' && c <= 'f')
+                v |= c - 'a' + 10;
+            else if (c >= 'A' && c <= 'F')
+                v |= c - 'A' + 10;
+            else {
+                fail("bad \\u escape");
+                return -1;
+            }
+        }
+        return v;
+    }
+
+    void
+    appendUtf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    Json
+    parseString()
+    {
+        consume('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= s_.size()) {
+                fail("unterminated string");
+                return Json();
+            }
+            char c = s_[pos_++];
+            if (c == '"')
+                return Json(std::move(out));
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return Json();
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) {
+                fail("truncated escape");
+                return Json();
+            }
+            char e = s_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                int hi = hex4();
+                if (hi < 0)
+                    return Json();
+                uint32_t cp = static_cast<uint32_t>(hi);
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // Surrogate pair.
+                    if (!literal("\\u")) {
+                        fail("unpaired surrogate");
+                        return Json();
+                    }
+                    int lo = hex4();
+                    if (lo < 0)
+                        return Json();
+                    if (lo < 0xDC00 || lo > 0xDFFF) {
+                        fail("bad low surrogate");
+                        return Json();
+                    }
+                    cp = 0x10000 +
+                         ((cp - 0xD800) << 10) +
+                         (static_cast<uint32_t>(lo) - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("unpaired surrogate");
+                    return Json();
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("unknown escape");
+                return Json();
+            }
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        size_t start = pos_;
+        bool neg = consume('-');
+        // Integer part: 0 or [1-9][0-9]*.
+        if (consume('0')) {
+            // no leading zeros
+        } else if (pos_ < s_.size() && s_[pos_] >= '1' &&
+                   s_[pos_] <= '9') {
+            while (pos_ < s_.size() && s_[pos_] >= '0' &&
+                   s_[pos_] <= '9')
+                pos_++;
+        } else {
+            fail("malformed number");
+            return Json();
+        }
+        bool integral = true;
+        if (consume('.')) {
+            integral = false;
+            if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+                fail("malformed fraction");
+                return Json();
+            }
+            while (pos_ < s_.size() && s_[pos_] >= '0' &&
+                   s_[pos_] <= '9')
+                pos_++;
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            integral = false;
+            pos_++;
+            if (pos_ < s_.size() &&
+                (s_[pos_] == '+' || s_[pos_] == '-'))
+                pos_++;
+            if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+                fail("malformed exponent");
+                return Json();
+            }
+            while (pos_ < s_.size() && s_[pos_] >= '0' &&
+                   s_[pos_] <= '9')
+                pos_++;
+        }
+        std::string tok = s_.substr(start, pos_ - start);
+        if (integral) {
+            errno = 0;
+            if (neg) {
+                long long v = std::strtoll(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE)
+                    return Json(static_cast<int64_t>(v));
+            } else {
+                unsigned long long v =
+                    std::strtoull(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE)
+                    return Json(static_cast<uint64_t>(v));
+            }
+        }
+        return Json(std::strtod(tok.c_str(), nullptr));
+    }
+
+    static constexpr int maxDepth_ = 256;
+
+    const std::string &s_;
+    std::string *err_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *err)
+{
+    Parser p(text, err);
+    Json v = p.parseDocument();
+    return p.failed() ? Json() : v;
+}
+
+} // namespace zcomp

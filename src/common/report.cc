@@ -1,0 +1,179 @@
+#include "common/report.hh"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/log.hh"
+#include "common/thread_pool.hh"
+
+namespace zcomp {
+
+namespace {
+
+const char *
+replName(ReplPolicy p)
+{
+    return p == ReplPolicy::LRU ? "LRU" : "SRRIP";
+}
+
+Json
+cacheToJson(const CacheConfig &c)
+{
+    Json j = Json::object();
+    j["sizeBytes"] = c.size;
+    j["assoc"] = c.assoc;
+    j["latency"] = c.latency;
+    j["repl"] = replName(c.repl);
+    j["bytesPerCycle"] = c.bytesPerCycle;
+    j["hashIndex"] = c.hashIndex;
+    return j;
+}
+
+} // namespace
+
+Json
+machineToJson(const ArchConfig &cfg)
+{
+    Json m = Json::object();
+    m["summary"] = cfg.summary();
+    m["numCores"] = cfg.numCores;
+
+    Json &core = m["core"];
+    core = Json::object();
+    core["issueWidth"] = cfg.core.issueWidth;
+    core["freqGHz"] = cfg.core.freqGHz;
+    core["mshrs"] = cfg.core.mshrs;
+    core["storeBuffer"] = cfg.core.storeBuffer;
+    core["loadPorts"] = cfg.core.loadPorts;
+    core["storePorts"] = cfg.core.storePorts;
+
+    m["l1"] = cacheToJson(cfg.l1);
+    m["l2"] = cacheToJson(cfg.l2);
+    m["l3"] = cacheToJson(cfg.l3);
+
+    Json &pf = m["prefetch"];
+    pf = Json::object();
+    pf["l1IpStride"] = cfg.prefetch.l1IpStride;
+    pf["l2Stream"] = cfg.prefetch.l2Stream;
+    pf["l2Degree"] = cfg.prefetch.l2Degree;
+    pf["l2Distance"] = cfg.prefetch.l2Distance;
+    pf["l2StreamTableSize"] = cfg.prefetch.l2StreamTableSize;
+
+    Json &dram = m["dram"];
+    dram = Json::object();
+    dram["channels"] = cfg.dram.channels;
+    dram["totalBandwidthGBps"] = cfg.dram.totalBandwidthGBps;
+    dram["latencyNs"] = cfg.dram.latencyNs;
+    dram["interleaveBytes"] = cfg.dram.interleaveBytes;
+
+    Json &noc = m["noc"];
+    noc = Json::object();
+    noc["meshX"] = cfg.noc.meshX;
+    noc["meshY"] = cfg.noc.meshY;
+    noc["hopCycles"] = cfg.noc.hopCycles;
+
+    Json &zc = m["zcomp"];
+    zc = Json::object();
+    zc["logicLatency"] = cfg.zcomp.logicLatency;
+    zc["logicThroughput"] = cfg.zcomp.logicThroughput;
+    return m;
+}
+
+RunReport::RunReport(std::string path, std::string title,
+                     std::vector<std::string> argv)
+    : path_(std::move(path)), t0_(Clock::now())
+{
+    doc_["schema"] = "zcomp-run-report-v1";
+    doc_["title"] = std::move(title);
+    Json &av = doc_["argv"];
+    av = Json::array();
+    for (std::string &a : argv)
+        av.push(std::move(a));
+    doc_["machine"] = Json::object();
+    doc_["host"] = Json::object();
+    doc_["rows"] = Json::array();
+}
+
+void
+RunReport::setMachine(const ArchConfig &cfg)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    doc_["machine"] = machineToJson(cfg);
+}
+
+void
+RunReport::addRow(Json row)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    doc_["rows"].push(std::move(row));
+}
+
+std::pair<Json *, std::unique_lock<std::mutex>>
+RunReport::root()
+{
+    return {&doc_, std::unique_lock<std::mutex>(mu_)};
+}
+
+void
+RunReport::write()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (written_)
+        return;
+    written_ = true;
+
+    Json &host = doc_["host"];
+    host["wallMillis"] =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0_)
+            .count();
+    host["jobs"] = ThreadPool::global().jobs();
+
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+        warn("cannot write report file %s", path_.c_str());
+        return;
+    }
+    std::string text = doc_.dump(2);
+    text += '\n';
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+// ---------------------------------------------------- global report
+
+namespace {
+std::atomic<RunReport *> globalReport{nullptr};
+} // namespace
+
+RunReport *
+RunReport::global()
+{
+    return globalReport.load(std::memory_order_acquire);
+}
+
+void
+RunReport::enableGlobal(const std::string &path,
+                        const std::string &title,
+                        std::vector<std::string> argv)
+{
+    RunReport *prev = globalReport.exchange(
+        new RunReport(path, title, std::move(argv)),
+        std::memory_order_acq_rel);
+    if (prev) {
+        prev->write();
+        delete prev;
+    }
+}
+
+void
+RunReport::finishGlobal()
+{
+    RunReport *r =
+        globalReport.exchange(nullptr, std::memory_order_acq_rel);
+    if (r) {
+        r->write();
+        delete r;
+    }
+}
+
+} // namespace zcomp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * RunReport - the structured run report behind the bench binaries'
+ * --report flag.
+ *
+ * One report is one JSON document in a stable schema
+ * ("zcomp-run-report-v1"): what ran (title, argv), on what machine
+ * (the Table 1 ArchConfig), the study rows the run produced (filled
+ * by the bench study runner: per-policy cycles, per-level traffic,
+ * per-layer attribution, stats-tree snapshots), and host wall-clock.
+ * BENCH_*.json perf-trajectory entries can be generated from it
+ * directly instead of scraping stdout tables.
+ *
+ * Top-level schema:
+ *   {
+ *     "schema":  "zcomp-run-report-v1",
+ *     "title":   string,
+ *     "argv":    [string...],
+ *     "machine": { summary + every ArchConfig section },
+ *     "host":    { "wallMillis": number, "jobs": int },
+ *     "rows":    [ study-row objects, see bench::studyRowToJson() ],
+ *     ...        any extra sections a binary attaches via root()
+ *   }
+ *
+ * addRow() and root() access is mutex-guarded so study cells running
+ * on pool workers can contribute concurrently; the bench runner
+ * nevertheless appends rows in deterministic study order.
+ */
+
+#ifndef ZCOMP_COMMON_REPORT_HH
+#define ZCOMP_COMMON_REPORT_HH
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/json.hh"
+
+namespace zcomp {
+
+/** Every ArchConfig knob as a JSON object (the Table 1 banner data). */
+Json machineToJson(const ArchConfig &cfg);
+
+class RunReport
+{
+  public:
+    RunReport(std::string path, std::string title,
+              std::vector<std::string> argv);
+
+    RunReport(const RunReport &) = delete;
+    RunReport &operator=(const RunReport &) = delete;
+
+    /** Fill the "machine" section from an ArchConfig. */
+    void setMachine(const ArchConfig &cfg);
+
+    /** Append one study-row object to "rows". Thread-safe. */
+    void addRow(Json row);
+
+    /**
+     * Direct access to the document plus the lock that guards it, for
+     * binaries that attach extra sections. Use via:
+     *   auto [doc, lock] = report->root();
+     */
+    std::pair<Json *, std::unique_lock<std::mutex>> root();
+
+    /**
+     * Stamp the "host" section (wall-clock since construction, pool
+     * size) and write the document. Idempotent.
+     */
+    void write();
+
+    const std::string &path() const { return path_; }
+
+    // ------------------------------------------------ global report
+    /** The process-wide report enabled by --report, or null. */
+    static RunReport *global();
+
+    /** Install the process-wide report (replaces any previous one). */
+    static void enableGlobal(const std::string &path,
+                             const std::string &title,
+                             std::vector<std::string> argv);
+
+    /** Write and drop the process-wide report (atexit-safe). */
+    static void finishGlobal();
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::string path_;
+    Clock::time_point t0_;
+    std::mutex mu_;
+    Json doc_;
+    bool written_ = false;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_REPORT_HH

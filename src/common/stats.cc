@@ -103,6 +103,26 @@ StatGroup::findCounter(const std::string &path) const
     return nullptr;
 }
 
+const Histogram *
+StatGroup::findHistogram(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const auto &h : histograms_) {
+            if (h->name() == path)
+                return h.get();
+        }
+        return nullptr;
+    }
+    std::string head = path.substr(0, dot);
+    std::string rest = path.substr(dot + 1);
+    for (const auto &child : children_) {
+        if (child->name() == head)
+            return child->findHistogram(rest);
+    }
+    return nullptr;
+}
+
 void
 StatGroup::resetAll()
 {
@@ -131,6 +151,41 @@ StatGroup::dump(std::ostream &os, int indent) const
     }
     for (const auto &child : children_)
         child->dump(os, indent + 1);
+}
+
+Json
+StatGroup::dumpJson() const
+{
+    Json g = Json::object();
+    if (!counters_.empty()) {
+        Json &cs = g["counters"];
+        cs = Json::object();
+        for (const auto &c : counters_)
+            cs[c->name()] = c->value();
+    }
+    if (!histograms_.empty()) {
+        Json &hs = g["histograms"];
+        hs = Json::object();
+        for (const auto &h : histograms_) {
+            Json &hj = hs[h->name()];
+            hj = Json::object();
+            hj["samples"] = h->samples();
+            hj["sum"] = h->sum();
+            hj["mean"] = h->mean();
+            hj["maxValue"] = h->maxValue();
+            Json &buckets = hj["buckets"];
+            buckets = Json::array();
+            for (int i = 0; i < h->numBuckets(); i++)
+                buckets.push(h->bucketCount(i));
+        }
+    }
+    if (!children_.empty()) {
+        Json &ch = g["children"];
+        ch = Json::object();
+        for (const auto &child : children_)
+            ch[child->name()] = child->dumpJson();
+    }
+    return g;
 }
 
 } // namespace zcomp

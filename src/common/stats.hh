@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+
 namespace zcomp {
 
 /** A named 64-bit event counter. */
@@ -61,7 +63,9 @@ class Histogram
     double mean() const;
     uint64_t bucketCount(int i) const { return buckets_[i]; }
     int numBuckets() const { return static_cast<int>(buckets_.size()); }
+    uint64_t maxValue() const { return maxValue_; }
     const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
 
   private:
     std::string name_;
@@ -103,11 +107,22 @@ class StatGroup
     /** Find a counter by path ("child.grandchild.counter"), or null. */
     const Counter *findCounter(const std::string &path) const;
 
+    /** Find a histogram by path, analogous to findCounter(). */
+    const Histogram *findHistogram(const std::string &path) const;
+
     /** Reset every counter and histogram in this subtree. */
     void resetAll();
 
     /** Dump an indented text report of the subtree. */
     void dump(std::ostream &os, int indent = 0) const;
+
+    /**
+     * Export the subtree as JSON: counters as a name -> value object,
+     * histograms as name -> {samples, sum, mean, maxValue, buckets},
+     * children recursively. Empty sections are omitted so leaf groups
+     * stay compact.
+     */
+    Json dumpJson() const;
 
     const std::string &name() const { return name_; }
 

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/trace_writer.hh"
+
 namespace zcomp {
 
 ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs)
@@ -11,8 +13,13 @@ ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs)
     if (jobs_ <= 1)
         return;
     workers_.reserve(static_cast<size_t>(jobs_));
-    for (int i = 0; i < jobs_; i++)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (int i = 0; i < jobs_; i++) {
+        workers_.emplace_back([this, i] {
+            TraceWriter::setThreadLabel("pool worker " +
+                                        std::to_string(i));
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -49,7 +56,16 @@ ThreadPool::workerLoop()
             fn = std::move(queue_.front());
             queue_.pop_front();
         }
-        fn();
+        // A span per dequeued task makes harness bottlenecks (e.g.
+        // one slow study cell serializing the tail of a run) visible
+        // on the worker's lane in the --trace timeline.
+        if (TraceWriter *tw = TraceWriter::global()) {
+            double t0 = tw->nowUs();
+            fn();
+            tw->hostSpan("pool.task", t0, tw->nowUs());
+        } else {
+            fn();
+        }
     }
 }
 

@@ -1,0 +1,288 @@
+#include "common/trace_writer.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+/**
+ * One thread's event buffer. The owning thread appends under buf.mu
+ * (uncontended in steady state - only finish() ever takes it from
+ * another thread), so tracing never serializes pool workers against
+ * each other.
+ */
+struct TraceWriter::Buffer
+{
+    std::mutex mu;
+    std::vector<Event> events;
+};
+
+namespace {
+
+std::atomic<uint64_t> nextWriterId{1};
+
+struct ThreadSlot
+{
+    uint64_t writerId = 0;
+    TraceWriter::Buffer *buffer = nullptr;
+    int hostTid = -1;
+};
+
+// Each writer instance gets a process-unique id (never reused, unlike
+// heap addresses), so a stale slot left behind by a destroyed writer
+// can never be mistaken for the current one.
+thread_local ThreadSlot tlSlot;
+thread_local std::string tlThreadLabel;
+
+} // namespace
+
+TraceWriter::TraceWriter(std::string path)
+    : path_(std::move(path)), t0_(Clock::now())
+{
+    id_ = nextWriterId.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
+}
+
+double
+TraceWriter::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     t0_)
+        .count();
+}
+
+int
+TraceWriter::newProcess(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    int pid = nextPid_++;
+    processNames_.emplace_back(pid, name);
+    return pid;
+}
+
+void
+TraceWriter::nameThread(int pid, int tid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    threadNames_.push_back({{pid, tid}, name});
+}
+
+TraceWriter::Buffer &
+TraceWriter::threadBuffer()
+{
+    if (tlSlot.writerId != id_) {
+        auto buf = std::make_unique<Buffer>();
+        Buffer *raw = buf.get();
+        int tid;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            buffers_.push_back(std::move(buf));
+            tid = nextHostTid_++;
+            threadNames_.push_back(
+                {{hostPid, tid},
+                 tlThreadLabel.empty()
+                     ? "thread " + std::to_string(tid)
+                     : tlThreadLabel});
+        }
+        tlSlot = {id_, raw, tid};
+    }
+    return *tlSlot.buffer;
+}
+
+void
+TraceWriter::span(int pid, int tid, double ts, double dur,
+                  const std::string &name, const std::string &cat,
+                  const Json &args)
+{
+    Buffer &buf = threadBuffer();
+    Event ev;
+    ev.pid = pid;
+    ev.tid = tid;
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.name = name;
+    ev.cat = cat;
+    if (!args.isNull())
+        ev.args = args.dump();
+    std::lock_guard<std::mutex> lk(buf.mu);
+    buf.events.push_back(std::move(ev));
+}
+
+void
+TraceWriter::hostSpan(const std::string &name, double start_us,
+                      double end_us, const Json &args)
+{
+    threadBuffer();     // registers the calling thread's lane
+    span(hostPid, tlSlot.hostTid, start_us,
+         std::max(0.0, end_us - start_us), name, "host", args);
+}
+
+std::vector<TraceWriter::Event>
+TraceWriter::mergedEvents()
+{
+    std::vector<Event> all;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &buf : buffers_) {
+        std::lock_guard<std::mutex> blk(buf->mu);
+        all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.pid != b.pid)
+                             return a.pid < b.pid;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         return a.ts < b.ts;
+                     });
+    return all;
+}
+
+size_t
+TraceWriter::pendingEvents()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t n = 0;
+    for (auto &buf : buffers_) {
+        std::lock_guard<std::mutex> blk(buf->mu);
+        n += buf->events.size();
+    }
+    return n;
+}
+
+std::vector<TraceWriter::Event>
+TraceWriter::snapshotEvents()
+{
+    return mergedEvents();
+}
+
+void
+TraceWriter::finish()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (finished_)
+            return;
+        finished_ = true;
+    }
+
+    std::vector<Event> events = mergedEvents();
+
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+        warn("cannot write trace file %s", path_.c_str());
+        return;
+    }
+
+    std::string out;
+    out.reserve(events.size() * 96 + 4096);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+    bool first = true;
+    auto emit = [&](const std::string &line) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += line;
+    };
+
+    // Metadata first: process and thread names / sort order. The host
+    // process sorts before the simulated ones.
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        emit(format("{\"ph\":\"M\",\"pid\":%d,\"name\":"
+                    "\"process_name\",\"args\":{\"name\":\"host\"}}",
+                    hostPid));
+        emit(format("{\"ph\":\"M\",\"pid\":%d,\"name\":"
+                    "\"process_sort_index\",\"args\":{\"sort_index\":"
+                    "0}}",
+                    hostPid));
+        for (const auto &[pid, name] : processNames_) {
+            emit(format("{\"ph\":\"M\",\"pid\":%d,\"name\":"
+                        "\"process_name\",\"args\":{\"name\":\"%s\"}}",
+                        pid, jsonEscape(name).c_str()));
+            emit(format("{\"ph\":\"M\",\"pid\":%d,\"name\":"
+                        "\"process_sort_index\",\"args\":{"
+                        "\"sort_index\":%d}}",
+                        pid, pid));
+        }
+        for (const auto &[lane, name] : threadNames_) {
+            emit(format("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                        "\"name\":\"thread_name\",\"args\":{\"name\":"
+                        "\"%s\"}}",
+                        lane.first, lane.second,
+                        jsonEscape(name).c_str()));
+        }
+    }
+
+    for (const Event &ev : events) {
+        std::string line = format(
+            "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,"
+            "\"dur\":%s,\"cat\":\"%s\",\"name\":\"%s\"",
+            ev.pid, ev.tid, jsonNumber(ev.ts).c_str(),
+            jsonNumber(ev.dur).c_str(), jsonEscape(ev.cat).c_str(),
+            jsonEscape(ev.name).c_str());
+        if (!ev.args.empty())
+            line += ",\"args\":" + ev.args;
+        line += "}";
+        emit(line);
+    }
+    out += "\n]}\n";
+
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+}
+
+// ---------------------------------------------------- global writer
+
+namespace {
+std::atomic<TraceWriter *> globalWriter{nullptr};
+} // namespace
+
+TraceWriter *
+TraceWriter::global()
+{
+    return globalWriter.load(std::memory_order_acquire);
+}
+
+void
+TraceWriter::enableGlobal(const std::string &path)
+{
+    TraceWriter *prev =
+        globalWriter.exchange(new TraceWriter(path),
+                              std::memory_order_acq_rel);
+    if (prev) {
+        prev->finish();
+        delete prev;
+    }
+}
+
+void
+TraceWriter::finishGlobal()
+{
+    TraceWriter *w =
+        globalWriter.exchange(nullptr, std::memory_order_acq_rel);
+    if (w) {
+        w->finish();
+        delete w;
+    }
+}
+
+void
+TraceWriter::setThreadLabel(const std::string &label)
+{
+    tlThreadLabel = label;
+    // Re-label an already-registered lane.
+    if (TraceWriter *w = global()) {
+        if (tlSlot.writerId == w->id_ && tlSlot.hostTid >= 0)
+            w->nameThread(hostPid, tlSlot.hostTid, label);
+    }
+}
+
+} // namespace zcomp

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Chrome-trace-event writer (the JSON flavour Perfetto's ui.perfetto.dev
+ * loads directly).
+ *
+ * One TraceWriter collects complete ("ph":"X") events from many
+ * threads and writes a single trace file at finish(). Two kinds of
+ * track groups share the file:
+ *
+ *  - simulated processes: one per (study cell, I/O policy) simulation,
+ *    opened with newProcess(); lanes (tids) are simulated core ids and
+ *    timestamps are simulated cycles (rendered as microseconds, so
+ *    1 us on screen = 1 core cycle);
+ *  - the host process (pid 0): lanes are real threads (main, pool
+ *    workers) and timestamps are wall-clock microseconds since the
+ *    writer was created. Study-runner cells and pool tasks land here.
+ *
+ * Thread safety: events buffer into per-thread vectors (a mutex is
+ * taken only to register a new thread and at finish()), so pool
+ * workers can trace without contending. finish() merges the buffers
+ * and stable-sorts by (pid, tid, ts), so each lane's events are
+ * monotonically ordered in the file.
+ */
+
+#ifndef ZCOMP_COMMON_TRACE_WRITER_HH
+#define ZCOMP_COMMON_TRACE_WRITER_HH
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace zcomp {
+
+class TraceWriter
+{
+  public:
+    /** One complete event, fully resolved to its lane. */
+    struct Event
+    {
+        int pid = 0;
+        int tid = 0;
+        double ts = 0;      //!< microseconds (host) or cycles (sim)
+        double dur = 0;
+        std::string name;
+        std::string cat;
+        std::string args;   //!< pre-serialized JSON object, or empty
+    };
+
+    struct Buffer;      //!< one thread's event buffer (see .cc)
+
+    explicit TraceWriter(std::string path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** The host track group's pid. */
+    static constexpr int hostPid = 0;
+
+    /**
+     * Open a new simulated track group; returns its pid. Lanes under
+     * it are whatever tids the caller emits (core ids, typically
+     * labeled "core N" lazily by the UI).
+     */
+    int newProcess(const std::string &name);
+
+    /** Attach a thread_name metadata record to a lane. */
+    void nameThread(int pid, int tid, const std::string &name);
+
+    /** Emit one complete event on an explicit lane. */
+    void span(int pid, int tid, double ts, double dur,
+              const std::string &name, const std::string &cat,
+              const Json &args = Json());
+
+    /** Wall-clock microseconds since this writer was created. */
+    double nowUs() const;
+
+    /**
+     * Emit a host-side span on the calling thread's lane. The lane is
+     * auto-registered on first use and labeled with the thread label
+     * (see setThreadLabel) or "thread N".
+     */
+    void hostSpan(const std::string &name, double start_us,
+                  double end_us, const Json &args = Json());
+
+    /**
+     * Merge every per-thread buffer, sort each lane's events by
+     * timestamp, and write the trace file. Idempotent; also invoked
+     * by the destructor if never called explicitly.
+     */
+    void finish();
+
+    /** Number of events currently buffered (tests). */
+    size_t pendingEvents();
+
+    /** Merged, sorted event list without writing a file (tests). */
+    std::vector<Event> snapshotEvents();
+
+    // ------------------------------------------------- global writer
+    /** The process-wide writer enabled by --trace, or null. */
+    static TraceWriter *global();
+
+    /** Install the process-wide writer (replaces any previous one). */
+    static void enableGlobal(const std::string &path);
+
+    /** Finish and drop the process-wide writer (atexit-safe). */
+    static void finishGlobal();
+
+    /**
+     * Label the calling thread's host lane (e.g. "pool worker 3").
+     * Safe to call with no writer installed: the label is remembered
+     * thread-locally and applied when the thread first emits.
+     */
+    static void setThreadLabel(const std::string &label);
+
+  private:
+    Buffer &threadBuffer();
+    int registerHostThread(const std::string &label);
+    std::vector<Event> mergedEvents();
+
+    using Clock = std::chrono::steady_clock;
+
+    std::string path_;
+    Clock::time_point t0_;
+    uint64_t id_ = 0;   //!< process-unique; keys thread-local buffers
+
+    std::mutex mu_;     //!< guards buffers_, names, pid allocation
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+    std::vector<std::pair<int, std::string>> processNames_;
+    std::vector<std::pair<std::pair<int, int>, std::string>>
+        threadNames_;
+    int nextPid_ = 1;   //!< 0 is the host process
+    int nextHostTid_ = 1;
+    bool finished_ = false;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_TRACE_WRITER_HH

@@ -81,6 +81,8 @@ CoreModel::execOp(const TraceOp &op)
             t = busy;
         }
         busy = t + static_cast<double>(cfg_.zcomp.logicThroughput);
+        zcompBusyCycles_ +=
+            static_cast<double>(cfg_.zcomp.logicThroughput);
     }
 
     if (!op.isWrite) {

@@ -77,7 +77,19 @@ class CoreModel
     double time() const { return time_; }
     int id() const { return id_; }
     const CycleBreakdown &breakdown() const { return breakdown_; }
-    void resetBreakdown() { breakdown_ = {}; }
+
+    /**
+     * Cycles the ZCOMP logic unit was occupied on this core (each
+     * zcompUnit op holds its pipe for logicThroughput cycles) -
+     * Section 3.3 occupancy, reported in the stats tree.
+     */
+    double zcompBusyCycles() const { return zcompBusyCycles_; }
+
+    void resetBreakdown()
+    {
+        breakdown_ = {};
+        zcompBusyCycles_ = 0;
+    }
 
     /** Rewind the local clock (only valid between phases). */
     void resetTime() { time_ = 0; }
@@ -103,6 +115,7 @@ class CoreModel
     MinHeap storeQ_;        //!< store-buffer entry completions
 
     CycleBreakdown breakdown_;
+    double zcompBusyCycles_ = 0;
 };
 
 } // namespace zcomp

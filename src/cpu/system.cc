@@ -50,8 +50,11 @@ MultiCoreSystem::runPhase(const TracePhase &phase)
 
     // Barrier: everyone waits for the slowest core.
     double end = globalTime_;
-    for (auto &core : cores_)
+    result.coreEndTimes.reserve(cores_.size());
+    for (auto &core : cores_) {
+        result.coreEndTimes.push_back(core->time());
         end = std::max(end, core->time());
+    }
     for (auto &core : cores_)
         core->syncTo(end);
 
@@ -85,6 +88,9 @@ MultiCoreSystem::dumpStats(StatGroup &group) const
             .set(static_cast<uint64_t>(bd.memory));
         g.addCounter("sync_cycles", "barrier wait cycles")
             .set(static_cast<uint64_t>(bd.sync));
+        g.addCounter("zcomp_busy_cycles",
+                     "ZCOMP logic-unit occupancy")
+            .set(static_cast<uint64_t>(core->zcompBusyCycles()));
     }
     mem_.dumpStats(group.addChild("mem"));
 }

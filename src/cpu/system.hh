@@ -28,6 +28,13 @@ struct PhaseResult
     double cycles = 0;          //!< wall-clock cycles of the phase
     double startTime = 0;
     double endTime = 0;
+
+    /**
+     * Each core's completion time before the barrier (index = core
+     * id); endTime - coreEndTimes[c] is core c's sync wait. Feeds the
+     * per-core lanes of the Perfetto trace.
+     */
+    std::vector<double> coreEndTimes;
 };
 
 class MultiCoreSystem

@@ -115,6 +115,7 @@ MemoryHierarchy::accessLine(int core, Addr line, bool is_write,
     l2DemandMissesBelow_++;
     int slice = noc_.sliceOf(line);
     double noc_rt = noc_.roundTrip(core, slice);
+    nocHops_ += static_cast<uint64_t>(2 * noc_.hops(core, slice));
     double l3_service =
         static_cast<double>(lineBytes) / cfg_.l3.bytesPerCycle;
     auto us = static_cast<size_t>(slice);
@@ -264,6 +265,7 @@ MemoryHierarchy::runL2Prefetch(int core, Addr line, double now)
         l3SliceBusy_[us] = std::max(l3SliceBusy_[us], now) + l3_service;
         double fill_lat = noc_.roundTrip(core, slice) + cfg_.l3.latency +
                           l3_wait + fillL3(core, pf, now, true);
+        nocHops_ += static_cast<uint64_t>(2 * noc_.hops(core, slice));
         l2L3Bytes_ += lineBytes;
         l2PrefFilled_++;
         insertL2(core, pf, true, now, now + fill_lat);
@@ -320,6 +322,7 @@ MemoryHierarchy::snapshot() const
     s.l3Hits = l3_->hits;
     s.l3Misses = l3_->misses;
     s.l2DemandMissesBelow = l2DemandMissesBelow_;
+    s.nocHops = nocHops_;
     return s;
 }
 
@@ -336,6 +339,10 @@ MemoryHierarchy::dumpStats(StatGroup &group) const
         .set(s.l2L3Bytes);
     links.addCounter("l3_dram_bytes", "off-chip DRAM transfers")
         .set(s.l3DramBytes);
+
+    group.addChild("noc")
+        .addCounter("hops", "mesh hops traversed (demand + prefetch)")
+        .set(s.nocHops);
 
     auto fill_cache = [](StatGroup &g, const Cache &c) {
         g.addCounter("hits", "demand hits").set(c.hits);
@@ -375,6 +382,7 @@ MemoryHierarchy::resetStats()
     l3DramBytes_ = 0;
     l2DemandMissesBelow_ = 0;
     l2PrefFilled_ = 0;
+    nocHops_ = 0;
     for (int c = 0; c < cfg_.numCores; c++) {
         auto uc = static_cast<size_t>(c);
         l1_[uc]->hits = l1_[uc]->misses = l1_[uc]->writebacks = 0;

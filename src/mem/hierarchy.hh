@@ -57,6 +57,8 @@ struct HierSnapshot
     uint64_t l2PrefUnused = 0;
     uint64_t l2DemandMissesBelow = 0;   //!< demand L2 misses (coverage)
 
+    uint64_t nocHops = 0;   //!< mesh hops traversed (demand + prefetch)
+
     /** Bytes crossing every on-chip link (core-L1 + L1-L2 + L2-L3). */
     uint64_t onChipBytes() const
     {
@@ -150,6 +152,7 @@ class MemoryHierarchy
     uint64_t l3DramBytes_ = 0;
     uint64_t l2DemandMissesBelow_ = 0;
     uint64_t l2PrefFilled_ = 0;     //!< prefetch fills actually performed
+    uint64_t nocHops_ = 0;          //!< round-trip mesh hops traversed
 
     /**
      * Drop DRAM-bound prefetches once a channel queue exceeds this.

@@ -1,5 +1,7 @@
 #include "sim/exec_context.hh"
 
+#include "common/trace_writer.hh"
+
 namespace zcomp {
 
 namespace {
@@ -23,6 +25,7 @@ diff(const HierSnapshot &after, const HierSnapshot &before)
     d.l2PrefUnused = after.l2PrefUnused - before.l2PrefUnused;
     d.l2DemandMissesBelow =
         after.l2DemandMissesBelow - before.l2DemandMissesBelow;
+    d.nocHops = after.nocHops - before.nocHops;
     return d;
 }
 
@@ -57,7 +60,43 @@ RunStats::operator+=(const RunStats &o)
     traffic.l2PrefUseful += o.traffic.l2PrefUseful;
     traffic.l2PrefUnused += o.traffic.l2PrefUnused;
     traffic.l2DemandMissesBelow += o.traffic.l2DemandMissesBelow;
+    traffic.nocHops += o.traffic.nocHops;
     return *this;
+}
+
+Json
+runStatsToJson(const RunStats &s)
+{
+    Json j = Json::object();
+    j["cycles"] = s.cycles;
+
+    Json &bd = j["breakdown"];
+    bd = Json::object();
+    bd["compute"] = s.breakdown.compute;
+    bd["memory"] = s.breakdown.memory;
+    bd["sync"] = s.breakdown.sync;
+
+    const HierSnapshot &t = s.traffic;
+    Json &tr = j["traffic"];
+    tr = Json::object();
+    tr["coreL1Bytes"] = t.coreL1Bytes;
+    tr["l1L2Bytes"] = t.l1L2Bytes;
+    tr["l2L3Bytes"] = t.l2L3Bytes;
+    tr["l3DramBytes"] = t.l3DramBytes;
+    tr["onChipBytes"] = t.onChipBytes();
+    tr["totalBytes"] = t.totalBytes();
+    tr["l1Hits"] = t.l1Hits;
+    tr["l1Misses"] = t.l1Misses;
+    tr["l2Hits"] = t.l2Hits;
+    tr["l2Misses"] = t.l2Misses;
+    tr["l3Hits"] = t.l3Hits;
+    tr["l3Misses"] = t.l3Misses;
+    tr["l2PrefIssued"] = t.l2PrefIssued;
+    tr["l2PrefUseful"] = t.l2PrefUseful;
+    tr["l2PrefUnused"] = t.l2PrefUnused;
+    tr["l2DemandMissesBelow"] = t.l2DemandMissesBelow;
+    tr["nocHops"] = t.nocHops;
+    return j;
 }
 
 ExecContext::ExecContext(const ArchConfig &cfg) : sys_(cfg)
@@ -74,6 +113,21 @@ ExecContext::run(const TracePhase &phase)
     stats.cycles = r.cycles;
     stats.traffic = diff(sys_.mem().snapshot(), before);
     stats.breakdown = diff(sys_.breakdown(), bd_before);
+
+    // One span per active core on the simulated-cycle timebase; the
+    // gap to the next phase's start is that core's barrier wait.
+    TraceWriter *tw = TraceWriter::global();
+    if (tw && tracePid_ >= 0) {
+        for (size_t c = 0; c < r.coreEndTimes.size(); c++) {
+            if (c >= phase.perCore.size() || phase.perCore[c].empty())
+                continue;
+            Json args = Json::object();
+            args["ops"] = phase.perCore[c].size();
+            tw->span(tracePid_, static_cast<int>(c), r.startTime,
+                     r.coreEndTimes[c] - r.startTime, phase.name,
+                     "sim", args);
+        }
+    }
     return stats;
 }
 

@@ -9,6 +9,7 @@
 #ifndef ZCOMP_SIM_EXEC_CONTEXT_HH
 #define ZCOMP_SIM_EXEC_CONTEXT_HH
 
+#include "common/json.hh"
 #include "cpu/system.hh"
 #include "mem/vspace.hh"
 
@@ -23,6 +24,13 @@ struct RunStats
 
     RunStats &operator+=(const RunStats &o);
 };
+
+/**
+ * Serialize a RunStats delta: cycles, the compute/memory/sync
+ * breakdown, and every per-level traffic counter (plus the derived
+ * onChip/total byte aggregates the figures report).
+ */
+Json runStatsToJson(const RunStats &s);
 
 class ExecContext
 {
@@ -42,9 +50,19 @@ class ExecContext
     /** Run a phase without accounting (cache warmup). */
     void warm(const TracePhase &phase);
 
+    /**
+     * Route subsequent run() phases to a Perfetto track group: each
+     * phase becomes one span per active core (lane = core id, ts =
+     * simulated cycles) under the given trace pid. -1 (the default)
+     * disables emission; a null global TraceWriter also disables it.
+     */
+    void setTracePid(int pid) { tracePid_ = pid; }
+    int tracePid() const { return tracePid_; }
+
   private:
     VSpace vs_;
     MultiCoreSystem sys_;
+    int tracePid_ = -1;
 };
 
 } // namespace zcomp

@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "common/trace_writer.hh"
 #include "dnn/layers/conv.hh"
 #include "dnn/layers/fc.hh"
 
@@ -351,6 +352,20 @@ NetworkSim::run(const NetworkSimConfig &cfg)
     if (cfg.coldCaches)
         ctx_.sys().resetAll();
 
+    // Each (network, policy) run gets its own simulated track group
+    // so the per-core lanes of back-to-back policy runs (which all
+    // restart at cycle 0) do not overlap in the trace.
+    int prev_pid = ctx_.tracePid();
+    if (TraceWriter *tw = TraceWriter::global()) {
+        std::string label =
+            cfg.traceLabel.empty() ? net_.name() : cfg.traceLabel;
+        int pid = tw->newProcess(
+            label + " [" + ioPolicyName(cfg.policy) + "]");
+        for (int c = 0; c < ctx_.config().numCores; c++)
+            tw->nameThread(pid, c, format("core %d", c));
+        ctx_.setTracePid(pid);
+    }
+
     NetworkSimResult result;
     bool avx = cfg.policy == IoPolicy::Avx512Comp;
 
@@ -497,8 +512,10 @@ NetworkSim::run(const NetworkSimConfig &cfg)
         record(n.layer->name(), false, pb.run());
     }
 
-    if (!net_.training())
+    if (!net_.training()) {
+        ctx_.setTracePid(prev_pid);
         return result;
+    }
 
     // ----------------------------------------------------- backward
     for (size_t i = net_.numNodes(); i-- > 1;) {
@@ -581,6 +598,7 @@ NetworkSim::run(const NetworkSimConfig &cfg)
         record(n.layer->name() + ".bwd", true, pb.run());
     }
 
+    ctx_.setTracePid(prev_pid);
     return result;
 }
 

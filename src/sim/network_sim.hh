@@ -57,6 +57,13 @@ struct NetworkSimConfig
     int subBlocks = 8;          //!< unroll streams per thread
     size_t gemmBlockRows = 2048; //!< Mc: rows per weight-panel re-read
     bool coldCaches = true;     //!< resetAll() before the run
+
+    /**
+     * Label for this run's Perfetto track group ("<model> (train)");
+     * empty uses the network's name. Only consulted when a global
+     * TraceWriter is installed (--trace).
+     */
+    std::string traceLabel;
 };
 
 /** Per-layer-pass accounting (also powers the examples). */

@@ -1,0 +1,214 @@
+/** @file Unit tests for the Json value tree and its parser. */
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+
+using namespace zcomp;
+
+namespace {
+
+/** parse(dump(v)) must reproduce v exactly. */
+void
+expectRoundTrip(const Json &v)
+{
+    for (int indent : {-1, 0, 2}) {
+        std::string text = v.dump(indent);
+        std::string err;
+        Json back = Json::parse(text, &err);
+        EXPECT_EQ(err, "");
+        EXPECT_EQ(back, v) << "dump(" << indent << ") = " << text;
+    }
+}
+
+} // namespace
+
+TEST(Json, KindsAndAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json(true).isBool());
+    EXPECT_TRUE(Json(7).isNumber());
+    EXPECT_TRUE(Json(3.5).isNumber());
+    EXPECT_TRUE(Json("hi").isString());
+    EXPECT_TRUE(Json::array().isArray());
+    EXPECT_TRUE(Json::object().isObject());
+
+    EXPECT_EQ(Json(-42).asInt(), -42);
+    EXPECT_EQ(Json(42u).asUint(), 42u);
+    EXPECT_DOUBLE_EQ(Json(2.25).asDouble(), 2.25);
+    EXPECT_EQ(Json("s").asString(), "s");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Json j = Json::object();
+    j["zebra"] = 1;
+    j["apple"] = 2;
+    j["mango"] = 3;
+    ASSERT_EQ(j.size(), 3u);
+    EXPECT_EQ(j.members()[0].first, "zebra");
+    EXPECT_EQ(j.members()[1].first, "apple");
+    EXPECT_EQ(j.members()[2].first, "mango");
+    // Re-assigning an existing key keeps its slot.
+    j["apple"] = 9;
+    EXPECT_EQ(j.members()[1].first, "apple");
+    EXPECT_EQ(j.members()[1].second.asInt(), 9);
+}
+
+TEST(Json, NullPromotesOnUse)
+{
+    Json obj;
+    obj["k"] = 1;               // Null -> Object
+    EXPECT_TRUE(obj.isObject());
+    Json arr;
+    arr.push(1);                // Null -> Array
+    EXPECT_TRUE(arr.isArray());
+}
+
+TEST(Json, FindDoesNotInsert)
+{
+    Json j = Json::object();
+    j["present"] = 1;
+    EXPECT_NE(j.find("present"), nullptr);
+    EXPECT_EQ(j.find("absent"), nullptr);
+    EXPECT_EQ(j.size(), 1u);
+}
+
+TEST(Json, RoundTripScalars)
+{
+    expectRoundTrip(Json());
+    expectRoundTrip(Json(true));
+    expectRoundTrip(Json(false));
+    expectRoundTrip(Json(0));
+    expectRoundTrip(Json(-1));
+    expectRoundTrip(Json(std::numeric_limits<int64_t>::min()));
+    expectRoundTrip(Json(std::numeric_limits<uint64_t>::max()));
+    expectRoundTrip(Json(0.1));
+    expectRoundTrip(Json(1e300));
+    expectRoundTrip(Json(-2.5e-10));
+    expectRoundTrip(Json(1.0 / 3.0));
+    expectRoundTrip(Json(""));
+    expectRoundTrip(Json("plain"));
+}
+
+TEST(Json, RoundTripEscapes)
+{
+    expectRoundTrip(Json("quote\" slash\\ tab\t nl\n cr\r"));
+    expectRoundTrip(Json(std::string("nul\0byte", 8)));
+    expectRoundTrip(Json("control \x01\x1f"));
+    expectRoundTrip(Json("utf8 \xc3\xa9\xe2\x82\xac"));   // e-acute, euro
+}
+
+TEST(Json, RoundTripNested)
+{
+    Json doc = Json::object();
+    doc["schema"] = "test-v1";
+    doc["count"] = 3u;
+    Json arr = Json::array();
+    for (int i = 0; i < 3; i++) {
+        Json row = Json::object();
+        row["i"] = i;
+        row["sq"] = static_cast<double>(i) * i + 0.5;
+        row["flag"] = i % 2 == 0;
+        row["nothing"] = Json();
+        arr.push(std::move(row));
+    }
+    doc["rows"] = std::move(arr);
+    expectRoundTrip(doc);
+}
+
+TEST(Json, NonFiniteDumpsAsNull)
+{
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+TEST(Json, ParseAcceptsStandardForms)
+{
+    std::string err;
+    Json j = Json::parse(
+        " { \"a\" : [ 1 , -2.5e3 , true , null ] , \"b\" : {} } ",
+        &err);
+    EXPECT_EQ(err, "");
+    ASSERT_TRUE(j.isObject());
+    const Json *a = j.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->size(), 4u);
+    EXPECT_EQ(a->at(0).asInt(), 1);
+    EXPECT_DOUBLE_EQ(a->at(1).asDouble(), -2500.0);
+    EXPECT_TRUE(a->at(2).asBool());
+    EXPECT_TRUE(a->at(3).isNull());
+}
+
+TEST(Json, ParseUnicodeEscapes)
+{
+    std::string err;
+    Json j = Json::parse("\"\\u0041\\u00e9\\ud83d\\ude00\"", &err);
+    EXPECT_EQ(err, "");
+    EXPECT_EQ(j.asString(), "A\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseRejectsGarbage)
+{
+    const char *bad[] = {
+        "",             // empty document
+        "{",            // unterminated object
+        "[1,]",         // trailing comma
+        "{\"a\":1,}",   // trailing comma in object
+        "01",           // leading zero
+        "+1",           // explicit plus
+        "1.",           // missing fraction digits
+        ".5",           // missing integer part
+        "1e",           // missing exponent digits
+        "nul",          // truncated keyword
+        "\"\\x41\"",    // invalid escape
+        "\"\\ud83d\"",  // lone high surrogate
+        "'single'",     // wrong quotes
+        "{\"a\" 1}",    // missing colon
+        "[1] tail",     // trailing garbage
+        "nan",          // not JSON
+    };
+    for (const char *text : bad) {
+        std::string err;
+        Json j = Json::parse(text, &err);
+        EXPECT_TRUE(j.isNull()) << "accepted: " << text;
+        EXPECT_NE(err, "") << "no error for: " << text;
+    }
+}
+
+TEST(Json, IntegersStayExact)
+{
+    // Values above 2^53 lose precision as doubles; Int/Uint must not.
+    uint64_t big = (1ull << 53) + 1;
+    Json j(big);
+    std::string text = j.dump();
+    EXPECT_EQ(text, "9007199254740993");
+    Json back = Json::parse(text);
+    EXPECT_EQ(back.asUint(), big);
+}
+
+TEST(Json, EqualityIsStructural)
+{
+    Json a = Json::object();
+    a["x"] = 1;
+    a["y"] = 2;
+    Json b = Json::object();
+    b["x"] = 1;
+    b["y"] = 2;
+    EXPECT_EQ(a, b);
+    b["y"] = 3;
+    EXPECT_NE(a, b);
+}
+
+TEST(JsonHelpers, EscapeAndNumber)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    double v = 0.1;
+    EXPECT_EQ(std::stod(jsonNumber(v)), v);
+}

@@ -89,3 +89,77 @@ TEST(StatGroup, DumpContainsNamesAndValues)
     EXPECT_NE(os.str().find("traffic"), std::string::npos);
     EXPECT_NE(os.str().find("1234"), std::string::npos);
 }
+
+TEST(StatGroup, FindHistogramByPath)
+{
+    StatGroup g("sys");
+    StatGroup &l2 = g.addChild("l2");
+    l2.addHistogram("lat", "latency", 100, 10).sample(42);
+
+    const Histogram *h = g.findHistogram("l2.lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->samples(), 1u);
+    EXPECT_EQ(h->sum(), 42u);
+
+    // Direct (undotted) lookup in the owning group.
+    EXPECT_EQ(l2.findHistogram("lat"), h);
+
+    // Missing leaves and missing intermediate groups.
+    EXPECT_EQ(g.findHistogram("l2.nothere"), nullptr);
+    EXPECT_EQ(g.findHistogram("bogus.lat"), nullptr);
+    EXPECT_EQ(g.findHistogram("lat"), nullptr);
+}
+
+TEST(StatGroup, LookupKindsDoNotCollide)
+{
+    // A child group, a counter and a histogram sharing the name "x"
+    // must each be found only by their own lookup.
+    StatGroup g("sys");
+    g.addChild("x").addCounter("inner", "").inc(3);
+    g.addCounter("x", "").inc(7);
+    g.addHistogram("x", "", 10, 2).sample(1);
+
+    const Counter *c = g.findCounter("x");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), 7u);
+
+    const Histogram *h = g.findHistogram("x");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->samples(), 1u);
+
+    // Dotted paths still descend into the child group named "x".
+    EXPECT_EQ(g.findCounter("x.inner")->value(), 3u);
+    EXPECT_EQ(g.findHistogram("x.inner"), nullptr);
+}
+
+TEST(StatGroup, DumpJsonShape)
+{
+    StatGroup g("sys");
+    g.addCounter("bytes", "").inc(512);
+    g.addHistogram("lat", "", 100, 10).sample(5);
+    g.addChild("l1").addCounter("hits", "").inc(2);
+
+    Json j = g.dumpJson();
+    ASSERT_TRUE(j.isObject());
+    EXPECT_EQ(j.find("counters")->find("bytes")->asUint(), 512u);
+
+    const Json *h = j.find("histograms")->find("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->find("samples")->asUint(), 1u);
+    EXPECT_EQ(h->find("sum")->asUint(), 5u);
+    EXPECT_NE(h->find("mean"), nullptr);
+    EXPECT_NE(h->find("maxValue"), nullptr);
+    EXPECT_EQ(h->find("buckets")->size(), 10u);
+
+    const Json *l1 = j.find("children")->find("l1");
+    ASSERT_NE(l1, nullptr);
+    EXPECT_EQ(l1->find("counters")->find("hits")->asUint(), 2u);
+    // Empty sections are omitted, not emitted as empty objects.
+    EXPECT_EQ(l1->find("histograms"), nullptr);
+    EXPECT_EQ(l1->find("children"), nullptr);
+
+    // The whole tree survives a serialize/parse round trip.
+    std::string err;
+    EXPECT_EQ(Json::parse(j.dump(2), &err), j);
+    EXPECT_EQ(err, "");
+}

@@ -1,0 +1,212 @@
+/** @file Unit tests for the Chrome-trace-event writer. */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/trace_writer.hh"
+
+using namespace zcomp;
+
+namespace {
+
+/** Read a whole file (the writer's output is small in tests). */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct TempPath
+{
+    std::string path;
+    explicit TempPath(const std::string &p) : path(p) {}
+    ~TempPath() { std::remove(path.c_str()); }
+};
+
+} // namespace
+
+TEST(TraceWriter, SpansBufferAndMerge)
+{
+    TempPath tmp("test_trace_spans.json");
+    TraceWriter tw(tmp.path);
+    int pid = tw.newProcess("sim A");
+    EXPECT_GE(pid, 1);
+
+    // Emit out of order; the snapshot must come back sorted per lane.
+    tw.span(pid, 0, 300, 10, "late", "sim");
+    tw.span(pid, 0, 100, 10, "early", "sim");
+    tw.span(pid, 1, 200, 10, "other lane", "sim");
+    EXPECT_EQ(tw.pendingEvents(), 3u);
+
+    std::vector<TraceWriter::Event> evs = tw.snapshotEvents();
+    ASSERT_EQ(evs.size(), 3u);
+    double last_ts = -1;
+    std::pair<int, int> last_lane{-1, -1};
+    for (const TraceWriter::Event &ev : evs) {
+        std::pair<int, int> lane{ev.pid, ev.tid};
+        if (lane != last_lane) {
+            EXPECT_GE(lane, last_lane);     // lanes grouped, in order
+            last_lane = lane;
+            last_ts = -1;
+        }
+        EXPECT_GE(ev.ts, last_ts);          // monotonic within a lane
+        last_ts = ev.ts;
+    }
+    EXPECT_EQ(evs[0].name, "early");
+    EXPECT_EQ(evs[1].name, "late");
+}
+
+TEST(TraceWriter, FileIsValidJsonWithMetadata)
+{
+    TempPath tmp("test_trace_file.json");
+    {
+        TraceWriter tw(tmp.path);
+        int pid = tw.newProcess("my sim");
+        tw.nameThread(pid, 0, "core 0");
+        Json args = Json::object();
+        args["ops"] = 12;
+        tw.span(pid, 0, 0, 50, "phase one", "sim", args);
+        tw.hostSpan("host work", 1.0, 2.0);
+        tw.finish();
+    }
+
+    std::string text = slurp(tmp.path);
+    ASSERT_FALSE(text.empty());
+    std::string err;
+    Json doc = Json::parse(text, &err);
+    ASSERT_EQ(err, "");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_NE(doc.find("displayTimeUnit"), nullptr);
+
+    const Json *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    bool saw_process_name = false, saw_thread_name = false;
+    bool saw_span = false, saw_host = false;
+    for (size_t i = 0; i < events->size(); i++) {
+        const Json &ev = events->at(i);
+        const Json *ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->asString() == "M") {
+            const std::string &what = ev.find("name")->asString();
+            if (what == "process_name")
+                saw_process_name = true;
+            if (what == "thread_name")
+                saw_thread_name = true;
+        } else if (ph->asString() == "X") {
+            const std::string &name = ev.find("name")->asString();
+            if (name == "phase one") {
+                saw_span = true;
+                EXPECT_DOUBLE_EQ(ev.find("dur")->asDouble(), 50.0);
+                const Json *a = ev.find("args");
+                ASSERT_NE(a, nullptr);
+                EXPECT_EQ(a->find("ops")->asInt(), 12);
+            }
+            if (name == "host work") {
+                saw_host = true;
+                EXPECT_EQ(ev.find("pid")->asInt(),
+                          TraceWriter::hostPid);
+            }
+        }
+    }
+    EXPECT_TRUE(saw_process_name);
+    EXPECT_TRUE(saw_thread_name);
+    EXPECT_TRUE(saw_span);
+    EXPECT_TRUE(saw_host);
+}
+
+TEST(TraceWriter, MultiThreadedHostSpans)
+{
+    TempPath tmp("test_trace_mt.json");
+    TraceWriter tw(tmp.path);
+
+    constexpr int threads = 4, per = 50;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; t++) {
+        pool.emplace_back([&tw, t] {
+            TraceWriter::setThreadLabel("worker " + std::to_string(t));
+            for (int i = 0; i < per; i++) {
+                double ts = i * 10.0;
+                tw.hostSpan("tick", ts, ts + 5.0);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    EXPECT_EQ(tw.pendingEvents(),
+              static_cast<size_t>(threads) * per);
+
+    // Each worker got its own host lane; every lane is monotonic.
+    std::vector<TraceWriter::Event> evs = tw.snapshotEvents();
+    std::pair<int, int> lane{-1, -1};
+    double last_ts = -1;
+    int lanes = 0;
+    for (const TraceWriter::Event &ev : evs) {
+        EXPECT_EQ(ev.pid, TraceWriter::hostPid);
+        if (std::pair<int, int>{ev.pid, ev.tid} != lane) {
+            lane = {ev.pid, ev.tid};
+            lanes++;
+            last_ts = -1;
+        }
+        EXPECT_GE(ev.ts, last_ts);
+        last_ts = ev.ts;
+    }
+    EXPECT_EQ(lanes, threads);
+}
+
+TEST(TraceWriter, FinishIsIdempotent)
+{
+    TempPath tmp("test_trace_idem.json");
+    TraceWriter tw(tmp.path);
+    tw.hostSpan("once", 0, 1);
+    tw.finish();
+    std::string first = slurp(tmp.path);
+    tw.finish();    // must not rewrite or crash
+    EXPECT_EQ(slurp(tmp.path), first);
+    std::string err;
+    Json::parse(first, &err);
+    EXPECT_EQ(err, "");
+}
+
+TEST(TraceWriter, GlobalInstallAndFinish)
+{
+    EXPECT_EQ(TraceWriter::global(), nullptr);
+    TempPath tmp("test_trace_global.json");
+    TraceWriter::enableGlobal(tmp.path);
+    ASSERT_NE(TraceWriter::global(), nullptr);
+    TraceWriter::global()->hostSpan("global span", 0, 3);
+    TraceWriter::finishGlobal();
+    EXPECT_EQ(TraceWriter::global(), nullptr);
+
+    std::string err;
+    Json doc = Json::parse(slurp(tmp.path), &err);
+    EXPECT_EQ(err, "");
+    EXPECT_NE(doc.find("traceEvents"), nullptr);
+}
+
+TEST(TraceWriter, ThreadLabelAppliesToLane)
+{
+    TempPath tmp("test_trace_label.json");
+    {
+        TraceWriter::enableGlobal(tmp.path);
+        std::thread t([] {
+            TraceWriter::setThreadLabel("custom label");
+            TraceWriter::global()->hostSpan("w", 0, 1);
+        });
+        t.join();
+        TraceWriter::finishGlobal();
+    }
+    std::string text = slurp(tmp.path);
+    EXPECT_NE(text.find("custom label"), std::string::npos);
+}

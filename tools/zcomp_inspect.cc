@@ -12,6 +12,9 @@
  *   zcomp_inspect <file>            analyze a raw fp32 binary dump
  *   zcomp_inspect --synth <sparsity> [bytes]
  *                                   analyze a generated snapshot
+ *
+ * --json (anywhere on the command line) switches the report to a
+ * machine-readable JSON document on stdout with the same numbers.
  */
 
 #include <cstdio>
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "cachecomp/cache_model.hh"
+#include "common/json.hh"
 #include "common/table.hh"
 #include "workload/snapshot.hh"
 #include "zcomp/stream.hh"
@@ -68,29 +72,40 @@ makeSynthetic(double sparsity, size_t bytes)
 int
 main(int argc, char **argv)
 {
+    // Pull --json out first so it can appear anywhere.
+    bool json_mode = false;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json_mode = true;
+        else
+            args.push_back(argv[i]);
+    }
+    int nargs = static_cast<int>(args.size());
+
     std::vector<uint8_t> data;
     std::string source;
-    if (argc >= 3 && std::string(argv[1]) == "--synth") {
-        double sparsity = std::atof(argv[2]);
-        size_t bytes = argc >= 4
-                           ? static_cast<size_t>(std::atoll(argv[3]))
+    if (nargs >= 3 && std::string(args[1]) == "--synth") {
+        double sparsity = std::atof(args[2]);
+        size_t bytes = nargs >= 4
+                           ? static_cast<size_t>(std::atoll(args[3]))
                            : (1u << 20);
         bytes -= bytes % 64;
         data = makeSynthetic(sparsity, bytes);
         source = "synthetic snapshot";
-    } else if (argc == 2) {
-        data = readFile(argv[1]);
-        source = argv[1];
+    } else if (nargs == 2) {
+        data = readFile(args[1]);
+        source = args[1];
     } else {
         std::fprintf(stderr,
-                     "usage: %s <file> | --synth <sparsity> [bytes]\n",
+                     "usage: %s [--json] <file> | "
+                     "--synth <sparsity> [bytes]\n",
                      argv[0]);
         return 1;
     }
 
     const size_t n = data.size() / 4;
-    std::printf("source : %s (%zu bytes, %zu fp32 elements)\n",
-                source.c_str(), data.size(), n);
 
     // Whole-buffer ZCOMP statistics (interleaved fp32 headers).
     std::vector<uint8_t> dst(data.size() + (n / 16 + 1) * 2 + 64);
@@ -98,6 +113,69 @@ main(int argc, char **argv)
     size_t vec_elems = n - n % 16;
     StreamStats s = compressBufferPs(floats, vec_elems, dst.data(),
                                      dst.size(), Ccf::EQZ);
+
+    // Cache-compression comparison on the same data.
+    CompRatios r = analyzeSnapshot(data.data(),
+                                   data.size() - data.size() % 64);
+
+    // Per-block (1 MiB) profile: sparsity and ratio across the file.
+    const size_t block = 1u << 20;
+    struct BlockStat
+    {
+        size_t offset;
+        double sparsity;
+        double ratio;
+    };
+    std::vector<BlockStat> blocks;
+    if (data.size() > 2 * block) {
+        for (size_t off = 0; off + block <= data.size();
+             off += block) {
+            const float *bf =
+                reinterpret_cast<const float *>(data.data() + off);
+            size_t bn = block / 4;
+            std::vector<uint8_t> bd(block + (bn / 16) * 2 + 64);
+            StreamStats bs = compressBufferPs(bf, bn, bd.data(),
+                                              bd.size(), Ccf::EQZ);
+            blocks.push_back(
+                {off, bs.sparsity(ElemType::F32), bs.ratio()});
+        }
+    }
+
+    if (json_mode) {
+        Json doc = Json::object();
+        doc["source"] = source;
+        doc["bytes"] = data.size();
+        doc["elements"] = n;
+
+        Json &zc = doc["zcomp"];
+        zc = Json::object();
+        zc["sparsity"] = s.sparsity(ElemType::F32);
+        zc["ratio"] = s.ratio();
+        zc["originalBytes"] = s.originalBytes();
+        zc["totalBytes"] = s.totalBytes();
+        zc["headerBytes"] = s.headerBytes;
+        zc["fitsOriginalAlloc"] = s.totalBytes() <= s.originalBytes();
+
+        Json &cc = doc["cachecomp"];
+        cc = Json::object();
+        cc["limitCC"] = r.limitCC;
+        cc["twoTagCC"] = r.twoTagCC;
+
+        Json blk = Json::array();
+        for (const BlockStat &b : blocks) {
+            Json e = Json::object();
+            e["offset"] = b.offset;
+            e["sparsity"] = b.sparsity;
+            e["ratio"] = b.ratio;
+            blk.push(std::move(e));
+        }
+        doc["perMiB"] = std::move(blk);
+        std::printf("%s\n", doc.dump(2).c_str());
+        return 0;
+    }
+
+    std::printf("source : %s (%zu bytes, %zu fp32 elements)\n",
+                source.c_str(), data.size(), n);
     std::printf("zero sparsity      : %5.1f%%\n",
                 s.sparsity(ElemType::F32) * 100);
     std::printf("zcomp ratio        : %5.2fx (%llu -> %llu bytes, "
@@ -108,29 +186,16 @@ main(int argc, char **argv)
     std::printf("fits orig. alloc.  : %s (needs >= 3.125%% "
                 "compressibility)\n",
                 s.totalBytes() <= s.originalBytes() ? "yes" : "NO");
-
-    // Cache-compression comparison on the same data.
-    CompRatios r = analyzeSnapshot(data.data(),
-                                   data.size() - data.size() % 64);
     std::printf("FPC-D LimitCC ratio: %5.2fx\n", r.limitCC);
     std::printf("FPC-D TwoTagCC     : %5.2fx\n", r.twoTagCC);
 
-    // Per-block (1 MiB) profile: sparsity and ratio across the file.
-    const size_t block = 1u << 20;
-    if (data.size() > 2 * block) {
+    if (!blocks.empty()) {
         Table t("per-MiB profile");
         t.setHeader({"offset", "sparsity", "zcomp ratio"});
-        for (size_t off = 0; off + block <= data.size();
-             off += block) {
-            const float *bf =
-                reinterpret_cast<const float *>(data.data() + off);
-            size_t bn = block / 4;
-            std::vector<uint8_t> bd(block + (bn / 16) * 2 + 64);
-            StreamStats bs = compressBufferPs(bf, bn, bd.data(),
-                                              bd.size(), Ccf::EQZ);
-            t.addRow({Table::fmtBytes(static_cast<double>(off)),
-                      Table::fmtPct(bs.sparsity(ElemType::F32)),
-                      Table::fmt(bs.ratio(), 2) + "x"});
+        for (const BlockStat &b : blocks) {
+            t.addRow({Table::fmtBytes(static_cast<double>(b.offset)),
+                      Table::fmtPct(b.sparsity),
+                      Table::fmt(b.ratio, 2) + "x"});
         }
         t.print(std::cout);
     }
