@@ -9,7 +9,10 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <type_traits>
+
+#include "common/check.hh"
 
 namespace zcomp {
 
@@ -80,6 +83,79 @@ insertBits(uint64_t v, int last, int first, uint64_t val)
     int nbits = last - first + 1;
     uint64_t mask = nbits >= 64 ? ~0ULL : ((1ULL << nbits) - 1);
     return (v & ~(mask << first)) | ((val & mask) << first);
+}
+
+/**
+ * Read a T from possibly-unaligned memory without violating strict
+ * aliasing. The single sanctioned type-punning primitive; raw
+ * std::memcpy punning elsewhere is a lint smell.
+ */
+template <typename T>
+inline T
+loadAs(const void *src)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    std::memcpy(&v, src, sizeof(T));
+    return v;
+}
+
+/** Write a T to possibly-unaligned memory. */
+template <typename T>
+inline void
+storeAs(void *dst, const T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(dst, &v, sizeof(T));
+}
+
+/**
+ * Bounds-checked flavor: read the T at byte offset @p off of the
+ * @p len -byte buffer at @p base.
+ */
+template <typename T>
+inline T
+loadAs(const uint8_t *base, size_t len, size_t off)
+{
+    ZCOMP_DCHECK(off + sizeof(T) <= len,
+                 "load of %zu bytes at offset %zu overruns %zu-byte buffer",
+                 sizeof(T), off, len);
+    return loadAs<T>(base + off);
+}
+
+/** Bounds-checked flavor: write the T at byte offset @p off. */
+template <typename T>
+inline void
+storeAs(uint8_t *base, size_t len, size_t off, const T &v)
+{
+    ZCOMP_DCHECK(off + sizeof(T) <= len,
+                 "store of %zu bytes at offset %zu overruns %zu-byte buffer",
+                 sizeof(T), off, len);
+    storeAs<T>(base + off, v);
+}
+
+/**
+ * Assemble @p nbytes (<= 8) little-endian bytes into a uint64_t.
+ * Used for the variable-width ZCOMP headers; byte shifts keep the
+ * result host-endianness independent.
+ */
+inline uint64_t
+loadBytesLe(const uint8_t *src, int nbytes)
+{
+    ZCOMP_DCHECK(nbytes >= 0 && nbytes <= 8, "bad field width %d", nbytes);
+    uint64_t v = 0;
+    for (int i = 0; i < nbytes; i++)
+        v |= static_cast<uint64_t>(src[i]) << (8 * i);
+    return v;
+}
+
+/** Write the low @p nbytes (<= 8) of v as little-endian bytes. */
+inline void
+storeBytesLe(uint8_t *dst, int nbytes, uint64_t v)
+{
+    ZCOMP_DCHECK(nbytes >= 0 && nbytes <= 8, "bad field width %d", nbytes);
+    for (int i = 0; i < nbytes; i++)
+        dst[i] = static_cast<uint8_t>(v >> (8 * i));
 }
 
 } // namespace zcomp

@@ -1,0 +1,25 @@
+#include "common/check.hh"
+
+#include <cstdarg>
+
+namespace zcomp {
+
+void
+checkFailedImpl(const char *file, int line, const char *cond,
+                const char *fmt, ...)
+{
+    std::string msg;
+    if (fmt) {
+        va_list ap;
+        va_start(ap, fmt);
+        msg = vformat(fmt, ap);
+        va_end(ap);
+    }
+    if (msg.empty()) {
+        panicImpl(file, line, "check failed: %s", cond);
+    } else {
+        panicImpl(file, line, "check failed: %s: %s", cond, msg.c_str());
+    }
+}
+
+} // namespace zcomp

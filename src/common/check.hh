@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Invariant-check macros layered on the panic machinery in log.hh.
+ *
+ * ZCOMP_CHECK(cond, ...)  - always-on invariant. A failure is a
+ *                           simulator bug: prints the stringified
+ *                           condition plus an optional printf-style
+ *                           message and aborts via panic. Use on cold
+ *                           paths (construction, drains, stat
+ *                           snapshots) where the cost is irrelevant.
+ * ZCOMP_DCHECK(cond, ...) - debug-only invariant for hot paths
+ *                           (per-access, per-lane). Compiles to
+ *                           nothing when NDEBUG is defined (Release /
+ *                           RelWithDebInfo): the condition is type
+ *                           checked but never evaluated, so Release
+ *                           binaries pay zero cost and produce
+ *                           bit-identical results.
+ *
+ * ZCOMP_DCHECK_ENABLED is 1 when DCHECKs are live; code that needs a
+ * debug-only helper variable can guard it with
+ * `#if ZCOMP_DCHECK_ENABLED`. Defining ZCOMP_FORCE_DCHECKS turns
+ * DCHECKs on regardless of NDEBUG (used by tests that must exercise
+ * them in every build configuration).
+ */
+
+#ifndef ZCOMP_COMMON_CHECK_HH
+#define ZCOMP_COMMON_CHECK_HH
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+/**
+ * Report a failed check and abort. @p fmt may be null when the caller
+ * supplied no message beyond the condition itself.
+ */
+[[noreturn]] void checkFailedImpl(const char *file, int line,
+                                  const char *cond,
+                                  const char *fmt = nullptr, ...)
+    __attribute__((format(printf, 4, 5)));
+
+} // namespace zcomp
+
+#if !defined(NDEBUG) || defined(ZCOMP_FORCE_DCHECKS)
+#define ZCOMP_DCHECK_ENABLED 1
+#else
+#define ZCOMP_DCHECK_ENABLED 0
+#endif
+
+/** Abort unless cond holds; optional printf-style message. */
+#define ZCOMP_CHECK(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) [[unlikely]] {                                         \
+            ::zcomp::checkFailedImpl(__FILE__, __LINE__,                    \
+                                     #cond __VA_OPT__(, ) __VA_ARGS__);     \
+        }                                                                   \
+    } while (0)
+
+#if ZCOMP_DCHECK_ENABLED
+#define ZCOMP_DCHECK(cond, ...) ZCOMP_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+/* The dead branch keeps the operands type-checked (and silences
+ * "unused variable" warnings for debug-only state) while the optimizer
+ * removes every trace of it. */
+#define ZCOMP_DCHECK(cond, ...)                                             \
+    do {                                                                    \
+        if (false) {                                                        \
+            ZCOMP_CHECK(cond __VA_OPT__(, ) __VA_ARGS__);                   \
+        }                                                                   \
+    } while (0)
+#endif
+
+#endif // ZCOMP_COMMON_CHECK_HH

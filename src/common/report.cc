@@ -157,11 +157,12 @@ RunReport::enableGlobal(const std::string &path,
                         std::vector<std::string> argv)
 {
     RunReport *prev = globalReport.exchange(
-        new RunReport(path, title, std::move(argv)),
+        new RunReport(path, title,  // zcomp-lint: allow(raw-new)
+                      std::move(argv)),
         std::memory_order_acq_rel);
     if (prev) {
         prev->write();
-        delete prev;
+        delete prev;    // zcomp-lint: allow(raw-new)
     }
 }
 
@@ -172,7 +173,7 @@ RunReport::finishGlobal()
         globalReport.exchange(nullptr, std::memory_order_acq_rel);
     if (r) {
         r->write();
-        delete r;
+        delete r;       // zcomp-lint: allow(raw-new)
     }
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/check.hh"
 #include "common/trace_writer.hh"
 
 namespace zcomp {
@@ -38,6 +39,11 @@ ThreadPool::enqueue(std::function<void()> fn)
 {
     {
         std::lock_guard<std::mutex> lk(mu_);
+        // A task enqueued after shutdown began may never run: the
+        // workers exit once the pre-stop queue drains, leaving the
+        // task's future waiting forever. Fail loudly instead of
+        // hanging the caller.
+        ZCOMP_CHECK(!stop_, "task submitted to a stopped pool");
         queue_.push_back(std::move(fn));
     }
     cv_.notify_one();

@@ -42,6 +42,14 @@ class ThreadPool
   public:
     /** @param jobs total parallelism; clamped to >= 1. */
     explicit ThreadPool(int jobs);
+
+    /**
+     * Destruction drains: tasks already queued still run to
+     * completion (on the workers, as they shut down) and their
+     * futures are satisfied - including exceptional results. Only
+     * submitting *new* work during/after shutdown is an error, and
+     * panics rather than leaving a future forever unready.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;

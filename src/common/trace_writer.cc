@@ -254,12 +254,12 @@ TraceWriter::global()
 void
 TraceWriter::enableGlobal(const std::string &path)
 {
-    TraceWriter *prev =
+    TraceWriter *prev =                 // zcomp-lint: allow(raw-new)
         globalWriter.exchange(new TraceWriter(path),
                               std::memory_order_acq_rel);
     if (prev) {
         prev->finish();
-        delete prev;
+        delete prev;    // zcomp-lint: allow(raw-new)
     }
 }
 
@@ -270,7 +270,7 @@ TraceWriter::finishGlobal()
         globalWriter.exchange(nullptr, std::memory_order_acq_rel);
     if (w) {
         w->finish();
-        delete w;
+        delete w;       // zcomp-lint: allow(raw-new)
     }
 }
 

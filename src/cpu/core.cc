@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/log.hh"
 
 namespace zcomp {
@@ -48,6 +49,8 @@ CoreModel::syncTo(double t)
 void
 CoreModel::execOp(const TraceOp &op)
 {
+    ZCOMP_DCHECK(op.stream < maxStreams, "stream id %d out of range",
+                 op.stream);
     double t = time_;
 
     // Issue cost.
@@ -96,6 +99,10 @@ CoreModel::execOp(const TraceOp &op)
                 t = c;
             }
         }
+        ZCOMP_DCHECK(static_cast<int>(outstanding_.size()) <
+                         cfg_.core.mshrs,
+                     "MSHR stall loop left %zu of %d slots busy",
+                     outstanding_.size(), cfg_.core.mshrs);
         AccessResult r = mem_.access(id_, op.addr, op.bytes, false, t,
                                      op.pc);
         double completion = t + r.latency;
@@ -116,12 +123,20 @@ CoreModel::execOp(const TraceOp &op)
             }
         }
         storeQ_.push(t + r.latency);
+        ZCOMP_DCHECK(static_cast<int>(storeQ_.size()) <=
+                         cfg_.core.storeBuffer,
+                     "store buffer overfilled: %zu of %d entries",
+                     storeQ_.size(), cfg_.core.storeBuffer);
         // The next compressed store address depends only on the logic
         // stage of this instruction, not on the store completing.
         if (op.stream >= 0)
             streamReady_[op.stream] = t + op.chainLat;
     }
 
+    // The local clock only moves forward: every stall above advanced
+    // t, never rewound it.
+    ZCOMP_DCHECK(t >= time_, "core %d clock went backwards: %f < %f",
+                 id_, t, time_);
     time_ = t;
 }
 
@@ -141,6 +156,10 @@ CoreModel::drain()
         breakdown_.memory += end - time_;
         time_ = end;
     }
+    // A finished phase leaves no in-flight misses or buffered stores.
+    ZCOMP_CHECK(outstanding_.empty() && storeQ_.empty(),
+                "core %d drain left %zu misses and %zu stores pending",
+                id_, outstanding_.size(), storeQ_.size());
 }
 
 } // namespace zcomp

@@ -16,6 +16,11 @@ Tensor::Tensor(VSpace &vs, const std::string &name, TensorShape shape,
                AllocClass cls)
     : shape_(shape)
 {
+    // Each dimension must be positive: a negative pair would slip
+    // past an elems()-only test with a positive product.
+    ZCOMP_CHECK(shape.n > 0 && shape.c > 0 && shape.h > 0 && shape.w > 0,
+                "tensor %s has invalid shape %s", name.c_str(),
+                shape.str().c_str());
     fatal_if(shape.elems() == 0, "tensor %s has zero elements",
              name.c_str());
     buf_ = &vs.alloc(name, shape.bytes(), cls);

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "common/check.hh"
 #include "mem/vspace.hh"
 
 namespace zcomp {
@@ -68,7 +69,14 @@ class Tensor
     }
 
     /** Simulated virtual address of element offset. */
-    Addr addrAt(size_t elem_off) const { return buf_->addrAt(elem_off * 4); }
+    Addr
+    addrAt(size_t elem_off) const
+    {
+        ZCOMP_DCHECK(elem_off < elems(),
+                     "element offset %zu outside %zu-element tensor",
+                     elem_off, elems());
+        return buf_->addrAt(elem_off * 4);
+    }
 
     const std::string &name() const { return buf_->name; }
     AllocClass allocClass() const { return buf_->cls; }
@@ -83,6 +91,11 @@ class Tensor
     size_t
     idx(int n, int c, int h, int w) const
     {
+        ZCOMP_DCHECK(n >= 0 && n < shape_.n && c >= 0 && c < shape_.c &&
+                         h >= 0 && h < shape_.h && w >= 0 &&
+                         w < shape_.w,
+                     "index (%d, %d, %d, %d) outside shape %s", n, c, h,
+                     w, shape_.str().c_str());
         return ((static_cast<size_t>(n) * shape_.c + c) * shape_.h + h) *
                    shape_.w +
                w;

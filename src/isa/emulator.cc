@@ -1,8 +1,7 @@
 #include "isa/emulator.hh"
 
-#include <cstring>
-
 #include "common/bitops.hh"
+#include "common/check.hh"
 #include "common/log.hh"
 
 namespace zcomp {
@@ -52,6 +51,10 @@ ZcompEmulator::exec(const ZcompInstr &instr)
             uint8_t *dst = translate(data_ptr, 64);
             uint8_t *hdr = translate(hdr_ptr, static_cast<size_t>(hb));
             r = zcompsSeparate(src, instr.etype, instr.ccf, dst, hdr);
+            // Header round-trip: the bits just stored must decode to
+            // the header the compression computed.
+            ZCOMP_DCHECK(loadBytesLe(hdr, hb) == r.header,
+                         "stored header does not round-trip");
             data_ptr += static_cast<uint64_t>(r.dataBytes);
             hdr_ptr += static_cast<uint64_t>(hb);
         } else {
@@ -59,6 +62,8 @@ ZcompEmulator::exec(const ZcompInstr &instr)
                 data_ptr,
                 static_cast<size_t>(maxCompressedBytes(instr.etype)));
             r = zcompsInterleaved(src, instr.etype, instr.ccf, dst);
+            ZCOMP_DCHECK(loadBytesLe(dst, hb) == r.header,
+                         "stored header does not round-trip");
             data_ptr += static_cast<uint64_t>(r.totalBytes);
         }
     } else {
@@ -68,23 +73,25 @@ ZcompEmulator::exec(const ZcompInstr &instr)
             const uint8_t *hdr =
                 translate(hdr_ptr, static_cast<size_t>(hb));
             // Peek the header to know how much payload to map.
-            uint64_t header = 0;
-            std::memcpy(&header, hdr, static_cast<size_t>(hb));
+            uint64_t header = loadBytesLe(hdr, hb);
             int payload = popcount64(header) * elemBytes(instr.etype);
             const uint8_t *src =
                 translate(data_ptr, static_cast<size_t>(payload));
             r = zcomplSeparate(src, hdr, instr.etype, dst);
+            ZCOMP_DCHECK(r.header == header && r.dataBytes == payload,
+                         "decoded header disagrees with the peek");
             data_ptr += static_cast<uint64_t>(r.dataBytes);
             hdr_ptr += static_cast<uint64_t>(hb);
         } else {
             const uint8_t *hdr_probe =
                 translate(data_ptr, static_cast<size_t>(hb));
-            uint64_t header = 0;
-            std::memcpy(&header, hdr_probe, static_cast<size_t>(hb));
+            uint64_t header = loadBytesLe(hdr_probe, hb);
             int total = hb + popcount64(header) * elemBytes(instr.etype);
             const uint8_t *src =
                 translate(data_ptr, static_cast<size_t>(total));
             r = zcomplInterleaved(src, instr.etype, dst);
+            ZCOMP_DCHECK(r.header == header && r.totalBytes == total,
+                         "decoded header disagrees with the peek");
             data_ptr += static_cast<uint64_t>(r.totalBytes);
         }
     }

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/bitops.hh"
+
 namespace zcomp {
 
 /** 512-bit vector register value (64 bytes). */
@@ -47,10 +49,8 @@ struct Vec512
     T
     lane(int i) const
     {
-        T v;
-        std::memcpy(&v, bytes + static_cast<size_t>(i) * sizeof(T),
-                    sizeof(T));
-        return v;
+        return loadAs<T>(bytes, sizeof(bytes),
+                         static_cast<size_t>(i) * sizeof(T));
     }
 
     /** Typed lane write. */
@@ -58,8 +58,8 @@ struct Vec512
     void
     setLane(int i, T v)
     {
-        std::memcpy(bytes + static_cast<size_t>(i) * sizeof(T), &v,
-                    sizeof(T));
+        storeAs<T>(bytes, sizeof(bytes),
+                   static_cast<size_t>(i) * sizeof(T), v);
     }
 
     bool

@@ -1,8 +1,7 @@
 #include "isa/zcomp_isa.hh"
 
-#include <cstring>
-
 #include "common/bitops.hh"
+#include "common/check.hh"
 
 namespace zcomp {
 
@@ -10,10 +9,8 @@ uint64_t
 laneRaw(const Vec512 &v, ElemType t, int i)
 {
     const int eb = elemBytes(t);
-    uint64_t raw = 0;
-    std::memcpy(&raw, v.bytes + static_cast<size_t>(i) * eb,
-                static_cast<size_t>(eb));
-    return raw;
+    ZCOMP_DCHECK(i >= 0 && i < lanesPerVec(t), "lane %d out of range", i);
+    return loadBytesLe(v.bytes + static_cast<size_t>(i) * eb, eb);
 }
 
 uint64_t
@@ -39,9 +36,8 @@ packLanes(const Vec512 &src, ElemType t, uint64_t header, uint8_t *dst)
     int out = 0;
     for (int i = 0; i < lanes; i++) {
         if ((header >> i) & 1) {
-            std::memcpy(dst + static_cast<size_t>(out) * eb,
-                        src.bytes + static_cast<size_t>(i) * eb,
-                        static_cast<size_t>(eb));
+            storeBytesLe(dst + static_cast<size_t>(out) * eb, eb,
+                         laneRaw(src, t, i));
             out++;
         }
     }
@@ -59,9 +55,10 @@ unpackLanes(const uint8_t *payload, ElemType t, uint64_t header,
     int in = 0;
     for (int i = 0; i < lanes; i++) {
         if ((header >> i) & 1) {
-            std::memcpy(out.bytes + static_cast<size_t>(i) * eb,
-                        payload + static_cast<size_t>(in) * eb,
-                        static_cast<size_t>(eb));
+            storeBytesLe(out.bytes + static_cast<size_t>(i) * eb, eb,
+                         loadBytesLe(payload +
+                                         static_cast<size_t>(in) * eb,
+                                     eb));
             in++;
         }
     }
@@ -71,16 +68,22 @@ unpackLanes(const uint8_t *payload, ElemType t, uint64_t header,
 uint64_t
 readHeader(const uint8_t *src, ElemType t)
 {
-    uint64_t header = 0;
-    std::memcpy(&header, src, static_cast<size_t>(headerBytes(t)));
-    return header;
+    return loadBytesLe(src, headerBytes(t));
 }
 
 /** Write headerBytes(t) little-endian header bits to dst. */
 void
 writeHeader(uint8_t *dst, ElemType t, uint64_t header)
 {
-    std::memcpy(dst, &header, static_cast<size_t>(headerBytes(t)));
+    storeBytesLe(dst, headerBytes(t), header);
+}
+
+/** A header may only select lanes the element type actually has. */
+bool
+headerInRange(uint64_t header, ElemType t)
+{
+    const int lanes = lanesPerVec(t);
+    return lanes >= 64 || (header >> lanes) == 0;
 }
 
 } // namespace
@@ -94,6 +97,13 @@ zcompsInterleaved(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst)
     writeHeader(dst, t, r.header);
     r.dataBytes = packLanes(src, t, r.header, dst + headerBytes(t));
     r.totalBytes = r.dataBytes + headerBytes(t);
+    ZCOMP_DCHECK(readHeader(dst, t) == r.header,
+                 "header round-trip mismatch");
+    ZCOMP_DCHECK(r.dataBytes == r.nnz * elemBytes(t),
+                 "payload %d != %d lanes * %d B", r.dataBytes, r.nnz,
+                 elemBytes(t));
+    ZCOMP_DCHECK(r.totalBytes <= maxCompressedBytes(t),
+                 "compressed vector overflows worst case");
     return r;
 }
 
@@ -107,6 +117,9 @@ zcompsSeparate(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst,
     writeHeader(hdr, t, r.header);
     r.dataBytes = packLanes(src, t, r.header, dst);
     r.totalBytes = r.dataBytes;
+    ZCOMP_DCHECK(readHeader(hdr, t) == r.header,
+                 "header round-trip mismatch");
+    ZCOMP_DCHECK(r.dataBytes <= 64, "payload exceeds a full vector");
     return r;
 }
 
@@ -115,10 +128,16 @@ zcomplInterleaved(const uint8_t *src, ElemType t, Vec512 &out)
 {
     ZcompResult r;
     r.header = readHeader(src, t);
+    ZCOMP_DCHECK(headerInRange(r.header, t),
+                 "header selects nonexistent lanes");
     r.nnz = popcount64(r.header);
     r.dataBytes = r.nnz * elemBytes(t);
     r.totalBytes = r.dataBytes + headerBytes(t);
     unpackLanes(src + headerBytes(t), t, r.header, out);
+    // Dropped lanes must expand to exact zeros: the expanded vector's
+    // nonzero-lane map is a subset of the header.
+    ZCOMP_DCHECK((computeHeader(out, t, Ccf::EQZ) & ~r.header) == 0,
+                 "dropped lane expanded to a nonzero value");
     return r;
 }
 
@@ -128,10 +147,14 @@ zcomplSeparate(const uint8_t *src, const uint8_t *hdr, ElemType t,
 {
     ZcompResult r;
     r.header = readHeader(hdr, t);
+    ZCOMP_DCHECK(headerInRange(r.header, t),
+                 "header selects nonexistent lanes");
     r.nnz = popcount64(r.header);
     r.dataBytes = r.nnz * elemBytes(t);
     r.totalBytes = r.dataBytes;
     unpackLanes(src, t, r.header, out);
+    ZCOMP_DCHECK((computeHeader(out, t, Ccf::EQZ) & ~r.header) == 0,
+                 "dropped lane expanded to a nonzero value");
     return r;
 }
 

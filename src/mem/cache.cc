@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include "common/check.hh"
 #include "common/log.hh"
 
 namespace zcomp {
@@ -13,6 +14,9 @@ Cache::Cache(std::string name, const CacheConfig &cfg, bool directory)
              "cache %s: %llu lines not divisible by associativity %d",
              name_.c_str(), (unsigned long long)num_lines, cfg.assoc);
     numSets_ = static_cast<int>(num_lines / cfg.assoc);
+    ZCOMP_CHECK(numSets_ > 0 && assoc_ > 0,
+                "cache %s: degenerate geometry %d sets x %d ways",
+                name_.c_str(), numSets_, assoc_);
     lines_.resize(num_lines);
     repl_ = ReplacementPolicy::create(cfg.repl, numSets_, assoc_);
 }
@@ -105,6 +109,9 @@ Cache::insert(Addr line, bool dirty, bool is_prefetch, double ready_at)
         }
         if (way < 0) {
             way = repl_->victim(set);
+            ZCOMP_DCHECK(way >= 0 && way < assoc_,
+                         "cache %s: replacement chose bad way %d",
+                         name_.c_str(), way);
             Line &v = lines_[base + way];
             victim.valid = true;
             victim.dirty = v.dirty;
@@ -135,6 +142,13 @@ Cache::insert(Addr line, bool dirty, bool is_prefetch, double ready_at)
             l.prefetched = false;
         }
     }
+    // Fill postconditions: the line is resident, and any victim left
+    // its set for good (it cannot be the line just inserted).
+    ZCOMP_DCHECK(contains(line), "cache %s: inserted line not resident",
+                 name_.c_str());
+    ZCOMP_DCHECK(!victim.valid || victim.addr != line,
+                 "cache %s: evicted the line being filled",
+                 name_.c_str());
     return victim;
 }
 

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
+
 namespace zcomp {
 
 Dram::Dram(const DramConfig &cfg, double freq_ghz) : cfg_(cfg)
 {
+    ZCOMP_CHECK(cfg.channels > 0 && cfg.interleaveBytes > 0 &&
+                    cfg.totalBandwidthGBps > 0 && freq_ghz > 0,
+                "degenerate DRAM config");
     idleLatency_ = cfg.latencyNs * freq_ghz;
     double total_bytes_per_cycle = cfg.totalBandwidthGBps / freq_ghz;
     double per_channel = total_bytes_per_cycle / cfg.channels;
@@ -30,7 +35,9 @@ Dram::backlog(Addr line, double now) const
 double
 Dram::access(Addr line, bool is_write, double now)
 {
+    ZCOMP_DCHECK(now >= 0.0, "access at negative time %f", now);
     auto &busy = busyUntil_[static_cast<size_t>(channelOf(line))];
+    [[maybe_unused]] const double busy_before = busy;
     if (is_write) {
         bytesWritten += lineBytes;
         // Writes are posted: the requester never waits for them, and
@@ -46,6 +53,8 @@ Dram::access(Addr line, bool is_write, double now)
             double start = std::max(now, busy);
             busy = start + cyclesPerLine_;
             busyAccum_ += cyclesPerLine_;
+            ZCOMP_DCHECK(busy >= busy_before,
+                         "channel busy-until went backwards");
             return busy - now;
         }
         busyAccum_ += cyclesPerLine_;
@@ -56,6 +65,12 @@ Dram::access(Addr line, bool is_write, double now)
     busy = finish;
     busyAccum_ += cyclesPerLine_;
     bytesRead += lineBytes;
+    // Queue-drain sanity: a read is never served before the channel
+    // frees up, and always pays at least the idle latency.
+    // Exact in FP: start = max(now, busy) and finish = start + c with
+    // c > 0. (finish - now >= c can round false for large now.)
+    ZCOMP_DCHECK(busy >= busy_before && start >= now && finish >= start,
+                 "channel busy-until went backwards");
     return (finish - now) + idleLatency_;
 }
 

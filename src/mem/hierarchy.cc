@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/log.hh"
 
 namespace zcomp {
@@ -59,6 +60,9 @@ MemoryHierarchy::access(int core, Addr addr, uint32_t bytes,
     Addr line = lineAddr(addr);
     for (uint64_t i = 0; i < nlines; i++, line += lineBytes) {
         AccessResult r = accessLine(core, line, is_write, now, pc);
+        ZCOMP_DCHECK(r.latency >= 0.0 && r.level >= 1 && r.level <= 4,
+                     "bad access result: latency %f level %d",
+                     r.latency, r.level);
         result.latency = std::max(result.latency,
                                   r.latency + static_cast<double>(i));
         result.level = std::max(result.level, r.level);
@@ -70,6 +74,8 @@ AccessResult
 MemoryHierarchy::accessLine(int core, Addr line, bool is_write,
                             double now, uint32_t pc)
 {
+    ZCOMP_DCHECK(line % lineBytes == 0, "unaligned line address 0x%llx",
+                 static_cast<unsigned long long>(line));
     auto uc = static_cast<size_t>(core);
     AccessResult res;
 
@@ -206,6 +212,7 @@ MemoryHierarchy::insertL2(int core, Addr line, bool prefetch, double now,
             // unless it was already evicted - then it goes to DRAM.
             l2L3Bytes_ += lineBytes;
             if (l3_->contains(v.addr)) {
+                l3WbProbes_++;
                 l3_->access(v.addr, true);
             } else {
                 dram_.access(v.addr, true, now);
@@ -301,9 +308,103 @@ MemoryHierarchy::runL1Prefetch(int core, Addr line, uint32_t pc,
     }
 }
 
+void
+MemoryHierarchy::checkInvariants() const
+{
+    uint64_t l1_misses = 0, l1_writebacks = 0;
+    uint64_t l2_accesses = 0, l2_misses = 0, l2_pref_fills = 0;
+    for (int c = 0; c < cfg_.numCores; c++) {
+        auto uc = static_cast<size_t>(c);
+        l1_misses += l1_[uc]->misses;
+        l1_writebacks += l1_[uc]->writebacks;
+        l2_accesses += l2_[uc]->hits + l2_[uc]->misses;
+        l2_misses += l2_[uc]->misses;
+        l2_pref_fills += l2_[uc]->prefetchFills;
+    }
+
+    // Level-N misses + writebacks == level-N+1 accesses: every L2
+    // lookup is caused by an L1 demand miss or an L1 dirty writeback.
+    ZCOMP_CHECK(l2_accesses == l1_misses + l1_writebacks,
+                "L1->L2 conservation: %llu L2 accesses vs %llu misses "
+                "+ %llu writebacks",
+                (unsigned long long)l2_accesses,
+                (unsigned long long)l1_misses,
+                (unsigned long long)l1_writebacks);
+
+    // Demand misses leaving the private caches are counted twice,
+    // once per L2 and once at the hierarchy; they must agree.
+    ZCOMP_CHECK(l2_misses == l2DemandMissesBelow_,
+                "L2 miss accounting drifted: %llu vs %llu",
+                (unsigned long long)l2_misses,
+                (unsigned long long)l2DemandMissesBelow_);
+
+    // Every L3 lookup is a demand L2 miss, a prefetch fill probe, or
+    // an L2 dirty writeback landing in the (inclusive) L3.
+    ZCOMP_CHECK(l3_->hits + l3_->misses ==
+                    l2DemandMissesBelow_ + l2PrefFilled_ + l3WbProbes_,
+                "L2->L3 conservation: %llu L3 accesses vs %llu + %llu "
+                "+ %llu",
+                (unsigned long long)(l3_->hits + l3_->misses),
+                (unsigned long long)l2DemandMissesBelow_,
+                (unsigned long long)l2PrefFilled_,
+                (unsigned long long)l3WbProbes_);
+
+    // Bytes entering or leaving DRAM are exactly the bytes accounted
+    // on the L3<->DRAM link.
+    ZCOMP_CHECK(dram_.bytesRead + dram_.bytesWritten == l3DramBytes_,
+                "L3->DRAM conservation: %llu DRAM bytes vs %llu link "
+                "bytes",
+                (unsigned long long)(dram_.bytesRead +
+                                     dram_.bytesWritten),
+                (unsigned long long)l3DramBytes_);
+
+    // Hierarchy-side and cache-side prefetch fill counts must agree.
+    ZCOMP_CHECK(l2_pref_fills == l2PrefFilled_,
+                "prefetch fill accounting drifted: %llu vs %llu",
+                (unsigned long long)l2_pref_fills,
+                (unsigned long long)l2PrefFilled_);
+
+    // Structural sanity.
+    ZCOMP_CHECK(l1L2Bytes_ % lineBytes == 0 &&
+                    l2L3Bytes_ % lineBytes == 0 &&
+                    l3DramBytes_ % lineBytes == 0,
+                "link traffic is not line-granular");
+    ZCOMP_CHECK(nocHops_ % 2 == 0,
+                "round-trip NoC hop total %llu is odd",
+                (unsigned long long)nocHops_);
+
+    auto check_cache = [](const Cache &c) {
+        ZCOMP_CHECK(c.writebacks <= c.evictions,
+                    "cache %s: %llu writebacks exceed %llu evictions",
+                    c.name().c_str(), (unsigned long long)c.writebacks,
+                    (unsigned long long)c.evictions);
+        uint64_t capacity = static_cast<uint64_t>(c.numSets()) *
+                            static_cast<uint64_t>(c.assoc());
+        // Each counted fill resolves at most once as useful or unused;
+        // the capacity slack covers still-flagged lines that survived
+        // a resetStats() (their fill predates the counter epoch).
+        ZCOMP_CHECK(c.prefetchUseful + c.prefetchUnused <=
+                        c.prefetchFills + capacity,
+                    "cache %s: prefetch outcome accounting drifted",
+                    c.name().c_str());
+        // Debug only: the occupancy probe walks every line, too slow
+        // for the per-phase snapshot() calls of Release studies.
+        ZCOMP_DCHECK(c.validLines() <= capacity,
+                     "cache %s: occupancy exceeds capacity",
+                     c.name().c_str());
+    };
+    for (int c = 0; c < cfg_.numCores; c++) {
+        auto uc = static_cast<size_t>(c);
+        check_cache(*l1_[uc]);
+        check_cache(*l2_[uc]);
+    }
+    check_cache(*l3_);
+}
+
 HierSnapshot
 MemoryHierarchy::snapshot() const
 {
+    checkInvariants();
     HierSnapshot s;
     s.coreL1Bytes = coreL1Bytes_;
     s.l1L2Bytes = l1L2Bytes_;
@@ -382,6 +483,7 @@ MemoryHierarchy::resetStats()
     l3DramBytes_ = 0;
     l2DemandMissesBelow_ = 0;
     l2PrefFilled_ = 0;
+    l3WbProbes_ = 0;
     nocHops_ = 0;
     for (int c = 0; c < cfg_.numCores; c++) {
         auto uc = static_cast<size_t>(c);

@@ -95,6 +95,21 @@ class MemoryHierarchy
     /** Current counter snapshot. */
     HierSnapshot snapshot() const;
 
+    /**
+     * Verify the cross-level accounting identities (always-on checks;
+     * aborts on violation). Conservation laws enforced:
+     *  - L2 accesses  == L1 demand misses + L1 dirty writebacks
+     *  - L2 misses    == demand misses counted below L2
+     *  - L3 accesses  == L2 demand misses + prefetch fills
+     *                    + L2 writeback probes
+     *  - DRAM bytes   == bytes accounted on the L3<->DRAM link
+     * plus structural sanity (line-granular link counters, even NoC
+     * hop totals, per-cache prefetch/writeback bounds, occupancy
+     * within capacity). Called from snapshot(), so every stats dump
+     * re-validates the run; tests may call it directly.
+     */
+    void checkInvariants() const;
+
     /** Populate a gem5-style stats report under the given group. */
     void dumpStats(StatGroup &group) const;
 
@@ -152,6 +167,7 @@ class MemoryHierarchy
     uint64_t l3DramBytes_ = 0;
     uint64_t l2DemandMissesBelow_ = 0;
     uint64_t l2PrefFilled_ = 0;     //!< prefetch fills actually performed
+    uint64_t l3WbProbes_ = 0;       //!< L2 writebacks probing the L3
     uint64_t nocHops_ = 0;          //!< round-trip mesh hops traversed
 
     /**

@@ -2,20 +2,35 @@
 
 #include <cstdlib>
 
+#include "common/check.hh"
+
 namespace zcomp {
 
 Mesh2D::Mesh2D(const NocConfig &cfg) : cfg_(cfg)
 {
+    ZCOMP_CHECK(cfg.meshX > 0 && cfg.meshY > 0 && cfg.hopCycles >= 0,
+                "degenerate mesh config %dx%d", cfg.meshX, cfg.meshY);
 }
 
 int
 Mesh2D::hops(int tile_a, int tile_b) const
 {
+    ZCOMP_DCHECK(tile_a >= 0 && tile_a < numTiles() && tile_b >= 0 &&
+                     tile_b < numTiles(),
+                 "tiles (%d, %d) outside the %dx%d mesh", tile_a,
+                 tile_b, cfg_.meshX, cfg_.meshY);
     int ax = tile_a % cfg_.meshX;
     int ay = tile_a / cfg_.meshX;
     int bx = tile_b % cfg_.meshX;
     int by = tile_b / cfg_.meshX;
-    return std::abs(ax - bx) + std::abs(ay - by);
+    int h = std::abs(ax - bx) + std::abs(ay - by);
+    // XY-routing hop count: symmetric, zero only on the same tile,
+    // and bounded by the mesh diameter.
+    ZCOMP_DCHECK(h <= (cfg_.meshX - 1) + (cfg_.meshY - 1),
+                 "hop count %d exceeds the mesh diameter", h);
+    ZCOMP_DCHECK((h == 0) == (tile_a == tile_b),
+                 "zero hops between distinct tiles");
+    return h;
 }
 
 int

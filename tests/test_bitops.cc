@@ -66,6 +66,46 @@ TEST(Bitops, BitsExtractInsert)
     EXPECT_EQ(w, 0x12CDu);
 }
 
+TEST(Bitops, LoadStoreAsRoundTripsUnaligned)
+{
+    uint8_t buf[16] = {};
+    // Offset 1 is misaligned for every multi-byte type.
+    storeAs<uint32_t>(buf + 1, 0xDEADBEEFu);
+    EXPECT_EQ(loadAs<uint32_t>(buf + 1), 0xDEADBEEFu);
+    storeAs<float>(buf + 3, -1.5f);
+    EXPECT_EQ(loadAs<float>(buf + 3), -1.5f);
+
+    // Bounds-checked flavor, including the last valid offset.
+    storeAs<uint64_t>(buf, sizeof(buf), 8, 0x0123456789ABCDEFull);
+    EXPECT_EQ(loadAs<uint64_t>(buf, sizeof(buf), 8),
+              0x0123456789ABCDEFull);
+}
+
+TEST(Bitops, BytesLeRoundTripAllWidths)
+{
+    for (int nbytes = 0; nbytes <= 8; nbytes++) {
+        uint64_t mask =
+            nbytes == 8 ? ~0ull : (1ull << (8 * nbytes)) - 1;
+        uint64_t v = 0xF1E2D3C4B5A69788ull & mask;
+        uint8_t buf[8] = {};
+        storeBytesLe(buf, nbytes, v);
+        EXPECT_EQ(loadBytesLe(buf, nbytes), v) << "nbytes=" << nbytes;
+    }
+    // Byte order is little-endian regardless of host.
+    uint8_t two[2] = {0x34, 0x12};
+    EXPECT_EQ(loadBytesLe(two, 2), 0x1234u);
+}
+
+#if ZCOMP_DCHECK_ENABLED
+TEST(BitopsDeathTest, BoundsCheckedAccessorsCatchOverruns)
+{
+    uint8_t buf[8] = {};
+    EXPECT_DEATH(loadAs<uint32_t>(buf, sizeof(buf), 5), "overruns");
+    EXPECT_DEATH(storeAs<uint32_t>(buf, sizeof(buf), 5, 1u), "overruns");
+    EXPECT_DEATH(loadBytesLe(buf, 9), "bad field width");
+}
+#endif
+
 TEST(BitopsProperty, InsertThenExtractRoundTrips)
 {
     for (int first = 0; first < 60; first += 7) {

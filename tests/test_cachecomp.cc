@@ -72,6 +72,64 @@ TEST(Fpc, IncompressibleLineCapsAtRawSize)
     EXPECT_EQ(fpcLineBytes(line.data()), 64);
 }
 
+TEST(Fpc, ClassificationBoundaries)
+{
+    // Sign-extension class edges, including the negative end where an
+    // off-by-one in the range test would misclassify.
+    EXPECT_EQ(fpcClassify(0xFFFFFFF8u), FpcPattern::SignExt4);      // -8
+    EXPECT_EQ(fpcClassify(0xFFFFFFF7u), FpcPattern::SignExt8);      // -9
+    EXPECT_EQ(fpcClassify(7), FpcPattern::SignExt4);
+    EXPECT_EQ(fpcClassify(8), FpcPattern::SignExt8);
+    EXPECT_EQ(fpcClassify(127), FpcPattern::SignExt8);
+    EXPECT_EQ(fpcClassify(128), FpcPattern::SignExt16);
+    EXPECT_EQ(fpcClassify(0xFFFFFF80u), FpcPattern::SignExt8);      // -128
+    EXPECT_EQ(fpcClassify(0xFFFFFF7Fu), FpcPattern::SignExt16);     // -129
+    EXPECT_EQ(fpcClassify(32767), FpcPattern::SignExt16);
+    EXPECT_EQ(fpcClassify(0xFFFF8000u), FpcPattern::SignExt16);     // -32768
+    // 32768 overflows SignExt16 and its low half 0x8000 does not fit
+    // an 8-bit sign extension, so nothing catches it.
+    EXPECT_EQ(fpcClassify(32768), FpcPattern::Uncompressed);
+}
+
+TEST(Fpc, ZeroRunSplitsAtEight)
+{
+    // Eight zeros fill one run; the ninth opens a second one.
+    std::vector<uint8_t> line(64, 0);
+    uint32_t marker = 0x3F8CC0DEu;      // Uncompressed class
+    std::memcpy(line.data() + 9 * 4, &marker, 4);
+    // Run of 8 (6 bits) + run of 1 (6 bits) + marker (35 bits)
+    // + run of 6 (6 bits).
+    EXPECT_EQ(fpcLineBits(line.data()), 6 + 6 + 35 + 6);
+}
+
+TEST(Fpc, MaxSizeEncodingCapsAtRawLine)
+{
+    // Sixteen uncompressible words want 16 * (3 + 32) = 560 bits
+    // (70 B) - more than the raw line; the byte size must cap at 64.
+    std::vector<uint8_t> line(64);
+    for (int w = 0; w < 16; w++) {
+        uint32_t word = 0x3F8CC0DEu + static_cast<uint32_t>(w) * 0x01010101u;
+        ASSERT_EQ(fpcClassify(word), FpcPattern::Uncompressed);
+        std::memcpy(line.data() + w * 4, &word, 4);
+    }
+    EXPECT_EQ(fpcLineBits(line.data()), 560);
+    EXPECT_EQ(fpcLineBytes(line.data()), 64);
+}
+
+TEST(Fpc, AlternatingSignFloats)
+{
+    // +-1.0f alternating: every word is ZeroPaddedHalf (mantissa low
+    // half zero), 16 * (3 + 16) = 304 bits -> 38 bytes. The sign flip
+    // defeats zero runs but not the significance patterns.
+    std::vector<uint8_t> line(64);
+    for (int i = 0; i < 16; i++) {
+        float v = (i % 2 == 0) ? 1.0f : -1.0f;
+        std::memcpy(line.data() + i * 4, &v, 4);
+    }
+    EXPECT_EQ(fpcLineBits(line.data()), 304);
+    EXPECT_EQ(fpcLineBytes(line.data()), 38);
+}
+
 TEST(FpcD, ZeroLineIsPrefixOnly)
 {
     auto line = lineOf({});
@@ -101,6 +159,46 @@ TEST(FpcD, PartialMatchesShareHighBytes)
         std::memcpy(line.data() + i * 4, &w, 4);
     }
     EXPECT_LT(fpcdLineBytes(line.data()), 32);
+}
+
+TEST(FpcD, AlternatingSignFloatsHitDictionary)
+{
+    // +-1.0f alternating: the first two words miss (16 payload bits
+    // each as ZeroPaddedHalf) and fill the two-entry dictionary; the
+    // remaining 14 are full 1-bit hits. 16 + 16 + 14 = 46 bits -> 6 B
+    // payload + 8 B prefix.
+    std::vector<uint8_t> line(64);
+    for (int i = 0; i < 16; i++) {
+        float v = (i % 2 == 0) ? 1.0f : -1.0f;
+        std::memcpy(line.data() + i * 4, &v, 4);
+    }
+    EXPECT_EQ(fpcdLineBytes(line.data()), fpcdPrefixBytes + 6);
+}
+
+TEST(FpcD, PartialMatchExactSize)
+{
+    // Words sharing the upper 24 bits: first word misses
+    // (ZeroPaddedHalf, 16 bits), the other 15 are partial hits at
+    // 1 + 8 bits. 16 + 15 * 9 = 151 bits -> 19 B payload + prefix.
+    std::vector<uint8_t> line(64);
+    for (int i = 0; i < 16; i++) {
+        uint32_t w = 0x3F800000u | static_cast<uint32_t>(i);
+        std::memcpy(line.data() + i * 4, &w, 4);
+    }
+    EXPECT_EQ(fpcdLineBytes(line.data()), fpcdPrefixBytes + 19);
+}
+
+TEST(FpcD, MaxSizeEncodingCapsAtRawLine)
+{
+    // Distinct uncompressible words with distinct upper-24 prefixes:
+    // no dictionary help, 16 * 32 = 512 payload bits + the 8-byte
+    // prefix would be 72 B; the line must cap at the raw 64.
+    std::vector<uint8_t> line(64);
+    for (int w = 0; w < 16; w++) {
+        uint32_t word = 0x3F8CC0DEu + static_cast<uint32_t>(w) * 0x01010101u;
+        std::memcpy(line.data() + w * 4, &word, 4);
+    }
+    EXPECT_EQ(fpcdLineBytes(line.data()), 64);
 }
 
 TEST(FpcD, RandomFloatsBarelyCompress)

@@ -1,0 +1,73 @@
+/** Tests for the ZCOMP_CHECK / ZCOMP_DCHECK invariant macros. */
+
+#include <gtest/gtest.h>
+
+#include "common/check.hh"
+
+namespace zcomp {
+namespace {
+
+TEST(Check, PassingCheckIsSilent)
+{
+    int calls = 0;
+    auto bump = [&] {
+        calls++;
+        return true;
+    };
+    ZCOMP_CHECK(bump());
+    ZCOMP_CHECK(calls == 1, "condition evaluated %d times", calls);
+}
+
+TEST(CheckDeathTest, FailureAbortsWithCondition)
+{
+    EXPECT_DEATH(ZCOMP_CHECK(1 + 1 == 3), "check failed: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, FailureFormatsMessage)
+{
+    int want = 7;
+    EXPECT_DEATH(ZCOMP_CHECK(want == 8, "want %d lanes, got %d", want, 8),
+                 "check failed: want == 8: want 7 lanes, got 8");
+}
+
+TEST(Check, DcheckMatchesBuildMode)
+{
+#if ZCOMP_DCHECK_ENABLED
+    EXPECT_DEATH(ZCOMP_DCHECK(false, "dchecks are on"), "dchecks are on");
+#else
+    // Disabled DCHECKs must not evaluate their condition...
+    int calls = 0;
+    auto bump = [&] {
+        calls++;
+        return false;
+    };
+    ZCOMP_DCHECK(bump());
+    EXPECT_EQ(calls, 0);
+#endif
+}
+
+TEST(Check, DisabledDcheckStillTypeChecks)
+{
+    // Whatever the build mode, the expression below must compile;
+    // the side effect only happens when DCHECKs are enabled.
+    int evaluated = 0;
+    ZCOMP_DCHECK([&] {
+        evaluated++;
+        return true;
+    }());
+    EXPECT_EQ(evaluated, ZCOMP_DCHECK_ENABLED ? 1 : 0);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce)
+{
+    int calls = 0;
+    auto bump = [&] {
+        calls++;
+        return true;
+    };
+    ZCOMP_CHECK(bump(), "calls=%d", calls);
+    EXPECT_EQ(calls, 1);
+}
+
+} // namespace
+} // namespace zcomp

@@ -235,6 +235,39 @@ TEST(Hierarchy, PrefetchThrottledUnderDramSaturation)
     EXPECT_LT(on, 1.3 * off);
 }
 
+TEST(Hierarchy, InvariantsHoldUnderMixedTraffic)
+{
+    // Drive reads, writes, evictions, writebacks, prefetches and
+    // cross-core sharing, then let the conservation checks (level-N
+    // misses + writebacks == level-N+1 accesses, link bytes vs DRAM
+    // bytes, ...) fire. checkInvariants() panics on violation, so
+    // reaching the end is the assertion; a couple of spot checks guard
+    // against the whole thing being vacuous.
+    ArchConfig cfg = smallCfg();
+    cfg.prefetch.l2Stream = true;
+    MemoryHierarchy mem(cfg);
+    double t = 0;
+    for (int pass = 0; pass < 3; pass++) {
+        for (Addr a = 0; a < cfg.l3.size * 2; a += 64) {
+            int core = static_cast<int>((a / 64) % 4);
+            bool write = (a / 64) % 3 == 0;
+            mem.access(core, 0x500000 + a, 64, write, t, 2);
+            t += 10.0;
+        }
+    }
+    mem.checkInvariants();
+    HierSnapshot s = mem.snapshot();    // snapshot() re-checks
+    EXPECT_GT(s.l1Misses, 0u);
+    EXPECT_GT(mem.dram().bytesWritten, 0u);
+
+    // The invariants must also hold across a stats reset (counters
+    // restart but cache contents persist).
+    mem.resetStats();
+    for (Addr a = 0; a < cfg.l3.size; a += 64)
+        mem.access(0, 0x500000 + a, 64, false, t + a, 2);
+    mem.checkInvariants();
+}
+
 TEST(Hierarchy, DumpStatsStandalone)
 {
     ArchConfig cfg = smallCfg();

@@ -53,6 +53,7 @@ TEST(StatGroup, SameNameReturnsSameCounter)
 {
     StatGroup g("top");
     Counter &a = g.addCounter("x", "");
+    // zcomp-lint: allow(stat-names)
     Counter &b = g.addCounter("x", "");
     EXPECT_EQ(&a, &b);
 }
@@ -116,6 +117,7 @@ TEST(StatGroup, LookupKindsDoNotCollide)
     // must each be found only by their own lookup.
     StatGroup g("sys");
     g.addChild("x").addCounter("inner", "").inc(3);
+    // zcomp-lint: allow(stat-names)
     g.addCounter("x", "").inc(7);
     g.addHistogram("x", "", 10, 2).sample(1);
 

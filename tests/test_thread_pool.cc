@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
@@ -119,6 +120,53 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
     for (auto &f : futs)
         f.get();
     EXPECT_EQ(total.load(), 400u);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    // Tasks already queued when the pool is torn down must still run:
+    // the workers drain the queue on shutdown, so every future is
+    // ready (not broken, not forever-pending) once the destructor
+    // returns.
+    std::atomic<int> ran{0};
+    std::vector<std::future<int>> futs;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; i++) {
+            futs.push_back(pool.submit([i, &ran] {
+                ran.fetch_add(1);
+                return i;
+            }));
+        }
+    }
+    EXPECT_EQ(ran.load(), 64);
+    for (int i = 0; i < 64; i++) {
+        ASSERT_EQ(futs[static_cast<size_t>(i)].wait_for(
+                      std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i);
+    }
+}
+
+TEST(ThreadPool, ExceptionInTaskPendingAtShutdownPropagates)
+{
+    std::future<int> f;
+    {
+        ThreadPool pool(2);
+        // Keep the workers busy so the throwing task is likely still
+        // queued when the destructor runs.
+        for (int i = 0; i < 8; i++) {
+            pool.submit([] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            });
+        }
+        f = pool.submit(
+            []() -> int { throw std::runtime_error("late boom"); });
+    }
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_THROW(f.get(), std::runtime_error);
 }
 
 TEST(ThreadPool, DefaultJobsHonoursEnvOverride)

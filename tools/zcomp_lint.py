@@ -1,0 +1,407 @@
+#!/usr/bin/env python3
+"""Project-specific static checks for the zcomp tree.
+
+Rules
+-----
+cmake-registration  every .cc/.cpp is referenced by a CMakeLists.txt
+                    (same directory or an ancestor), so sources cannot
+                    silently drop out of the build.
+header-guard        every .hh uses either #pragma once or a
+                    well-formed #ifndef/#define guard whose macro is
+                    derived from the path (ZCOMP_<DIR>_<FILE>_HH).
+using-namespace     no `using namespace` at header scope; it leaks
+                    into every includer.
+stat-names          within a file, the same receiver must not register
+                    two stats with the same name (addCounter /
+                    addHistogram) - duplicate names silently shadow
+                    each other in reports.
+raw-new             no raw `new` / `delete` outside explicitly
+                    annotated ownership-handoff sites; everything else
+                    uses containers or smart pointers.
+rng                 no rand()/srand()/std::mt19937/... - all
+                    randomness flows through common/rng.hh so studies
+                    stay reproducible and seedable.
+
+A finding on line N is suppressed by a comment
+    // zcomp-lint: allow(<rule>)
+on line N or N-1.
+
+Usage:
+    tools/zcomp_lint.py [--root DIR]     lint the tree (exit 1 on findings)
+    tools/zcomp_lint.py --self-test      run the built-in fixture tests
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+SOURCE_EXTS = (".cc", ".cpp")
+HEADER_EXTS = (".hh",)
+
+SUPPRESS_RE = re.compile(r"zcomp-lint:\s*allow\(([a-z-]+)\)")
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.read().splitlines()
+
+
+def suppressed_lines(lines, rule):
+    """1-based line numbers where `rule` findings are allowed."""
+    out = set()
+    for i, line in enumerate(lines, start=1):
+        for m in SUPPRESS_RE.finditer(line):
+            if m.group(1) == rule:
+                out.add(i)
+                out.add(i + 1)
+    return out
+
+
+def strip_comments_and_strings(lines, keep_strings=False):
+    """Blank out comments (and, unless keep_strings, string/char
+    literals), keeping line structure so findings still point at the
+    right line."""
+    text = "\n".join(lines)
+    out = []
+    i = 0
+    n = len(text)
+    state = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # inside a literal
+            if c == "\\":
+                out.append(text[i:i + 2] if keep_strings else "  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+                out.append(c)
+            elif keep_strings:
+                out.append(c)
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out).splitlines()
+
+
+def iter_files(root, exts):
+    for top in SOURCE_DIRS:
+        base = os.path.join(root, top)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d != "build"]
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+# ------------------------------------------------------------- rules
+
+
+def check_cmake_registration(root, findings):
+    for path in iter_files(root, SOURCE_EXTS):
+        name = os.path.basename(path)
+        stem = os.path.splitext(name)[0]
+        pat = re.compile(r"\b%s\b" % re.escape(stem))
+        registered = False
+        d = os.path.dirname(path)
+        while True:
+            cml = os.path.join(d, "CMakeLists.txt")
+            if os.path.isfile(cml):
+                if pat.search("\n".join(read_lines(cml))):
+                    registered = True
+                    break
+            if os.path.samefile(d, root):
+                break
+            d = os.path.dirname(d)
+        if not registered:
+            findings.append(Finding(
+                "cmake-registration", relpath(root, path), 1,
+                "%s is not referenced by any CMakeLists.txt" % name))
+
+
+def guard_macro_for(root, path):
+    rel = relpath(root, path)
+    if rel.startswith("src/"):
+        rel = rel[len("src/"):]
+    macro = re.sub(r"[^A-Za-z0-9]", "_", rel[:-len(".hh")]).upper()
+    return "ZCOMP_%s_HH" % macro
+
+
+def check_header_guard(root, findings):
+    for path in iter_files(root, HEADER_EXTS):
+        lines = read_lines(path)
+        text = "\n".join(lines)
+        if re.search(r"^\s*#\s*pragma\s+once\b", text, re.M):
+            continue
+        want = guard_macro_for(root, path)
+        m = re.search(r"^\s*#\s*ifndef\s+(\w+)", text, re.M)
+        rel = relpath(root, path)
+        if not m:
+            findings.append(Finding(
+                "header-guard", rel, 1,
+                "no #pragma once or #ifndef include guard"))
+            continue
+        got = m.group(1)
+        lineno = text[:m.start()].count("\n") + 1
+        if got != want:
+            findings.append(Finding(
+                "header-guard", rel, lineno,
+                "guard %s does not match path (want %s)" % (got, want)))
+        elif not re.search(r"^\s*#\s*define\s+%s\b" % re.escape(got),
+                           text, re.M):
+            findings.append(Finding(
+                "header-guard", rel, lineno,
+                "guard %s has no matching #define" % got))
+
+
+def check_using_namespace(root, findings):
+    for path in iter_files(root, HEADER_EXTS):
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "using-namespace")
+        for i, line in enumerate(strip_comments_and_strings(lines),
+                                 start=1):
+            if re.search(r"\busing\s+namespace\b", line) \
+                    and i not in allowed:
+                findings.append(Finding(
+                    "using-namespace", relpath(root, path), i,
+                    "using namespace in a header leaks into includers"))
+
+
+STAT_RE = re.compile(
+    r"([A-Za-z_][\w\[\]\.\->]*(?:\(\))?)\s*[\.\->]+\s*"
+    r"(addCounter|addHistogram)\s*\(\s*\"([^\"]+)\"")
+
+
+def check_stat_names(root, findings):
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "stat-names")
+        seen = {}
+        stripped = strip_comments_and_strings(lines, keep_strings=True)
+        for i, line in enumerate(stripped, start=1):
+            for m in STAT_RE.finditer(line):
+                key = (m.group(1), m.group(2), m.group(3))
+                if key in seen and i not in allowed:
+                    findings.append(Finding(
+                        "stat-names", relpath(root, path), i,
+                        "duplicate stat \"%s\" on receiver %s "
+                        "(first at line %d)"
+                        % (m.group(3), m.group(1), seen[key])))
+                seen.setdefault(key, i)
+
+
+NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
+DELETE_RE = re.compile(r"(?<![\w.=])\bdelete\b(?!\s*[;,)\]]*\s*$|\s*\[)")
+
+
+def check_raw_new(root, findings):
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        if not relpath(root, path).startswith("src/"):
+            continue        # tests/benches may allocate as they like
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "raw-new")
+        for i, line in enumerate(strip_comments_and_strings(lines),
+                                 start=1):
+            if i in allowed:
+                continue
+            # `= delete` / `= delete;` declarations are fine.
+            code = re.sub(r"=\s*delete\b", "", line)
+            if NEW_RE.search(code):
+                findings.append(Finding(
+                    "raw-new", relpath(root, path), i,
+                    "raw new; use containers/smart pointers or "
+                    "annotate the ownership handoff"))
+            elif re.search(r"\bdelete\b", code):
+                findings.append(Finding(
+                    "raw-new", relpath(root, path), i,
+                    "raw delete; use containers/smart pointers or "
+                    "annotate the ownership handoff"))
+
+
+RNG_RE = re.compile(
+    r"\b(s?rand)\s*\(|\bstd\s*::\s*(mt19937(_64)?|minstd_rand0?|"
+    r"default_random_engine|random_device)\b")
+
+
+def check_rng(root, findings):
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        rel = relpath(root, path)
+        if rel.startswith("src/common/rng."):
+            continue        # the sanctioned RNG implementation
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "rng")
+        for i, line in enumerate(strip_comments_and_strings(lines),
+                                 start=1):
+            if RNG_RE.search(line) and i not in allowed:
+                findings.append(Finding(
+                    "rng", rel, i,
+                    "unseeded/ad-hoc RNG; use common/rng.hh so runs "
+                    "stay reproducible"))
+
+
+ALL_RULES = [
+    check_cmake_registration,
+    check_header_guard,
+    check_using_namespace,
+    check_stat_names,
+    check_raw_new,
+    check_rng,
+]
+
+
+def run_lint(root):
+    findings = []
+    for rule in ALL_RULES:
+        rule(root, findings)
+    return findings
+
+
+# --------------------------------------------------------- self-test
+
+
+def write(path, content):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+def self_test():
+    """Lint a fixture tree seeded with one violation per rule and a
+    clean file; every rule must fire exactly where expected."""
+    with tempfile.TemporaryDirectory() as root:
+        write(os.path.join(root, "src", "CMakeLists.txt"),
+              "add_library(x STATIC clean.cc dup_stats.cc raw_new.cc\n"
+              "    bad_rng.cc annotated.cc)\n")
+        write(os.path.join(root, "src", "clean.cc"),
+              '#include "clean.hh"\n'
+              "// new Widget in a comment is fine\n"
+              'const char *s = "no new Widget here either";\n')
+        write(os.path.join(root, "src", "clean.hh"),
+              "#ifndef ZCOMP_CLEAN_HH\n#define ZCOMP_CLEAN_HH\n"
+              "class C { C(const C &) = delete; };\n"
+              "#endif\n")
+        write(os.path.join(root, "src", "orphan.cc"), "int x;\n")
+        write(os.path.join(root, "src", "bad_guard.hh"),
+              "#ifndef WRONG_NAME_HH\n#define WRONG_NAME_HH\n#endif\n")
+        write(os.path.join(root, "src", "no_guard.hh"), "int y;\n")
+        write(os.path.join(root, "src", "leaky.hh"),
+              "#pragma once\nusing namespace std;\n")
+        write(os.path.join(root, "src", "dup_stats.cc"),
+              'void f(G &g) {\n'
+              '    g.addCounter("hits");\n'
+              '    g.addCounter("hits");\n'
+              '    g.addHistogram("hits");\n'   # other kind: no dup
+              '}\n')
+        write(os.path.join(root, "src", "raw_new.cc"),
+              "int *p = new int(3);\n"
+              "void g(int *q) { delete q; }\n")
+        write(os.path.join(root, "src", "annotated.cc"),
+              "// zcomp-lint: allow(raw-new)\n"
+              "int *p = new int(3);\n")
+        write(os.path.join(root, "src", "bad_rng.cc"),
+              "#include <random>\n"
+              "std::mt19937 gen;\n"
+              "int r() { return rand(); }\n")
+
+        findings = run_lint(root)
+        got = {(f.rule, f.path, f.line) for f in findings}
+        want = {
+            ("cmake-registration", "src/orphan.cc", 1),
+            ("header-guard", "src/bad_guard.hh", 1),
+            ("header-guard", "src/no_guard.hh", 1),
+            ("using-namespace", "src/leaky.hh", 2),
+            ("stat-names", "src/dup_stats.cc", 3),
+            ("raw-new", "src/raw_new.cc", 1),
+            ("raw-new", "src/raw_new.cc", 2),
+            ("rng", "src/bad_rng.cc", 2),
+            ("rng", "src/bad_rng.cc", 3),
+        }
+        ok = True
+        for item in sorted(want - got):
+            print("self-test: MISSING expected finding %s:%d [%s]"
+                  % (item[1], item[2], item[0]))
+            ok = False
+        for item in sorted(got - want):
+            print("self-test: UNEXPECTED finding %s:%d [%s]"
+                  % (item[1], item[2], item[0]))
+            ok = False
+        print("self-test: %s (%d findings)"
+              % ("PASS" if ok else "FAIL", len(findings)))
+        return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: the tool's repo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in fixture tests")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = run_lint(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print("zcomp_lint: %d finding(s)" % len(findings))
+        return 1
+    print("zcomp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
