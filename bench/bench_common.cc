@@ -4,10 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
 
 #include "common/log.hh"
 #include "common/report.hh"
+#include "common/result_cache.hh"
 #include "common/stats.hh"
 #include "common/trace_writer.hh"
 
@@ -72,6 +77,44 @@ prepareNet(const StudyModel &m, bool training, uint64_t seed)
 
 namespace {
 
+/** Thrown when a cell attempt overruns its --cell-timeout budget. */
+struct CellTimeout : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Per-attempt deadline, checked cooperatively at the cell's phase
+ * boundaries (after the fault hook, after preparation, after each
+ * policy run). Cooperative checkpoints keep the timeout thread-free -
+ * no detached watchdogs to leak past a sanitizer run - at the cost of
+ * granularity: an attempt is only declared over time once the phase
+ * it is inside finishes.
+ */
+class Deadline
+{
+  public:
+    Deadline(double seconds, const std::string &what)
+        : enabled_(seconds > 0), what_(what)
+    {
+        if (enabled_)
+            at_ = Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds));
+    }
+
+    void check() const
+    {
+        if (enabled_ && Clock::now() > at_)
+            throw CellTimeout(what_ + " timed out (--cell-timeout)");
+    }
+
+  private:
+    bool enabled_;
+    std::string what_;
+    Clock::time_point at_;
+};
+
 /**
  * One (model, mode) study cell: build + functionally execute the
  * network (the preparation tensors are then shared read-only by the
@@ -81,13 +124,19 @@ namespace {
  * they share the cell's simulated address space.
  */
 StudyRow
-runStudyCell(const StudyModel &m, bool training)
+runStudyCell(const StudyModel &m, bool training, const StudyOptions &opt,
+             const StudyHarness &h, int attempt)
 {
     const char *mode = training ? "training" : "inference";
     inform("preparing %s (%s)...", modelName(m.id), mode);
     TraceWriter *tw = TraceWriter::global();
     std::string cell =
         std::string(modelName(m.id)) + " (" + mode + ")";
+    Deadline deadline(h.cellTimeoutSec, cell);
+
+    if (opt.faultHook)
+        opt.faultHook(m, training, attempt);
+    deadline.check();
 
     Clock::time_point t0 = Clock::now();
     double tus0 = tw ? tw->nowUs() : 0;
@@ -96,8 +145,10 @@ runStudyCell(const StudyModel &m, bool training)
     row.model = modelName(m.id);
     row.training = training;
     row.prepMillis = msSince(t0);
+    row.attempts = attempt;
     if (tw)
         tw->hostSpan("prep " + cell, tus0, tw->nowUs());
+    deadline.check();
 
     NetworkSim sim(*p.ctx, *p.net);
     for (int pol = 0; pol < numIoPolicies; pol++) {
@@ -113,6 +164,7 @@ runStudyCell(const StudyModel &m, bool training)
                              ioPolicyName(cfg.policy) + " " + cell,
                          tus1, tw->nowUs());
         }
+        deadline.check();
     }
 
     // Snapshot the cell's full stats tree only when a report wants
@@ -130,7 +182,67 @@ runStudyCell(const StudyModel &m, bool training)
     return row;
 }
 
+/**
+ * Fault-isolated wrapper around runStudyCell(): a throwing or timed
+ * out attempt is retried up to harness.retries times with doubling
+ * backoff, and exhausted attempts come back as a CellStatus::Failed
+ * row instead of propagating out of the pool worker.
+ */
+StudyRow
+runStudyCellGuarded(const StudyModel &m, bool training,
+                    const StudyOptions &opt, const StudyHarness &h)
+{
+    const char *mode = training ? "training" : "inference";
+    int max_attempts = 1 + std::max(0, h.retries);
+    std::string error = "unknown cell fault";
+    for (int attempt = 1; attempt <= max_attempts; attempt++) {
+        if (attempt > 1) {
+            // Doubling backoff, capped so a long retry chain cannot
+            // stall the sweep for minutes.
+            int shift = std::min(attempt - 2, 10);
+            int wait = std::min(h.backoffMillis << shift, 5000);
+            if (wait > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(wait));
+        }
+        try {
+            return runStudyCell(m, training, opt, h, attempt);
+        } catch (const std::exception &e) {
+            error = e.what();
+        } catch (...) {
+            error = "non-standard exception";
+        }
+        warn("%s (%s) attempt %d/%d failed: %s", modelName(m.id),
+             mode, attempt, max_attempts, error.c_str());
+    }
+    StudyRow row;
+    row.model = modelName(m.id);
+    row.training = training;
+    row.status = CellStatus::Failed;
+    row.error = error;
+    row.attempts = max_attempts;
+    return row;
+}
+
 } // namespace
+
+std::string
+studyCellKey(const StudyModel &m, bool training, bool want_stats)
+{
+    Json key = Json::object();
+    key["schema"] = studyCellSchemaVersion;
+    key["machine"] = machineToJson(ArchConfig{});
+    Json &cell = key["cell"];
+    cell = Json::object();
+    cell["model"] = modelName(m.id);
+    cell["trainBatch"] = m.trainBatch;
+    cell["inferBatch"] = m.inferBatch;
+    cell["imageSize"] = m.imageSize;
+    cell["widthScale"] = m.widthScale;
+    cell["training"] = training;
+    cell["stats"] = want_stats;
+    return key.dump();
+}
 
 Json
 studyRowToJson(const StudyRow &row)
@@ -138,6 +250,15 @@ studyRowToJson(const StudyRow &row)
     Json j = Json::object();
     j["model"] = row.model;
     j["mode"] = row.training ? "training" : "inference";
+    if (row.status == CellStatus::Failed) {
+        // Failed rows use a separate compact schema so successful
+        // rows keep their exact historical byte layout (the cache
+        // byte-identity guarantee rests on that).
+        j["failed"] = true;
+        j["error"] = row.error;
+        j["attempts"] = row.attempts;
+        return j;
+    }
     j["prepMillis"] = row.prepMillis;
 
     Json &pols = j["policies"];
@@ -164,12 +285,108 @@ studyRowToJson(const StudyRow &row)
     return j;
 }
 
+namespace {
+
+const Json &
+rowField(const Json &obj, const char *key)
+{
+    const Json *p = obj.isObject() ? obj.find(key) : nullptr;
+    if (!p)
+        throw std::runtime_error(
+            format("study row JSON: missing field '%s'", key));
+    return *p;
+}
+
+} // namespace
+
+StudyRow
+studyRowFromJson(const Json &j)
+{
+    if (!j.isObject())
+        throw std::runtime_error("study row JSON: not an object");
+    if (const Json *failed = j.find("failed");
+        failed && failed->isBool() && failed->asBool())
+        throw std::runtime_error("study row JSON: failed row");
+
+    StudyRow row;
+    const Json &model = rowField(j, "model");
+    if (!model.isString())
+        throw std::runtime_error("study row JSON: model not a string");
+    row.model = model.asString();
+
+    const Json &mode = rowField(j, "mode");
+    if (!mode.isString() || (mode.asString() != "training" &&
+                             mode.asString() != "inference"))
+        throw std::runtime_error("study row JSON: bad mode");
+    row.training = mode.asString() == "training";
+
+    const Json &prep = rowField(j, "prepMillis");
+    if (!prep.isNumber())
+        throw std::runtime_error(
+            "study row JSON: prepMillis not a number");
+    row.prepMillis = prep.asDouble();
+
+    const Json &pols = rowField(j, "policies");
+    for (int pol = 0; pol < numIoPolicies; pol++) {
+        const Json &p =
+            rowField(pols, ioPolicyName(static_cast<IoPolicy>(pol)));
+        const Json &sim_ms = rowField(p, "simMillis");
+        if (!sim_ms.isNumber())
+            throw std::runtime_error(
+                "study row JSON: simMillis not a number");
+        row.simMillis[pol] = sim_ms.asDouble();
+        row.results[pol].total =
+            runStatsFromJson(rowField(p, "total"));
+
+        const Json &layers = rowField(p, "layers");
+        if (!layers.isArray())
+            throw std::runtime_error(
+                "study row JSON: layers not an array");
+        row.results[pol].layers.reserve(layers.size());
+        for (size_t i = 0; i < layers.size(); i++) {
+            const Json &l = layers.at(i);
+            LayerPassStats lp;
+            const Json &name = rowField(l, "name");
+            if (!name.isString())
+                throw std::runtime_error(
+                    "study row JSON: layer name not a string");
+            lp.name = name.asString();
+            const Json &backward = rowField(l, "backward");
+            if (!backward.isBool())
+                throw std::runtime_error(
+                    "study row JSON: layer backward not a bool");
+            lp.backward = backward.asBool();
+            lp.stats = runStatsFromJson(rowField(l, "stats"));
+            row.results[pol].layers.push_back(std::move(lp));
+        }
+    }
+    if (const Json *stats = j.find("stats"))
+        row.stats = *stats;
+    return row;
+}
+
+StudyHarness &
+studyHarness()
+{
+    static StudyHarness h;
+    return h;
+}
+
 std::vector<StudyRow>
 runStudy(const StudyOptions &opt)
 {
     const std::vector<StudyModel> &models =
         opt.models.empty() ? studyModels() : opt.models;
     ThreadPool &pool = opt.pool ? *opt.pool : ThreadPool::global();
+    const StudyHarness &h = opt.harness ? *opt.harness : studyHarness();
+
+    // The stats snapshot is part of the row, so whether one is
+    // collected is part of the cache key: a cached row can only stand
+    // in for a fresh one when both would carry the same fields.
+    bool want_stats = RunReport::global() != nullptr;
+    std::shared_ptr<ResultCache> cache;
+    if (!h.cacheDir.empty())
+        cache = std::make_shared<ResultCache>(h.cacheDir);
 
     struct Cell
     {
@@ -191,27 +408,85 @@ runStudy(const StudyOptions &opt)
     // Fan the cells out; collecting the futures in submission order
     // keeps the row order (and hence the figure output) identical to
     // the sequential loop. With a 1-job pool, submit() runs inline
-    // and this *is* the sequential loop.
+    // and this *is* the sequential loop. Cells restored from the
+    // cache become pre-resolved futures in the same sequence, so
+    // resumed and uninterrupted runs order rows identically.
     std::vector<std::future<StudyRow>> futs;
     futs.reserve(cells.size());
     for (const Cell &cell : cells) {
         StudyModel m = cell.m;
         bool training = cell.training;
-        futs.push_back(pool.submit(
-            [m, training] { return runStudyCell(m, training); }));
+        std::string key =
+            cache ? studyCellKey(m, training, want_stats)
+                  : std::string();
+
+        if (cache && h.resume) {
+            if (std::optional<Json> v = cache->lookup(key)) {
+                try {
+                    StudyRow row = studyRowFromJson(*v);
+                    row.status = CellStatus::Cached;
+                    inform("%s (%s) restored from cache",
+                           modelName(m.id),
+                           training ? "training" : "inference");
+                    std::promise<StudyRow> done;
+                    done.set_value(std::move(row));
+                    futs.push_back(done.get_future());
+                    continue;
+                } catch (const std::exception &e) {
+                    warn("result cache: entry for %s (%s) does not "
+                         "decode (%s); re-simulating",
+                         modelName(m.id),
+                         training ? "training" : "inference",
+                         e.what());
+                }
+            }
+        }
+        futs.push_back(pool.submit([m, training, key, cache, &opt,
+                                    &h] {
+            StudyRow row = runStudyCellGuarded(m, training, opt, h);
+            if (cache && row.status != CellStatus::Failed)
+                cache->store(key, studyRowToJson(row));
+            return row;
+        }));
     }
     std::vector<StudyRow> rows;
     rows.reserve(futs.size());
     for (std::future<StudyRow> &f : futs)
         rows.push_back(f.get());
 
+    uint64_t cached = 0, failed = 0;
+    for (const StudyRow &row : rows) {
+        cached += row.status == CellStatus::Cached;
+        failed += row.status == CellStatus::Failed;
+    }
+
     // Rows land in the report here, after the ordered collection
     // above, so the report's row order matches the printed tables no
-    // matter how the pool scheduled the cells.
+    // matter how the pool scheduled the cells. The harness counters
+    // go under "host" (host-side bookkeeping, not simulation output),
+    // accumulating across multiple runStudy() calls in one process.
     if (RunReport *rep = RunReport::global()) {
         for (const StudyRow &row : rows)
             rep->addRow(studyRowToJson(row));
+        auto [doc, lock] = rep->root();
+        Json &host = (*doc)["host"];
+        auto bump = [&host](const char *key, uint64_t v) {
+            const Json *prev = host.find(key);
+            host[key] = (prev ? prev->asUint() : 0) + v;
+        };
+        bump("cellsTotal", rows.size());
+        bump("cellsSimulated", rows.size() - cached - failed);
+        bump("cellsCached", cached);
+        bump("cellsFailed", failed);
     }
+
+    // Enforce the failure budget only after every row (including the
+    // failures) is in the report: fatal() exits through the atexit
+    // handlers, so the partial report still flushes for inspection.
+    fatal_if(failed > static_cast<uint64_t>(std::max(0, h.failBudget)),
+             "%llu study cell(s) failed (budget %d); see the failed "
+             "rows above",
+             static_cast<unsigned long long>(failed), h.failBudget);
     return rows;
 }
 
@@ -249,12 +524,25 @@ valueArg(int argc, char **argv, int &i, const char *name,
     return false;
 }
 
+long
+intValue(const char *flag, const char *value, long lo, long hi)
+{
+    char *rest = nullptr;
+    long v = std::strtol(value, &rest, 10);
+    fatal_if(*value == '\0' || (rest && *rest != '\0') || v < lo ||
+                 v > hi,
+             "bad %s value '%s' (want an integer in [%ld, %ld])",
+             flag, value, lo, hi);
+    return v;
+}
+
 } // namespace
 
 void
 parseBenchArgs(int argc, char **argv, const std::string &title)
 {
     std::string report_path, trace_path;
+    StudyHarness &h = studyHarness();
     for (int i = 1; i < argc; i++) {
         const char *arg = argv[i];
         const char *value = nullptr;
@@ -262,43 +550,80 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
             std::strcmp(arg, "-h") == 0) {
             std::printf(
                 "usage: %s [--jobs N] [--quiet] [--report PATH] "
-                "[--trace PATH]\n\n"
-                "  --jobs N, -j N  run N study cells in parallel "
+                "[--trace PATH]\n"
+                "       [--cache DIR] [--resume] [--retries N] "
+                "[--cell-timeout S]\n"
+                "       [--fail-budget N]\n\n"
+                "  --jobs N, -j N    run N study cells in parallel "
                 "(default: ZCOMP_JOBS\n"
-                "                  or the hardware thread count; "
+                "                    or the hardware thread count; "
                 "1 = sequential)\n"
-                "  --quiet, -q     suppress informational messages "
+                "  --quiet, -q       suppress informational messages "
                 "(tables still print)\n"
-                "  --report PATH   write a structured JSON run "
+                "  --report PATH     write a structured JSON run "
                 "report (schema\n"
-                "                  zcomp-run-report-v1; see "
+                "                    zcomp-run-report-v1; see "
                 "EXPERIMENTS.md)\n"
-                "  --trace PATH    write a Chrome/Perfetto trace of "
-                "the run\n"
-                "                  (open at ui.perfetto.dev)\n",
+                "  --trace PATH      write a Chrome/Perfetto trace "
+                "of the run\n"
+                "                    (open at ui.perfetto.dev)\n"
+                "  --cache DIR       record every completed study "
+                "cell in DIR\n"
+                "  --resume          restore cached cells instead of "
+                "re-simulating\n"
+                "                    (needs --cache; rows are "
+                "bitwise-identical)\n"
+                "  --retries N       retry a faulting cell N times "
+                "with backoff\n"
+                "  --cell-timeout S  per-attempt budget in seconds "
+                "(fractional ok;\n"
+                "                    checked at cell phase "
+                "boundaries)\n"
+                "  --fail-budget N   tolerate up to N failed cells "
+                "before exiting\n"
+                "                    non-zero (default 0)\n",
                 argv[0]);
             std::exit(0);
         } else if (std::strcmp(arg, "--quiet") == 0 ||
                    std::strcmp(arg, "-q") == 0) {
             setQuiet(true);
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            h.resume = true;
         } else if (valueArg(argc, argv, i, "--jobs", "-j", &value)) {
-            char *rest = nullptr;
-            long jobs = std::strtol(value, &rest, 10);
-            fatal_if(*value == '\0' || (rest && *rest != '\0') ||
-                         jobs < 1 || jobs > 1024,
-                     "bad --jobs value '%s' (want an integer in "
-                     "[1, 1024])", value);
-            ThreadPool::setGlobalJobs(static_cast<int>(jobs));
+            ThreadPool::setGlobalJobs(static_cast<int>(
+                intValue("--jobs", value, 1, 1024)));
         } else if (valueArg(argc, argv, i, "--report", nullptr,
                             &value)) {
             report_path = value;
         } else if (valueArg(argc, argv, i, "--trace", nullptr,
                             &value)) {
             trace_path = value;
+        } else if (valueArg(argc, argv, i, "--cache", nullptr,
+                            &value)) {
+            h.cacheDir = value;
+        } else if (valueArg(argc, argv, i, "--retries", nullptr,
+                            &value)) {
+            h.retries = static_cast<int>(
+                intValue("--retries", value, 0, 100));
+        } else if (valueArg(argc, argv, i, "--fail-budget", nullptr,
+                            &value)) {
+            h.failBudget = static_cast<int>(
+                intValue("--fail-budget", value, 0, 1000000));
+        } else if (valueArg(argc, argv, i, "--cell-timeout", nullptr,
+                            &value)) {
+            char *rest = nullptr;
+            double s = std::strtod(value, &rest);
+            fatal_if(*value == '\0' || (rest && *rest != '\0') ||
+                         !(s >= 0),
+                     "bad --cell-timeout value '%s' (want seconds "
+                     ">= 0)", value);
+            h.cellTimeoutSec = s;
         } else {
             fatal("unknown argument '%s' (try --help)", arg);
         }
     }
+    fatal_if(h.resume && h.cacheDir.empty(),
+             "--resume needs --cache DIR (nothing to resume from)");
 
     // Install the process-wide report/trace sinks before any work
     // runs, and flush them at exit so every bench main gets both

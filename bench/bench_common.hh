@@ -13,11 +13,23 @@
  * and with bitwise-identical numbers for any worker count;
  * parallelism only ever spans independent simulations, never the
  * inside of one timing run.
+ *
+ * The runner is fault-tolerant and resumable (see EXPERIMENTS.md):
+ *  - every completed cell can be written to an on-disk ResultCache
+ *    (--cache DIR) keyed by a content hash of the machine config,
+ *    the cell parameters and a code-schema version, and --resume
+ *    restores those cells with bitwise-identical rows instead of
+ *    re-simulating them;
+ *  - a cell that throws or overruns --cell-timeout is retried up to
+ *    --retries times with exponential backoff and then recorded as a
+ *    failed row instead of killing the whole sweep; the process only
+ *    exits non-zero once more than --fail-budget cells have failed.
  */
 
 #ifndef ZCOMP_BENCH_BENCH_COMMON_HH
 #define ZCOMP_BENCH_BENCH_COMMON_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +70,14 @@ struct PreparedNet
 PreparedNet prepareNet(const StudyModel &m, bool training,
                        uint64_t seed = 1);
 
+/** How a study cell's row came to be. */
+enum class CellStatus
+{
+    Simulated,  //!< freshly simulated in this process
+    Cached,     //!< restored from the --cache result cache
+    Failed,     //!< all attempts threw or timed out
+};
+
 /** One (model, mode) row of the Figures 13/14 study. */
 struct StudyRow
 {
@@ -77,14 +97,67 @@ struct StudyRow
      * default path stays cheap.
      */
     Json stats;
+
+    CellStatus status = CellStatus::Simulated;
+    std::string error;  //!< failure reason (status == Failed only)
+    int attempts = 1;   //!< simulation attempts consumed
 };
 
 /**
  * Serialize one StudyRow into the report schema: model/mode, prep and
  * per-policy sim wall-clock, and for each policy the total RunStats
  * (cycles, breakdown, per-level traffic) plus per-layer attribution.
+ * Successful rows serialize identically whether simulated or cached
+ * (the determinism guarantee behind --resume); failed rows serialize
+ * as { model, mode, failed, error, attempts }.
  */
 Json studyRowToJson(const StudyRow &row);
+
+/**
+ * Rebuild a successful StudyRow from its studyRowToJson() form.
+ * Round-trips exactly (doubles print with full precision, integers
+ * verbatim), so a cached row re-serializes byte-identically. Throws
+ * std::runtime_error on missing/mistyped fields or failed rows, so
+ * corrupt cache entries degrade to a re-simulation.
+ */
+StudyRow studyRowFromJson(const Json &j);
+
+/**
+ * Code-schema version folded into every result-cache key. Bump it
+ * whenever simulation semantics, the row schema or the cell
+ * preparation change, so stale caches miss instead of resurrecting
+ * rows the current code would not reproduce.
+ */
+constexpr const char *studyCellSchemaVersion = "zcomp-study-cell-v1";
+
+/**
+ * Canonical result-cache key of one (model, mode) study cell: a JSON
+ * dump of the schema version, the full Table 1 machine config and
+ * every cell parameter (including whether a stats snapshot is
+ * collected). Two runs share a key exactly when they are guaranteed
+ * to produce bitwise-identical rows.
+ */
+std::string studyCellKey(const StudyModel &m, bool training,
+                         bool want_stats);
+
+/**
+ * Resilience knobs of the study runner, normally filled in from the
+ * CLI (--cache/--resume/--retries/--cell-timeout/--fail-budget) via
+ * parseBenchArgs(). Tests construct their own and point
+ * StudyOptions::harness at it.
+ */
+struct StudyHarness
+{
+    std::string cacheDir;       //!< empty = no result cache
+    bool resume = false;        //!< restore cached cells (needs cacheDir)
+    int retries = 0;            //!< extra attempts after a cell fault
+    double cellTimeoutSec = 0;  //!< per-attempt budget; 0 = unlimited
+    int failBudget = 0;         //!< failed cells tolerated before exit(1)
+    int backoffMillis = 50;     //!< base retry backoff (doubles per retry)
+};
+
+/** The process-wide harness knobs parseBenchArgs() populates. */
+StudyHarness &studyHarness();
 
 /** Knobs for runStudy(); the defaults reproduce the full study. */
 struct StudyOptions
@@ -93,12 +166,32 @@ struct StudyOptions
     bool inferenceOnly = false;
     std::vector<StudyModel> models; //!< empty = studyModels()
     ThreadPool *pool = nullptr;     //!< null = ThreadPool::global()
+
+    /** Resilience knobs; null = the CLI-driven studyHarness(). */
+    const StudyHarness *harness = nullptr;
+
+    /**
+     * Test hook, invoked at the start of every cell attempt (before
+     * any simulation work). A throw from the hook is treated exactly
+     * like a cell fault: retried per the harness, then recorded as a
+     * failed row. A hook that sleeps past the cell timeout exercises
+     * the timeout path.
+     */
+    std::function<void(const StudyModel &m, bool training, int attempt)>
+        faultHook;
 };
 
 /**
  * Run every (model, mode) cell of the study under all three
  * policies, in parallel across cells on the pool. Row order and
- * simulation numbers are independent of the worker count.
+ * simulation numbers are independent of the worker count and of
+ * which cells were restored from the cache.
+ *
+ * Faulting cells never abort the process: they come back as rows
+ * with status == CellStatus::Failed. Only when more than
+ * harness.failBudget cells failed does runStudy() exit(1) - after
+ * appending every row (including the failures) to the global
+ * RunReport, so the partial report survives for inspection.
  */
 std::vector<StudyRow> runStudy(const StudyOptions &opt);
 
@@ -113,15 +206,21 @@ std::vector<StudyRow> runFullStudy(bool training_only = false,
  * Parse the arguments shared by all bench mains and print the Table 1
  * machine banner. fatal()s on unknown arguments.
  *
- *   --jobs N, -j N   size the global ThreadPool (env: ZCOMP_JOBS)
- *   --quiet, -q      silence inform()/warn() (setQuiet)
- *   --report PATH    write a structured JSON RunReport at exit
- *   --trace PATH     write a Perfetto/Chrome trace at exit
+ *   --jobs N, -j N     size the global ThreadPool (env: ZCOMP_JOBS)
+ *   --quiet, -q        silence inform()/warn() (setQuiet)
+ *   --report PATH      write a structured JSON RunReport at exit
+ *   --trace PATH       write a Perfetto/Chrome trace at exit
+ *   --cache DIR        record completed study cells on disk
+ *   --resume           restore cached cells instead of re-simulating
+ *   --retries N        retry a faulting cell N times (backoff)
+ *   --cell-timeout S   per-attempt budget in seconds (fractional ok)
+ *   --fail-budget N    tolerate up to N failed cells (default 0)
  *
  * --report and --trace install the process-wide RunReport/TraceWriter
  * and register atexit flushes, so every bench binary gets them
- * without touching its main(). With neither flag the run is
- * byte-identical to before.
+ * without touching its main(). The resilience flags land in
+ * studyHarness(), which runStudy() consults by default. With no
+ * flags the run is byte-identical to before.
  */
 void parseBenchArgs(int argc, char **argv, const std::string &title);
 

@@ -37,6 +37,13 @@ main(int argc, char **argv)
     Table table("smoke results (cycles / traffic bytes)");
     table.setHeader({"mode", "policy", "cycles", "traffic", "wall ms"});
     for (const auto &row : rows) {
+        if (row.status == bench::CellStatus::Failed) {
+            // The runner already enforced --fail-budget; within the
+            // budget a failed cell just has no numbers to check.
+            table.addRow({row.training ? "train" : "infer",
+                          "FAILED: " + row.error, "-", "-", "-"});
+            continue;
+        }
         for (int pol = 0; pol < numIoPolicies; pol++) {
             const NetworkSimResult &r = row.results[pol];
             check(r.cycles() > 0, "simulated cycles are positive");

@@ -1,0 +1,179 @@
+#include "common/result_cache.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/log.hh"
+
+namespace zcomp {
+
+namespace {
+
+constexpr const char *cacheSchema = "zcomp-result-cache-v1";
+
+/** Read a whole file; nullopt if it cannot be opened or read. */
+std::optional<std::string>
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    if (!ok)
+        return std::nullopt;
+    return text;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    fatal_if(dir_.empty(), "result cache needs a directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    fatal_if(ec && !std::filesystem::is_directory(dir_),
+             "cannot create result cache directory %s: %s",
+             dir_.c_str(), ec.message().c_str());
+}
+
+uint64_t
+ResultCache::keyHash(const std::string &key)
+{
+    // FNV-1a 64-bit; collisions are guarded by the full-key compare
+    // in lookup(), so the hash only has to spread file names.
+    uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return dir_ + "/" +
+           format("%016llx.json",
+                  static_cast<unsigned long long>(keyHash(key)));
+}
+
+std::optional<Json>
+ResultCache::lookup(const std::string &key)
+{
+    auto miss = [this]() -> std::optional<Json> {
+        std::lock_guard<std::mutex> lk(mu_);
+        misses_++;
+        return std::nullopt;
+    };
+
+    std::string path = entryPath(key);
+    std::optional<std::string> text = readFile(path);
+    if (!text)
+        return miss();
+
+    std::string err;
+    Json entry = Json::parse(*text, &err);
+    if (!err.empty() || !entry.isObject()) {
+        warn("result cache: corrupt entry %s (%s); re-simulating",
+             path.c_str(), err.empty() ? "not an object" : err.c_str());
+        return miss();
+    }
+    const Json *schema = entry.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != cacheSchema) {
+        warn("result cache: %s has unknown schema; re-simulating",
+             path.c_str());
+        return miss();
+    }
+    const Json *stored_key = entry.find("key");
+    if (!stored_key || !stored_key->isString() ||
+        stored_key->asString() != key) {
+        // Hash collision or stale layout: never serve a wrong value.
+        warn("result cache: key mismatch in %s; re-simulating",
+             path.c_str());
+        return miss();
+    }
+    const Json *value = entry.find("value");
+    if (!value)
+        return miss();
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        hits_++;
+    }
+    return *value;
+}
+
+void
+ResultCache::store(const std::string &key, const Json &value)
+{
+    Json entry = Json::object();
+    entry["schema"] = cacheSchema;
+    entry["key"] = key;
+    entry["value"] = value;
+    std::string text = entry.dump(2);
+    text += '\n';
+
+    // Unique temp name per in-flight store; rename() is atomic, so a
+    // SIGKILL mid-write leaves only a stray .tmp file behind and the
+    // entry itself is either fully old or fully new.
+    static std::atomic<uint64_t> seq{0};
+    std::string path = entryPath(key);
+    std::string tmp =
+        path + format(".tmp.%llu",
+                      static_cast<unsigned long long>(
+                          seq.fetch_add(1, std::memory_order_relaxed)));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        warn("result cache: cannot write %s: %s", tmp.c_str(),
+             std::strerror(errno));
+        return;
+    }
+    size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = wrote == text.size() && std::fclose(f) == 0;
+    if (!ok) {
+        warn("result cache: short write to %s", tmp.c_str());
+        std::remove(tmp.c_str());
+        return;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("result cache: cannot rename %s -> %s: %s", tmp.c_str(),
+             path.c_str(), std::strerror(errno));
+        std::remove(tmp.c_str());
+        return;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    stores_++;
+}
+
+uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+}
+
+uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+}
+
+uint64_t
+ResultCache::stores() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stores_;
+}
+
+} // namespace zcomp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ResultCache - a content-addressed on-disk store of JSON values,
+ * the persistence layer behind the study runner's --cache/--resume
+ * flags.
+ *
+ * A cache maps an arbitrary key string (by convention a canonical
+ * JSON dump of everything that determines the result: code-schema
+ * version, machine config, cell parameters) to a Json value. Entries
+ * live one per file under the cache directory, named by the 64-bit
+ * FNV-1a hash of the key:
+ *
+ *   <dir>/<16-hex-digits>.json =
+ *       { "schema": "zcomp-result-cache-v1",
+ *         "key":    "<the full key string>",
+ *         "value":  <the stored value> }
+ *
+ * lookup() re-validates the schema marker and compares the full key
+ * string, so hash collisions and truncated/corrupted entries degrade
+ * to a miss (the caller recomputes and store() overwrites), never to
+ * wrong data. store() writes through a temp file + rename, so a
+ * process killed mid-store never leaves a half-written entry that a
+ * later --resume would trip over.
+ *
+ * Thread-safe: concurrent store()/lookup() calls from pool workers
+ * are fine (distinct keys go to distinct files; same-key races are
+ * benign because every store writes the same bytes).
+ */
+
+#ifndef ZCOMP_COMMON_RESULT_CACHE_HH
+#define ZCOMP_COMMON_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/json.hh"
+
+namespace zcomp {
+
+class ResultCache
+{
+  public:
+    /** Opens (creating if needed) the cache directory; fatal()s if
+     *  the directory cannot be created. */
+    explicit ResultCache(std::string dir);
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Fetch the value stored for key. Absent, unreadable, corrupt,
+     * schema-mismatched and key-mismatched (hash collision) entries
+     * all return nullopt - a cache problem is never an error, just a
+     * recompute.
+     */
+    std::optional<Json> lookup(const std::string &key);
+
+    /** Store (or overwrite) the value for key. Failures warn only. */
+    void store(const std::string &key, const Json &value);
+
+    /** The entry file a key maps to (exists only once stored). */
+    std::string entryPath(const std::string &key) const;
+
+    /** 64-bit FNV-1a content hash of a key string. */
+    static uint64_t keyHash(const std::string &key);
+
+    const std::string &dir() const { return dir_; }
+
+    // Harness-visible traffic counters (thread-safe).
+    uint64_t hits() const;
+    uint64_t misses() const;
+    uint64_t stores() const;
+
+  private:
+    std::string dir_;
+    mutable std::mutex mu_;     //!< guards the counters
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t stores_ = 0;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_RESULT_CACHE_HH

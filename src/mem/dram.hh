@@ -6,6 +6,12 @@
  * cycles, and requests arriving while the channel is busy queue behind
  * it. Addresses interleave across channels at a configurable
  * granularity (256 B default).
+ *
+ * Posted writes beyond the per-channel write-buffer depth do not
+ * extend the channel queue (they are assumed to drain later in read
+ * gaps); their busy time accrues when an idle gap actually absorbs
+ * them, so busyCycles() only ever counts cycles a channel was really
+ * scheduled - see checkInvariants().
  */
 
 #ifndef ZCOMP_MEM_DRAM_HH
@@ -40,8 +46,27 @@ class Dram
     uint64_t bytesRead = 0;
     uint64_t bytesWritten = 0;
 
-    /** Total cycles all channels spent busy (utilization numerator). */
+    /**
+     * Total cycles all channels spent busy (utilization numerator).
+     * Deferred posted writes count only once an idle gap drains them,
+     * so this never exceeds the scheduled channel time.
+     */
     double busyCycles() const;
+
+    /** Posted line-writes deferred to future read gaps (all channels). */
+    uint64_t deferredWrites() const;
+
+    /**
+     * Verify the busy-time accounting identities (aborts on
+     * violation):
+     *  - per channel, accrued busy time fits the busy-until schedule
+     *    (all accrued intervals lie in [0, busyUntil]);
+     *  - with now >= the schedule horizon, this implies the
+     *    utilization bound busyCycles() <= now * channels.
+     * @param now pass the current core-cycle time to additionally
+     *        check the wall-clock bound; negative skips it.
+     */
+    void checkInvariants(double now = -1.0) const;
 
     void reset();
 
@@ -49,11 +74,15 @@ class Dram
     /** Queue depth beyond which posted writes drain in read gaps. */
     static constexpr double writeBacklogCap_ = 512.0;
 
+    /** Absorb deferred writes into the idle gap before `now`. */
+    void drainDeferred(size_t ch, double now);
+
     DramConfig cfg_;
     double idleLatency_;        //!< cycles
     double cyclesPerLine_;      //!< transfer time per 64 B per channel
     std::vector<double> busyUntil_;
-    double busyAccum_ = 0;
+    std::vector<double> busyAccum_;     //!< per-channel busy cycles
+    std::vector<uint64_t> deferred_;    //!< per-channel deferred writes
 };
 
 } // namespace zcomp

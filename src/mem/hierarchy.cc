@@ -358,6 +358,10 @@ MemoryHierarchy::checkInvariants() const
                                      dram_.bytesWritten),
                 (unsigned long long)l3DramBytes_);
 
+    // DRAM busy-time accounting: accrued busy cycles fit the channel
+    // schedules (deferred posted writes only count once drained).
+    dram_.checkInvariants();
+
     // Hierarchy-side and cache-side prefetch fill counts must agree.
     ZCOMP_CHECK(l2_pref_fills == l2PrefFilled_,
                 "prefetch fill accounting drifted: %llu vs %llu",

@@ -49,7 +49,11 @@ StreamPrefetcher::onAccess(Addr line, std::vector<Addr> &out)
     if (!s) {
         // A stream crossing into the next page continues seamlessly:
         // retarget the tracker that was following the previous page.
-        Stream *prev = find(page - pageBytes);
+        // Page-neighbour lookups are clamped at the address-space
+        // edges - page - pageBytes near 0 (and lastLine - lineBytes
+        // below) would otherwise wrap on unsigned Addr.
+        Stream *prev =
+            page >= pageBytes ? find(page - pageBytes) : nullptr;
         if (prev && prev->direction > 0 && prev->confidence > 0 &&
             line == prev->lastLine + lineBytes) {
             prev->page = page;
@@ -57,6 +61,7 @@ StreamPrefetcher::onAccess(Addr line, std::vector<Addr> &out)
         } else {
             Stream *next = find(page + pageBytes);
             if (next && next->direction < 0 && next->confidence > 0 &&
+                next->lastLine >= lineBytes &&
                 line == next->lastLine - lineBytes) {
                 next->page = page;
                 s = next;
@@ -94,7 +99,9 @@ StreamPrefetcher::onAccess(Addr line, std::vector<Addr> &out)
     } else {
         s->direction = dir;
         s->confidence = 1;
-        s->nextIssue = line + dir * static_cast<int64_t>(lineBytes);
+        s->nextIssue = dir > 0 ? line + lineBytes
+                               : (line >= lineBytes ? line - lineBytes
+                                                    : Addr(0));
     }
     s->lastLine = line;
 
@@ -102,21 +109,37 @@ StreamPrefetcher::onAccess(Addr line, std::vector<Addr> &out)
         return;
 
     // Issue up to degree prefetches, staying within distance of the
-    // demand stream.
-    Addr limit = line + s->direction *
-                     static_cast<int64_t>(cfg_.l2Distance * lineBytes);
-    if (s->direction > 0 && s->nextIssue <= line)
-        s->nextIssue = line + lineBytes;
-    if (s->direction < 0 && s->nextIssue >= line)
-        s->nextIssue = line - lineBytes;
-    for (int i = 0; i < cfg_.l2Degree; i++) {
-        if (s->direction > 0 ? s->nextIssue > limit
-                             : s->nextIssue < limit) {
-            break;
+    // demand stream. Downward streams clamp at address zero: the
+    // line - lineBytes steps are unsigned, and near 0 they would
+    // wrap to huge bogus prefetch addresses.
+    Addr dist_bytes =
+        static_cast<Addr>(cfg_.l2Distance) * lineBytes;
+    if (s->direction > 0) {
+        Addr limit = line + dist_bytes;
+        if (s->nextIssue <= line)
+            s->nextIssue = line + lineBytes;
+        for (int i = 0; i < cfg_.l2Degree; i++) {
+            if (s->nextIssue > limit)
+                break;
+            out.push_back(s->nextIssue);
+            issued_++;
+            s->nextIssue += lineBytes;
         }
-        out.push_back(s->nextIssue);
-        issued_++;
-        s->nextIssue += s->direction * static_cast<int64_t>(lineBytes);
+    } else {
+        if (line < lineBytes)
+            return;     // at line zero; nothing below to prefetch
+        Addr limit = line > dist_bytes ? line - dist_bytes : Addr(0);
+        if (s->nextIssue >= line)
+            s->nextIssue = line - lineBytes;
+        for (int i = 0; i < cfg_.l2Degree; i++) {
+            if (s->nextIssue < limit)
+                break;
+            out.push_back(s->nextIssue);
+            issued_++;
+            if (s->nextIssue < lineBytes)
+                break;  // issued line zero; the stream ends here
+            s->nextIssue -= lineBytes;
+        }
     }
 }
 
@@ -159,9 +182,20 @@ IpStridePrefetcher::onAccess(uint32_t pc, Addr line,
     }
     e.lastLine = line;
     if (e.confidence >= 2) {
+        // Candidates are clamped two ways: line + stride*i can wrap
+        // negative through the int64 -> Addr cast (bogus huge
+        // addresses), and real IP-stride prefetchers stop at the
+        // 4 KiB page boundary. Clamped candidates are not issued and
+        // therefore not counted.
+        Addr page = alignDown(line, prefetchPageBytes);
         for (int i = 1; i <= degree_; i++) {
-            out.push_back(static_cast<Addr>(
-                static_cast<int64_t>(line) + e.stride * i));
+            int64_t cand = static_cast<int64_t>(line) + e.stride * i;
+            if (cand < 0)
+                break;
+            Addr a = static_cast<Addr>(cand);
+            if (alignDown(a, prefetchPageBytes) != page)
+                break;
+            out.push_back(a);
             issued_++;
         }
     }

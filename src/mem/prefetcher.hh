@@ -25,6 +25,15 @@
 
 namespace zcomp {
 
+/**
+ * Page granularity the prefetchers reason at: the stream table tracks
+ * one stream per 4 KiB page (crossing streams retarget their
+ * tracker), and IP-stride candidates stop at the page boundary the
+ * way real hardware does (the next page's physical mapping is
+ * unknown).
+ */
+constexpr uint64_t prefetchPageBytes = 4 * KiB;
+
 /** L2 stream/stride prefetcher. */
 class StreamPrefetcher
 {
@@ -52,7 +61,7 @@ class StreamPrefetcher
         uint64_t lastUse = 0;
     };
 
-    static constexpr uint64_t pageBytes = 4 * KiB;
+    static constexpr uint64_t pageBytes = prefetchPageBytes;
 
     Stream *find(Addr page);
     Stream *allocate();

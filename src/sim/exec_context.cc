@@ -1,5 +1,8 @@
 #include "sim/exec_context.hh"
 
+#include <stdexcept>
+
+#include "common/log.hh"
 #include "common/trace_writer.hh"
 
 namespace zcomp {
@@ -97,6 +100,59 @@ runStatsToJson(const RunStats &s)
     tr["l2DemandMissesBelow"] = t.l2DemandMissesBelow;
     tr["nocHops"] = t.nocHops;
     return j;
+}
+
+namespace {
+
+/** Fetch an object member that must be a number; throws otherwise. */
+const Json &
+numField(const Json &obj, const char *key)
+{
+    const Json *p = obj.isObject() ? obj.find(key) : nullptr;
+    if (!p || !p->isNumber())
+        throw std::runtime_error(
+            format("RunStats JSON: missing numeric field '%s'", key));
+    return *p;
+}
+
+} // namespace
+
+RunStats
+runStatsFromJson(const Json &j)
+{
+    if (!j.isObject())
+        throw std::runtime_error("RunStats JSON: not an object");
+    RunStats s;
+    s.cycles = numField(j, "cycles").asDouble();
+
+    const Json *bd = j.find("breakdown");
+    if (!bd)
+        throw std::runtime_error("RunStats JSON: missing breakdown");
+    s.breakdown.compute = numField(*bd, "compute").asDouble();
+    s.breakdown.memory = numField(*bd, "memory").asDouble();
+    s.breakdown.sync = numField(*bd, "sync").asDouble();
+
+    const Json *tr = j.find("traffic");
+    if (!tr)
+        throw std::runtime_error("RunStats JSON: missing traffic");
+    HierSnapshot &t = s.traffic;
+    t.coreL1Bytes = numField(*tr, "coreL1Bytes").asUint();
+    t.l1L2Bytes = numField(*tr, "l1L2Bytes").asUint();
+    t.l2L3Bytes = numField(*tr, "l2L3Bytes").asUint();
+    t.l3DramBytes = numField(*tr, "l3DramBytes").asUint();
+    t.l1Hits = numField(*tr, "l1Hits").asUint();
+    t.l1Misses = numField(*tr, "l1Misses").asUint();
+    t.l2Hits = numField(*tr, "l2Hits").asUint();
+    t.l2Misses = numField(*tr, "l2Misses").asUint();
+    t.l3Hits = numField(*tr, "l3Hits").asUint();
+    t.l3Misses = numField(*tr, "l3Misses").asUint();
+    t.l2PrefIssued = numField(*tr, "l2PrefIssued").asUint();
+    t.l2PrefUseful = numField(*tr, "l2PrefUseful").asUint();
+    t.l2PrefUnused = numField(*tr, "l2PrefUnused").asUint();
+    t.l2DemandMissesBelow =
+        numField(*tr, "l2DemandMissesBelow").asUint();
+    t.nocHops = numField(*tr, "nocHops").asUint();
+    return s;
 }
 
 ExecContext::ExecContext(const ArchConfig &cfg) : sys_(cfg)

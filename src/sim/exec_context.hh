@@ -32,6 +32,16 @@ struct RunStats
  */
 Json runStatsToJson(const RunStats &s);
 
+/**
+ * Rebuild a RunStats from its runStatsToJson() form (the derived
+ * onChipBytes/totalBytes aggregates are ignored - they are
+ * recomputed). Round-trips exactly: Json prints doubles with
+ * enough digits and integers verbatim. Throws std::runtime_error on
+ * missing or mistyped fields, so corrupt result-cache entries fail
+ * loudly instead of decoding to zeros.
+ */
+RunStats runStatsFromJson(const Json &j);
+
 class ExecContext
 {
   public:

@@ -115,3 +115,32 @@ TEST(Dram, WriteBacklogIsBounded)
     // The write bytes are still fully accounted.
     EXPECT_EQ(d.bytesWritten, 4000u * 64);
 }
+
+TEST(Dram, CappedWritesDoNotInflateBusyTime)
+{
+    // Regression: writes dropped to the deferred backlog used to
+    // accrue busy time without advancing the channel schedule, so
+    // utilization could exceed wall-clock. Deferred writes must only
+    // count as busy once they drain into real idle gaps.
+    Dram d(cfg4ch(), 2.4);
+    for (int i = 0; i < 4000; i++)
+        d.access(0x0, true, 0.0);   // one channel, far past the cap
+
+    // Only the in-queue writes (bounded by the backlog cap) may have
+    // accrued busy time; the rest sit in the deferred backlog.
+    // 512 capped writes * ~1.13 cyc/line is well under 600 cycles.
+    EXPECT_LT(d.busyCycles(), 600.0);
+    EXPECT_GT(d.deferredWrites(), 0u);
+    EXPECT_EQ(d.bytesWritten, 4000u * 64);
+    d.checkInvariants(0.0);
+
+    // A read long after drains the backlog into the idle gap; busy
+    // time now covers every write but still fits inside wall-clock.
+    double now = 100000.0;
+    d.access(0x0, false, now);
+    EXPECT_EQ(d.deferredWrites(), 0u);
+    // All 4000 lines accounted: ~9.04 cycles each.
+    EXPECT_GT(d.busyCycles(), 4000.0 * 9.0);
+    EXPECT_LE(d.busyCycles(), now * 4.0);
+    d.checkInvariants(now);
+}

@@ -125,6 +125,73 @@ TEST(StreamPrefetcher, TracksMultipleConcurrentStreams)
     EXPECT_GT(covered, 4u * 20u);
 }
 
+TEST(StreamPrefetcher, DownwardStreamAtAddressZero)
+{
+    // Regression: a descending stream near address 0 used to compute
+    // line - lineBytes on unsigned Addr, wrapping to huge bogus
+    // prefetch addresses. The stream must clamp at line zero instead.
+    StreamPrefetcher pf(defaultCfg());
+    std::vector<Addr> all;
+    Addr base = 0x100;
+    for (int i = 0; i <= 4; i++) {
+        std::vector<Addr> out;
+        pf.onAccess(base - static_cast<Addr>(i) * 64, out);
+        all.insert(all.end(), out.begin(), out.end());
+    }
+    EXPECT_FALSE(all.empty());  // the stream did train and issue
+    for (Addr a : all) {
+        EXPECT_LT(a, base);     // below the stream, like any
+                                // descending prefetch
+        EXPECT_LT(a, 0x1000u) << "wrapped past zero";
+    }
+}
+
+TEST(IpStridePrefetcher, NegativeStrideClampsAtZero)
+{
+    // Regression: line + stride*i with a negative stride used to wrap
+    // negative through the int64 -> Addr cast. Candidates below zero
+    // must be dropped (and not counted as issued).
+    IpStridePrefetcher pf;
+    std::vector<Addr> out;
+    pf.onAccess(9, 0x300, out);
+    pf.onAccess(9, 0x200, out);     // stride -0x100, conf 1
+    pf.onAccess(9, 0x100, out);     // conf 2 -> issue
+    ASSERT_EQ(out.size(), 1u);      // 0x0 fits; -0x100 is clamped
+    EXPECT_EQ(out[0], 0x0u);
+    EXPECT_EQ(pf.issued(), out.size());
+}
+
+TEST(IpStridePrefetcher, StopsAtPageBoundary)
+{
+    // Large strides must stop at the 4 KiB page boundary like real
+    // hardware (the next page's mapping is unknown); clamped
+    // candidates are not counted as issued.
+    IpStridePrefetcher pf;
+    std::vector<Addr> out;
+    pf.onAccess(11, 0x1000, out);
+    pf.onAccess(11, 0x1400, out);   // stride +0x400, conf 1
+    pf.onAccess(11, 0x1800, out);   // conf 2 -> issue
+    ASSERT_EQ(out.size(), 1u);      // 0x1C00 fits; 0x2000 is the
+                                    // next page
+    EXPECT_EQ(out[0], 0x1C00u);
+    EXPECT_EQ(pf.issued(), out.size());
+}
+
+TEST(IpStridePrefetcher, TableCollisionRetrains)
+{
+    // Two pcs that hash to the same table entry (69 % 64 == 5) must
+    // evict each other instead of blending their strides into bogus
+    // trained patterns.
+    IpStridePrefetcher pf;
+    std::vector<Addr> out;
+    for (int i = 0; i < 8; i++) {
+        pf.onAccess(5, 0x1000 + static_cast<Addr>(i) * 64, out);
+        pf.onAccess(69, 0x9000 + static_cast<Addr>(i) * 128, out);
+    }
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.issued(), 0u);
+}
+
 TEST(IpStridePrefetcher, DetectsStridedPattern)
 {
     IpStridePrefetcher pf;

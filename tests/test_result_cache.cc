@@ -1,0 +1,144 @@
+/** @file Unit tests for the on-disk ResultCache. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/result_cache.hh"
+
+using namespace zcomp;
+
+namespace {
+
+/**
+ * Fresh cache directory under the test's working directory; each test
+ * uses its own name so parallel ctest invocations cannot collide.
+ */
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = "result_cache_test_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+Json
+sampleValue()
+{
+    Json v = Json::object();
+    v["cycles"] = 12345.5;
+    v["bytes"] = 987654321ULL;
+    Json layers = Json::array();
+    layers.push("conv1");
+    layers.push("pool1");
+    v["layers"] = std::move(layers);
+    return v;
+}
+
+} // namespace
+
+TEST(ResultCache, RoundTrip)
+{
+    ResultCache cache(freshDir("round_trip"));
+    Json v = sampleValue();
+    EXPECT_FALSE(cache.lookup("key-a").has_value());
+    cache.store("key-a", v);
+    std::optional<Json> got = cache.lookup("key-a");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+    EXPECT_EQ(got->dump(2), v.dump(2));     // byte-identical re-dump
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.stores(), 1u);
+}
+
+TEST(ResultCache, DistinctKeysDistinctEntries)
+{
+    ResultCache cache(freshDir("distinct"));
+    cache.store("key-a", Json(1));
+    cache.store("key-b", Json(2));
+    ASSERT_TRUE(cache.lookup("key-a").has_value());
+    ASSERT_TRUE(cache.lookup("key-b").has_value());
+    EXPECT_EQ(cache.lookup("key-a")->asInt(), 1);
+    EXPECT_EQ(cache.lookup("key-b")->asInt(), 2);
+}
+
+TEST(ResultCache, CorruptEntryRecovers)
+{
+    std::string dir = freshDir("corrupt");
+    ResultCache cache(dir);
+    cache.store("key-a", sampleValue());
+
+    // Truncate the entry mid-document, as a crash mid-read or a bad
+    // disk would; the cache must miss (not crash, not serve garbage)
+    // and a re-store must fully repair it.
+    {
+        std::ofstream f(cache.entryPath("key-a"), std::ios::trunc);
+        f << "{ \"schema\": \"zcomp-result-ca";
+    }
+    EXPECT_FALSE(cache.lookup("key-a").has_value());
+    cache.store("key-a", sampleValue());
+    std::optional<Json> got = cache.lookup("key-a");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, sampleValue());
+}
+
+TEST(ResultCache, KeyMismatchIsAMiss)
+{
+    // Simulate a hash collision / stale layout: an entry file whose
+    // stored key differs from the probed key must never be served.
+    std::string dir = freshDir("mismatch");
+    ResultCache cache(dir);
+    cache.store("key-a", sampleValue());
+
+    Json entry = Json::object();
+    entry["schema"] = "zcomp-result-cache-v1";
+    entry["key"] = "some-other-key";
+    entry["value"] = Json(42);
+    {
+        std::ofstream f(cache.entryPath("key-a"), std::ios::trunc);
+        f << entry.dump(2) << "\n";
+    }
+    EXPECT_FALSE(cache.lookup("key-a").has_value());
+}
+
+TEST(ResultCache, UnknownSchemaIsAMiss)
+{
+    std::string dir = freshDir("schema");
+    ResultCache cache(dir);
+    cache.store("key-a", sampleValue());
+
+    Json entry = Json::object();
+    entry["schema"] = "zcomp-result-cache-v999";
+    entry["key"] = "key-a";
+    entry["value"] = Json(42);
+    {
+        std::ofstream f(cache.entryPath("key-a"), std::ios::trunc);
+        f << entry.dump(2) << "\n";
+    }
+    EXPECT_FALSE(cache.lookup("key-a").has_value());
+}
+
+TEST(ResultCache, KeyHashIsStableAndSpreads)
+{
+    // FNV-1a is part of the on-disk layout: entry file names must not
+    // change across builds or --resume would silently miss.
+    EXPECT_EQ(ResultCache::keyHash(""), 14695981039346656037ULL);
+    EXPECT_NE(ResultCache::keyHash("key-a"), ResultCache::keyHash("key-b"));
+    std::string dir = freshDir("hash");
+    ResultCache cache(dir);
+    EXPECT_NE(cache.entryPath("key-a"), cache.entryPath("key-b"));
+    EXPECT_EQ(cache.entryPath("key-a").rfind(dir, 0), 0u);
+}
+
+TEST(ResultCache, StoreOverwrites)
+{
+    ResultCache cache(freshDir("overwrite"));
+    cache.store("key-a", Json(1));
+    cache.store("key-a", Json(2));
+    std::optional<Json> got = cache.lookup("key-a");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->asInt(), 2);
+}

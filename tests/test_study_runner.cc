@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
 #include "common/log.hh"
+#include "common/result_cache.hh"
 #include "common/thread_pool.hh"
 
 using namespace zcomp;
@@ -131,4 +138,177 @@ TEST(StudyRunner, ModeFilters)
     EXPECT_TRUE(train[0].training);
     ASSERT_EQ(infer.size(), 1u);
     EXPECT_FALSE(infer[0].training);
+}
+
+/**
+ * A cell whose attempts all throw becomes a Failed row (within the
+ * failure budget) instead of killing the sweep; other cells complete
+ * normally.
+ */
+TEST(StudyRunner, FaultIsolation)
+{
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyHarness h;
+    h.failBudget = 2;
+    StudyOptions opt = quickOptions();
+    opt.pool = &seq;
+    opt.harness = &h;
+    opt.faultHook = [](const StudyModel &, bool training, int) {
+        if (training)
+            throw std::runtime_error("injected cell fault");
+    };
+    auto rows = runStudy(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].status, CellStatus::Failed);
+    EXPECT_TRUE(rows[0].training);
+    EXPECT_EQ(rows[0].error, "injected cell fault");
+    EXPECT_EQ(rows[0].attempts, 1);
+    EXPECT_EQ(rows[1].status, CellStatus::Simulated);
+    EXPECT_GT(rows[1].results[0].cycles(), 0.0);
+
+    // Failed rows serialize in the compact failure schema.
+    Json j = studyRowToJson(rows[0]);
+    const Json *failed = j.find("failed");
+    ASSERT_NE(failed, nullptr);
+    EXPECT_TRUE(failed->asBool());
+    EXPECT_EQ(j.find("error")->asString(), "injected cell fault");
+    EXPECT_EQ(j.find("policies"), nullptr);
+}
+
+/** A transient fault is retried and the cell then succeeds. */
+TEST(StudyRunner, TransientFaultRetries)
+{
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyHarness h;
+    h.retries = 2;
+    h.backoffMillis = 1;    // keep the test fast
+    StudyOptions opt = quickOptions();
+    opt.inferenceOnly = true;
+    opt.pool = &seq;
+    opt.harness = &h;
+    opt.faultHook = [](const StudyModel &, bool, int attempt) {
+        if (attempt == 1)
+            throw std::runtime_error("transient fault");
+    };
+    auto rows = runStudy(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].status, CellStatus::Simulated);
+    EXPECT_EQ(rows[0].attempts, 2);
+    EXPECT_GT(rows[0].results[0].cycles(), 0.0);
+}
+
+/** An attempt that overruns --cell-timeout is recorded as failed. */
+TEST(StudyRunner, CellTimeout)
+{
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyHarness h;
+    h.cellTimeoutSec = 0.02;
+    h.failBudget = 1;
+    StudyOptions opt = quickOptions();
+    opt.inferenceOnly = true;
+    opt.pool = &seq;
+    opt.harness = &h;
+    opt.faultHook = [](const StudyModel &, bool, int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    };
+    auto rows = runStudy(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].status, CellStatus::Failed);
+    EXPECT_NE(rows[0].error.find("timed out"), std::string::npos)
+        << rows[0].error;
+}
+
+/** Successful study rows round-trip through JSON byte-identically. */
+TEST(StudyRunner, RowJsonRoundTripsExactly)
+{
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyOptions opt = quickOptions();
+    opt.inferenceOnly = true;
+    opt.pool = &seq;
+    auto rows = runStudy(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(rows.size(), 1u);
+    Json j = studyRowToJson(rows[0]);
+    std::string dumped = j.dump(2);
+    std::string err;
+    Json parsed = Json::parse(dumped, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    StudyRow restored = studyRowFromJson(parsed);
+    EXPECT_EQ(studyRowToJson(restored).dump(2), dumped);
+    EXPECT_EQ(restored.model, rows[0].model);
+    EXPECT_EQ(restored.results[0].total.cycles,
+              rows[0].results[0].total.cycles);
+}
+
+/**
+ * The tentpole guarantee: a resumed sweep restores cached cells with
+ * bitwise-identical rows, a corrupted cache entry degrades to a
+ * re-simulation, and the cell key distinguishes modes.
+ */
+TEST(StudyRunner, CacheResumeIsByteIdentical)
+{
+    std::string dir = "study_cache_test";
+    std::filesystem::remove_all(dir);
+
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyHarness h;
+    h.cacheDir = dir;
+    StudyOptions opt = quickOptions();
+    opt.pool = &seq;
+    opt.harness = &h;
+    auto fresh = runStudy(opt);     // populates the cache
+
+    h.resume = true;
+    auto resumed = runStudy(opt);   // must restore every cell
+    setQuiet(false);
+
+    ASSERT_EQ(fresh.size(), 2u);
+    ASSERT_EQ(resumed.size(), fresh.size());
+    for (size_t r = 0; r < fresh.size(); r++) {
+        EXPECT_EQ(fresh[r].status, CellStatus::Simulated);
+        EXPECT_EQ(resumed[r].status, CellStatus::Cached);
+        EXPECT_EQ(studyRowToJson(resumed[r]).dump(2),
+                  studyRowToJson(fresh[r]).dump(2))
+            << "row " << r << " not byte-identical after resume";
+    }
+
+    // Corrupt one entry: that cell (and only that cell) re-simulates,
+    // and its numbers still match the fresh run exactly.
+    ResultCache cache(dir);
+    std::string key =
+        studyCellKey(opt.models[0], /*training=*/true,
+                     /*want_stats=*/false);
+    {
+        std::ofstream f(cache.entryPath(key), std::ios::trunc);
+        f << "not json";
+    }
+    setQuiet(true);
+    auto repaired = runStudy(opt);
+    setQuiet(false);
+    ASSERT_EQ(repaired.size(), 2u);
+    EXPECT_EQ(repaired[0].status, CellStatus::Simulated);
+    EXPECT_EQ(repaired[1].status, CellStatus::Cached);
+    // The re-simulated cell has new wall-clock timings but identical
+    // simulation numbers.
+    for (int pol = 0; pol < numIoPolicies; pol++)
+        expectStatsEqual(repaired[0].results[pol].total,
+                         fresh[0].results[pol].total, "repaired cell");
+
+    // Training and inference cells must never share a key.
+    EXPECT_NE(studyCellKey(opt.models[0], true, false),
+              studyCellKey(opt.models[0], false, false));
+    EXPECT_NE(studyCellKey(opt.models[0], true, false),
+              studyCellKey(opt.models[0], true, true));
 }
