@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/log.hh"
 #include "common/report.hh"
 #include "common/result_cache.hh"
@@ -194,6 +196,7 @@ runStudyCellGuarded(const StudyModel &m, bool training,
 {
     const char *mode = training ? "training" : "inference";
     int max_attempts = 1 + std::max(0, h.retries);
+    int attempts_used = max_attempts;
     std::string error = "unknown cell fault";
     for (int attempt = 1; attempt <= max_attempts; attempt++) {
         if (attempt > 1) {
@@ -205,22 +208,36 @@ runStudyCellGuarded(const StudyModel &m, bool training,
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(wait));
         }
+        bool aborted = false;
         try {
             return runStudyCell(m, training, opt, h, attempt);
+        } catch (const CellAbort &e) {
+            // Deterministic failure: retrying would reproduce it.
+            error = format("aborted: %s", e.what());
+            aborted = true;
+        } catch (const SimError &e) {
+            // DecodeError / FaultInjected: recoverable, worth a retry.
+            error = format("%s: %s", e.kind(), e.what());
         } catch (const std::exception &e) {
             error = e.what();
-        } catch (...) {
+        } catch (...) { // zcomp-lint: allow(catch-swallow)
+            // Last resort so one cell can never kill the sweep; the
+            // warn() below reports it like every other cell fault.
             error = "non-standard exception";
         }
         warn("%s (%s) attempt %d/%d failed: %s", modelName(m.id),
              mode, attempt, max_attempts, error.c_str());
+        if (aborted) {
+            attempts_used = attempt;
+            break;
+        }
     }
     StudyRow row;
     row.model = modelName(m.id);
     row.training = training;
     row.status = CellStatus::Failed;
     row.error = error;
-    row.attempts = max_attempts;
+    row.attempts = attempts_used;
     return row;
 }
 
@@ -231,6 +248,9 @@ studyCellKey(const StudyModel &m, bool training, bool want_stats)
 {
     Json key = Json::object();
     key["schema"] = studyCellSchemaVersion;
+    // Rows simulated under fault injection must never stand in for
+    // fault-free ones (or for runs with a different spec).
+    key["faultSpec"] = FaultInjector::global().spec();
     key["machine"] = machineToJson(ArchConfig{});
     Json &cell = key["cell"];
     cell = Json::object();
@@ -260,6 +280,10 @@ studyRowToJson(const StudyRow &row)
         return j;
     }
     j["prepMillis"] = row.prepMillis;
+    // Only rows that actually consumed retries carry the field, so
+    // fault-free rows keep their exact historical byte layout.
+    if (row.attempts > 1)
+        j["attempts"] = row.attempts;
 
     Json &pols = j["policies"];
     pols = Json::object();
@@ -325,6 +349,13 @@ studyRowFromJson(const Json &j)
         throw std::runtime_error(
             "study row JSON: prepMillis not a number");
     row.prepMillis = prep.asDouble();
+
+    if (const Json *attempts = j.find("attempts")) {
+        if (!attempts->isNumber())
+            throw std::runtime_error(
+                "study row JSON: attempts not a number");
+        row.attempts = static_cast<int>(attempts->asInt());
+    }
 
     const Json &pols = rowField(j, "policies");
     for (int pol = 0; pol < numIoPolicies; pol++) {
@@ -478,6 +509,10 @@ runStudy(const StudyOptions &opt)
         bump("cellsSimulated", rows.size() - cached - failed);
         bump("cellsCached", cached);
         bump("cellsFailed", failed);
+        // The fault section only appears when something fault-related
+        // happened, keeping fault-free reports byte-identical.
+        if (FaultInjector::global().enabled() || decodeErrorCount() > 0)
+            host["faults"] = faultStatsJson();
     }
 
     // Enforce the failure budget only after every row (including the
@@ -581,7 +616,13 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
                 "boundaries)\n"
                 "  --fail-budget N   tolerate up to N failed cells "
                 "before exiting\n"
-                "                    non-zero (default 0)\n",
+                "                    non-zero (default 0)\n"
+                "  --fault-spec SPEC arm deterministic fault "
+                "injection, e.g.\n"
+                "                    kernel.transient:1:7:2 "
+                "(site:prob[:seed[:max]],\n"
+                "                    comma-separated; see "
+                "EXPERIMENTS.md)\n",
                 argv[0]);
             std::exit(0);
         } else if (std::strcmp(arg, "--quiet") == 0 ||
@@ -609,6 +650,9 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
                             &value)) {
             h.failBudget = static_cast<int>(
                 intValue("--fail-budget", value, 0, 1000000));
+        } else if (valueArg(argc, argv, i, "--fault-spec", nullptr,
+                            &value)) {
+            FaultInjector::global().configure(value);
         } else if (valueArg(argc, argv, i, "--cell-timeout", nullptr,
                             &value)) {
             char *rest = nullptr;
@@ -633,6 +677,19 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
         RunReport::enableGlobal(report_path, title, std::move(args));
         RunReport::global()->setMachine(ArchConfig{});
         std::atexit(RunReport::finishGlobal);
+        // Registered after finishGlobal, so (LIFO) it runs first and
+        // the flushed report carries the final fault/decode counters
+        // even when the process exits through fatal().
+        std::atexit(+[] {
+            RunReport *rep = RunReport::global();
+            if (!rep)
+                return;
+            if (!FaultInjector::global().enabled() &&
+                decodeErrorCount() == 0)
+                return;
+            auto [doc, lock] = rep->root();
+            (*doc)["host"]["faults"] = faultStatsJson();
+        });
     }
     if (!trace_path.empty()) {
         TraceWriter::enableGlobal(trace_path);

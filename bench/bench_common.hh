@@ -128,7 +128,7 @@ StudyRow studyRowFromJson(const Json &j);
  * preparation change, so stale caches miss instead of resurrecting
  * rows the current code would not reproduce.
  */
-constexpr const char *studyCellSchemaVersion = "zcomp-study-cell-v1";
+constexpr const char *studyCellSchemaVersion = "zcomp-study-cell-v2";
 
 /**
  * Canonical result-cache key of one (model, mode) study cell: a JSON
@@ -215,6 +215,8 @@ std::vector<StudyRow> runFullStudy(bool training_only = false,
  *   --retries N        retry a faulting cell N times (backoff)
  *   --cell-timeout S   per-attempt budget in seconds (fractional ok)
  *   --fail-budget N    tolerate up to N failed cells (default 0)
+ *   --fault-spec SPEC  arm deterministic fault injection
+ *                      (site:prob[:seed[:max]][,...]; common/fault.hh)
  *
  * --report and --trace install the process-wide RunReport/TraceWriter
  * and register atexit flushes, so every bench binary gets them

@@ -1,0 +1,41 @@
+#include "error.hh"
+
+#include <atomic>
+#include <cstdarg>
+
+#include "log.hh"
+
+namespace zcomp {
+
+namespace {
+
+// Relaxed is enough: the counter is a monotonic event tally read for
+// reporting, never used to synchronize other data.
+std::atomic<uint64_t> decodeErrors_{0};
+
+} // namespace
+
+void
+decodeError(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    decodeErrors_.fetch_add(1, std::memory_order_relaxed);
+    throw DecodeError(msg);
+}
+
+uint64_t
+decodeErrorCount()
+{
+    return decodeErrors_.load(std::memory_order_relaxed);
+}
+
+void
+resetDecodeErrorCount()
+{
+    decodeErrors_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace zcomp

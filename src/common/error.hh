@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Typed recoverable simulator errors.
+ *
+ * The panic()/fatal() machinery in log.hh is for conditions the
+ * process cannot survive: internal invariant violations and bad user
+ * input at startup. Everything in between - a corrupted compressed
+ * stream, an injected transient fault, a study cell that must be
+ * abandoned - is *recoverable*: the study runner isolates the failing
+ * cell, retries it, and records the outcome per cell instead of
+ * killing the sweep. Those paths throw the SimError hierarchy below so
+ * callers can distinguish real error classes instead of pattern
+ * matching on what() strings:
+ *
+ *   SimError       - base; carries a stable machine-readable kind().
+ *   DecodeError    - a ZCOMP header/stream (or emulated memory) decode
+ *                    failed validation. Every throw bumps the global
+ *                    zcomp.decode_errors counter so detection events
+ *                    are observable in reports even when the error is
+ *                    swallowed by a retry loop.
+ *   FaultInjected  - a deterministic FaultInjector site fired
+ *                    (common/fault.hh); carries the site name.
+ *   CellAbort      - the current study cell is not worth retrying
+ *                    (deterministic failure); the runner records it
+ *                    failed after the first attempt.
+ */
+
+#ifndef ZCOMP_COMMON_ERROR_HH
+#define ZCOMP_COMMON_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace zcomp {
+
+/** Base class of all recoverable simulator errors. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(const char *kind, const std::string &what)
+        : std::runtime_error(what), kind_(kind)
+    {}
+
+    /** Stable machine-readable class name ("decode", "fault", ...). */
+    const char *kind() const { return kind_; }
+
+  private:
+    const char *kind_;
+};
+
+/** A compressed header/stream failed validation during decode. */
+class DecodeError : public SimError
+{
+  public:
+    explicit DecodeError(const std::string &what)
+        : SimError("decode", what)
+    {}
+};
+
+/** A FaultInjector site fired. */
+class FaultInjected : public SimError
+{
+  public:
+    FaultInjected(std::string site, const std::string &what)
+        : SimError("fault", what), site_(std::move(site))
+    {}
+
+    /** The fault site that fired (e.g. "kernel.transient"). */
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+/** The current study cell must be abandoned without retries. */
+class CellAbort : public SimError
+{
+  public:
+    explicit CellAbort(const std::string &what)
+        : SimError("abort", what)
+    {}
+};
+
+/**
+ * Throw a DecodeError with a printf-style message, bumping the global
+ * zcomp.decode_errors counter. All decode-validation sites route
+ * through here so every detection event is counted exactly once.
+ */
+[[noreturn]] void decodeError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Decode errors detected since process start (or the last reset). */
+uint64_t decodeErrorCount();
+
+/** Reset the decode-error counter (tests and the fuzz harness). */
+void resetDecodeErrorCount();
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_ERROR_HH

@@ -1,0 +1,235 @@
+#include "fault.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+#include "error.hh"
+#include "log.hh"
+
+namespace zcomp {
+
+namespace {
+
+const char *const knownSites[] = {
+    faultsite::DramBitflip,
+    faultsite::ZcompHeader,
+    faultsite::StreamTruncate,
+    faultsite::KernelTransient,
+};
+
+bool
+isKnownSite(const std::string &name)
+{
+    for (const char *site : knownSites) {
+        if (name == site) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// FNV-1a, so distinct sites sharing the default seed still draw
+// independent deterministic sequences.
+uint64_t
+hashSiteName(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) {
+        h = (h ^ c) * 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            out.push_back(text.substr(start));
+            return out;
+        }
+        out.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+}
+
+double
+parseProb(const std::string &text, const std::string &entry)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    fatal_if(text.empty() || end != text.c_str() + text.size() ||
+                 errno == ERANGE || !(v >= 0.0 && v <= 1.0),
+             "--fault-spec '%s': probability '%s' is not in [0, 1]",
+             entry.c_str(), text.c_str());
+    return v;
+}
+
+uint64_t
+parseU64(const std::string &text, const std::string &entry,
+         const char *what)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    fatal_if(text.empty() || text[0] == '-' ||
+                 end != text.c_str() + text.size() || errno == ERANGE,
+             "--fault-spec '%s': %s '%s' is not a non-negative integer",
+             entry.c_str(), what, text.c_str());
+    return v;
+}
+
+} // namespace
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::configure(const std::string &spec)
+{
+    if (spec.empty()) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string &entry : split(spec, ',')) {
+        std::vector<std::string> parts = split(entry, ':');
+        fatal_if(parts.size() < 2 || parts.size() > 4,
+                 "--fault-spec entry '%s' is not site:prob[:seed[:max]]",
+                 entry.c_str());
+        fatal_if(!isKnownSite(parts[0]),
+                 "--fault-spec names unknown fault site '%s' "
+                 "(known: dram.bitflip, zcomp.header, "
+                 "zcomp.stream.truncate, kernel.transient)",
+                 parts[0].c_str());
+        Site &site = sites_[parts[0]];
+        site.prob = parseProb(parts[1], entry);
+        site.hasSeed = parts.size() >= 3;
+        site.seed = site.hasSeed ? parseU64(parts[2], entry, "seed")
+                                 : hashSiteName(parts[0]);
+        site.hasMax = parts.size() >= 4;
+        site.maxInjections =
+            site.hasMax ? parseU64(parts[3], entry, "max") : 0;
+        site.fired = 0;
+        site.rng = Rng(site.seed);
+    }
+    enabled_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::shouldInject(const char *site)
+{
+    if (!enabled()) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+        return false;
+    }
+    Site &s = it->second;
+    if (s.hasMax && s.fired >= s.maxInjections) {
+        return false;
+    }
+    if (!s.rng.chance(s.prob)) {
+        return false;
+    }
+    s.fired++;
+    return true;
+}
+
+void
+FaultInjector::maybeInject(const char *site)
+{
+    if (shouldInject(site)) {
+        throw FaultInjected(site,
+                            format("injected fault at site %s", site));
+    }
+}
+
+std::string
+FaultInjector::specLocked() const
+{
+    std::string out;
+    for (const auto &kv : sites_) {
+        if (!out.empty()) {
+            out += ',';
+        }
+        out += kv.first + ':' + jsonNumber(kv.second.prob);
+        if (kv.second.hasSeed) {
+            out += ':' + std::to_string(kv.second.seed);
+        }
+        if (kv.second.hasMax) {
+            out += ':' + std::to_string(kv.second.maxInjections);
+        }
+    }
+    return out;
+}
+
+std::string
+FaultInjector::spec() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return specLocked();
+}
+
+uint64_t
+FaultInjector::injected(const char *site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.fired;
+}
+
+uint64_t
+FaultInjector::totalInjected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const auto &kv : sites_) {
+        total += kv.second.fired;
+    }
+    return total;
+}
+
+Json
+FaultInjector::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Json out = Json::object();
+    out["spec"] = Json(specLocked());
+    Json injected = Json::object();
+    for (const auto &kv : sites_) {
+        if (kv.second.fired > 0) {
+            injected[kv.first] = Json(kv.second.fired);
+        }
+    }
+    out["injected"] = injected;
+    return out;
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.clear();
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+Json
+faultStatsJson()
+{
+    Json out = FaultInjector::global().toJson();
+    out["decodeErrors"] = Json(decodeErrorCount());
+    return out;
+}
+
+} // namespace zcomp

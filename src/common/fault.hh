@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic, seeded, site-based fault injection.
+ *
+ * A fault *site* is a named point in the simulator where a recoverable
+ * failure can be provoked on purpose: an ECC event on a DRAM read, a
+ * corrupted ZCOMP header, a truncated compressed stream, a transient
+ * kernel fault. Sites are compiled in unconditionally but cost one
+ * relaxed atomic load when no fault spec is configured, so production
+ * runs are unaffected (and their output stays byte-identical).
+ *
+ * Configuration comes from the bench harness flag
+ *
+ *     --fault-spec site:prob[:seed[:max]][,site:prob...]
+ *
+ * where prob is the per-query injection probability in [0, 1], seed
+ * overrides the per-site RNG seed, and max caps the total number of
+ * injections at that site (0 = unlimited). Example:
+ *
+ *     --fault-spec kernel.transient:1:7:2,dram.bitflip:0.001
+ *
+ * injects exactly two kernel faults (so a study cell fails twice and
+ * then succeeds on its third attempt) and flips a DRAM bit on ~0.1% of
+ * reads.
+ *
+ * Determinism: each site draws from its own Rng, so the decision
+ * sequence at a site depends only on (seed, query index) - never on
+ * what other sites do or on wall-clock time. With --jobs 1 an entire
+ * study is exactly reproducible from the spec; with parallel jobs the
+ * per-site sequences are still deterministic but their interleaving
+ * across cells follows the scheduling order.
+ */
+
+#ifndef ZCOMP_COMMON_FAULT_HH
+#define ZCOMP_COMMON_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "json.hh"
+#include "rng.hh"
+
+namespace zcomp {
+
+/** Canonical site names. Use these, not string literals, at call sites. */
+namespace faultsite {
+
+/** A bit flip (detected + corrected ECC event) on a DRAM line read. */
+inline constexpr const char *DramBitflip = "dram.bitflip";
+/** Corrupt a ZCOMP per-vector header before decode. */
+inline constexpr const char *ZcompHeader = "zcomp.header";
+/** Truncate a compressed stream mid-decode. */
+inline constexpr const char *StreamTruncate = "zcomp.stream.truncate";
+/** A transient fault at kernel launch (exercises study-cell retries). */
+inline constexpr const char *KernelTransient = "kernel.transient";
+
+} // namespace faultsite
+
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** The process-wide injector all simulator components query. */
+    static FaultInjector &global();
+
+    /**
+     * Parse and apply a --fault-spec string. Unknown sites, malformed
+     * entries, and out-of-range probabilities are user errors and
+     * fatal(). An empty spec disables injection.
+     */
+    void configure(const std::string &spec);
+
+    /** True once any site is armed. Inline fast path for hot code. */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Deterministically decide whether the given site fires now.
+     * Counts the injection when it does. Sites that were never
+     * configured always answer false.
+     */
+    bool shouldInject(const char *site);
+
+    /** Like shouldInject(), but throws FaultInjected when it fires. */
+    void maybeInject(const char *site);
+
+    /** Canonical form of the configured spec ("" when disabled). */
+    std::string spec() const;
+
+    /** Total injections fired at one site so far. */
+    uint64_t injected(const char *site) const;
+
+    /** Injections fired across all sites. */
+    uint64_t totalInjected() const;
+
+    /**
+     * {"spec": ..., "injected": {site: count, ...}} with only the
+     * sites that actually fired, in site-name order.
+     */
+    Json toJson() const;
+
+    /** Drop all configuration and counts (tests). */
+    void reset();
+
+  private:
+    struct Site
+    {
+        double prob = 0;
+        uint64_t seed = 0;
+        bool hasSeed = false; //!< seed given explicitly in the spec
+        uint64_t maxInjections = 0;
+        bool hasMax = false; //!< cap given explicitly in the spec
+        uint64_t fired = 0;
+        Rng rng;
+    };
+
+    /** Canonical spec string; caller holds mutex_. */
+    std::string specLocked() const;
+
+    mutable std::mutex mutex_;
+    std::atomic<bool> enabled_{false};
+    std::map<std::string, Site> sites_;
+};
+
+/**
+ * The report-facing fault section: the injector's toJson() plus the
+ * global zcomp.decode_errors counter.
+ */
+Json faultStatsJson();
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_FAULT_HH

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/check.hh"
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace zcomp {
@@ -30,9 +31,14 @@ ZcompEmulator::reg(int i)
 uint8_t *
 ZcompEmulator::translate(Addr a, size_t bytes)
 {
-    fatal_if(a < base_ || a + bytes > base_ + size_,
-             "emulated access [0x%llx, +%zu) outside the memory window",
-             (unsigned long long)a, bytes);
+    // Recoverable: a corrupted header can promise payload past the
+    // window, and the caller (study runner, fuzz harness) must be able
+    // to detect and report it rather than die.
+    if (a < base_ || a + bytes > base_ + size_) {
+        decodeError("emulated access [0x%llx, +%zu) outside the memory "
+                    "window",
+                    (unsigned long long)a, bytes);
+    }
     return mem_ + (a - base_);
 }
 
@@ -103,8 +109,9 @@ ZcompResult
 ZcompEmulator::exec(uint32_t word)
 {
     auto instr = decode(word);
-    fatal_if(!instr.has_value(), "illegal instruction word 0x%08x",
-             word);
+    if (!instr.has_value()) {
+        decodeError("illegal instruction word 0x%08x", word);
+    }
     return exec(*instr);
 }
 

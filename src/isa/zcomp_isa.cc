@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/check.hh"
+#include "common/error.hh"
 
 namespace zcomp {
 
@@ -128,8 +129,14 @@ zcomplInterleaved(const uint8_t *src, ElemType t, Vec512 &out)
 {
     ZcompResult r;
     r.header = readHeader(src, t);
-    ZCOMP_DCHECK(headerInRange(r.header, t),
-                 "header selects nonexistent lanes");
+    if (!headerInRange(r.header, t)) {
+        // Lane-count validation runs in every build type: a header
+        // selecting lanes the element type does not have is corrupted
+        // input data, not a simulator bug.
+        decodeError("zcompl header 0x%llx selects lanes beyond the %d "
+                    "lanes of the element type",
+                    (unsigned long long)r.header, lanesPerVec(t));
+    }
     r.nnz = popcount64(r.header);
     r.dataBytes = r.nnz * elemBytes(t);
     r.totalBytes = r.dataBytes + headerBytes(t);
@@ -147,8 +154,11 @@ zcomplSeparate(const uint8_t *src, const uint8_t *hdr, ElemType t,
 {
     ZcompResult r;
     r.header = readHeader(hdr, t);
-    ZCOMP_DCHECK(headerInRange(r.header, t),
-                 "header selects nonexistent lanes");
+    if (!headerInRange(r.header, t)) {
+        decodeError("zcompl header 0x%llx selects lanes beyond the %d "
+                    "lanes of the element type",
+                    (unsigned long long)r.header, lanesPerVec(t));
+    }
     r.nnz = popcount64(r.header);
     r.dataBytes = r.nnz * elemBytes(t);
     r.totalBytes = r.dataBytes;

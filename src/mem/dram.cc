@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hh"
+#include "common/fault.hh"
 
 namespace zcomp {
 
@@ -92,8 +93,20 @@ Dram::access(Addr line, bool is_write, double now)
     }
     double start = std::max(now, busy);
     double finish = start + cyclesPerLine_;
+    double served = cyclesPerLine_;
+    if (FaultInjector::global().enabled() &&
+        FaultInjector::global().shouldInject(faultsite::DramBitflip)) {
+        // A detected-and-corrected ECC event: the controller retries
+        // the transfer, so the channel is occupied for a second line
+        // time and the requester sees the extra latency. No data is
+        // lost and byte counts are unchanged (the same line is
+        // delivered), keeping the hierarchy traffic identities intact.
+        finish += cyclesPerLine_;
+        served += cyclesPerLine_;
+        injectedBitflips_++;
+    }
     busy = finish;
-    busyAccum_[ch] += cyclesPerLine_;
+    busyAccum_[ch] += served;
     bytesRead += lineBytes;
     // Queue-drain sanity: a read is never served before the channel
     // frees up, and always pays at least the idle latency.
@@ -157,6 +170,7 @@ Dram::reset()
     std::fill(deferred_.begin(), deferred_.end(), 0);
     bytesRead = 0;
     bytesWritten = 0;
+    injectedBitflips_ = 0;
 }
 
 } // namespace zcomp

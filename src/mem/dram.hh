@@ -57,6 +57,12 @@ class Dram
     uint64_t deferredWrites() const;
 
     /**
+     * Corrected ECC events injected at the dram.bitflip fault site.
+     * Each one occupies its channel for an extra line transfer.
+     */
+    uint64_t injectedBitflips() const { return injectedBitflips_; }
+
+    /**
      * Verify the busy-time accounting identities (aborts on
      * violation):
      *  - per channel, accrued busy time fits the busy-until schedule
@@ -83,6 +89,7 @@ class Dram
     std::vector<double> busyUntil_;
     std::vector<double> busyAccum_;     //!< per-channel busy cycles
     std::vector<uint64_t> deferred_;    //!< per-channel deferred writes
+    uint64_t injectedBitflips_ = 0;     //!< dram.bitflip site events
 };
 
 } // namespace zcomp

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/fault.hh"
 #include "common/log.hh"
 #include "isa/avx512.hh"
 #include "zcomp/intrinsics.hh"
@@ -446,6 +447,9 @@ runReluExperiment(ExecContext &ctx, ReluImpl impl,
 {
     const int cores = ctx.config().numCores;
     const int logic_lat = ctx.config().zcomp.logicLatency;
+
+    // See NetworkSim::run(): fault before any state is prepared.
+    FaultInjector::global().maybeInject(faultsite::KernelTransient);
 
     ExperimentState st = prepare(ctx, impl, cfg);
     TracePhase store = buildStorePhase(st, impl, cfg, cores, logic_lat);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/bitops.hh"
+#include "common/fault.hh"
 #include "common/log.hh"
 #include "common/trace_writer.hh"
 #include "dnn/layers/conv.hh"
@@ -349,6 +350,11 @@ NetworkSim::scratchFor(int core)
 NetworkSimResult
 NetworkSim::run(const NetworkSimConfig &cfg)
 {
+    // Transient launch fault: thrown before any simulation state is
+    // mutated so a retried cell replays from a clean slate. This is
+    // the site the study runner's retry loop is tested against.
+    FaultInjector::global().maybeInject(faultsite::KernelTransient);
+
     if (cfg.coldCaches)
         ctx_.sys().resetAll();
 

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/bitops.hh"
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/log.hh"
 
 namespace zcomp {
@@ -120,28 +122,76 @@ CompressedReader::CompressedReader(const uint8_t *data,
 Vec512
 CompressedReader::get()
 {
+    const unsigned long long vec = stats_.vectors;
+    FaultInjector &faults = FaultInjector::global();
+    if (faults.enabled()) {
+        // Both sites model corruption the decoder *detects*; they take
+        // the same DecodeError path real validation failures do.
+        if (faults.shouldInject(faultsite::ZcompHeader)) {
+            decodeError("injected header corruption at vector %llu", vec);
+        }
+        if (faults.shouldInject(faultsite::StreamTruncate)) {
+            decodeError("injected stream truncation at vector %llu", vec);
+        }
+    }
+
+    // Validate the vector fully - header reachable, lanes in range,
+    // payload within capacity - before unpacking any payload byte.
+    const size_t hb = static_cast<size_t>(headerBytes(etype_));
+    const size_t eb = static_cast<size_t>(elemBytes(etype_));
+    uint64_t header;
+    if (hdrBase_) {
+        if (hdrBytesRead() + hb > hdrCap_) {
+            decodeError("header store truncated at vector %llu: "
+                        "%zu of %zu header bytes remain",
+                        vec, hdrCap_ - hdrBytesRead(), hb);
+        }
+        header = loadBytesLe(hdrPtr_, static_cast<int>(hb));
+    } else {
+        if (bytesRead() + hb > dataCap_) {
+            decodeError("compressed stream truncated at vector %llu: "
+                        "%zu of %zu header bytes remain",
+                        vec, dataCap_ - bytesRead(), hb);
+        }
+        header = loadBytesLe(dataPtr_, static_cast<int>(hb));
+    }
+    const size_t nnz = static_cast<size_t>(popcount64(header));
+    if (nnzRecord_) {
+        if (stats_.vectors >= nnzRecord_->size()) {
+            decodeError("decoding vector %llu but the writer recorded "
+                        "only %zu vectors",
+                        vec, nnzRecord_->size());
+        }
+        if ((*nnzRecord_)[stats_.vectors] != nnz) {
+            decodeError("vector %llu header popcount %zu does not match "
+                        "the writer's recorded nnz %u",
+                        vec, nnz,
+                        (unsigned)(*nnzRecord_)[stats_.vectors]);
+        }
+    }
+    const size_t payload = nnz * eb;
+    if (hdrBase_) {
+        if (bytesRead() + payload > dataCap_) {
+            decodeError("compressed payload truncated at vector %llu: "
+                        "header promises %zu bytes, %zu remain",
+                        vec, payload, dataCap_ - bytesRead());
+        }
+    } else {
+        if (bytesRead() + hb + payload > dataCap_) {
+            decodeError("compressed payload truncated at vector %llu: "
+                        "header promises %zu bytes, %zu remain",
+                        vec, payload, dataCap_ - bytesRead() - hb);
+        }
+    }
+
     Vec512 out;
     ZcompResult r;
     if (hdrBase_) {
-        fatal_if(hdrBytesRead() + static_cast<size_t>(headerBytes(etype_)) >
-                     hdrCap_,
-                 "header store underrun at vector %llu",
-                 (unsigned long long)stats_.vectors);
         r = zcomplSeparate(dataPtr_, hdrPtr_, etype_, out);
-        fatal_if(bytesRead() + static_cast<size_t>(r.dataBytes) > dataCap_,
-                 "compressed stream underrun at vector %llu",
-                 (unsigned long long)stats_.vectors);
         dataPtr_ += r.dataBytes;
-        hdrPtr_ += headerBytes(etype_);
+        hdrPtr_ += hb;
     } else {
-        fatal_if(bytesRead() + static_cast<size_t>(headerBytes(etype_)) >
-                     dataCap_,
-                 "compressed stream underrun at vector %llu",
-                 (unsigned long long)stats_.vectors);
         r = zcomplInterleaved(dataPtr_, etype_, out);
-        fatal_if(bytesRead() + static_cast<size_t>(r.totalBytes) > dataCap_,
-                 "compressed stream underrun at vector %llu",
-                 (unsigned long long)stats_.vectors);
         dataPtr_ += r.totalBytes;
     }
     stats_.vectors++;
@@ -149,6 +199,23 @@ CompressedReader::get()
     stats_.payloadBytes += static_cast<uint64_t>(r.dataBytes);
     stats_.headerBytes += static_cast<uint64_t>(headerBytes(etype_));
     return out;
+}
+
+void
+CompressedReader::finish() const
+{
+    if (bytesRead() != dataCap_) {
+        decodeError("compressed stream has %zu undecoded trailing bytes "
+                    "after %llu vectors",
+                    dataCap_ - bytesRead(),
+                    (unsigned long long)stats_.vectors);
+    }
+    if (hdrBase_ && hdrBytesRead() != hdrCap_) {
+        decodeError("header store has %zu undecoded trailing bytes "
+                    "after %llu vectors",
+                    hdrCap_ - hdrBytesRead(),
+                    (unsigned long long)stats_.vectors);
+    }
 }
 
 StreamStats

@@ -92,7 +92,19 @@ class CompressedWriter
     std::vector<uint8_t> nnzRecord_;
 };
 
-/** Sequential expanding reader with bounds checking. */
+/**
+ * Sequential expanding reader with decode validation.
+ *
+ * Every get() validates the next vector *before* touching payload
+ * bytes: the header must lie within the remaining stream, it may only
+ * select lanes the element type has, and the payload it implies must
+ * fit the remaining capacity. Violations raise DecodeError (and bump
+ * the global zcomp.decode_errors counter) in all build types - a
+ * corrupted stream is a recoverable input-data failure, not a
+ * simulator bug. The reader is also a fault-injection client: the
+ * zcomp.header and zcomp.stream.truncate sites model corruption that
+ * the decoder detects.
+ */
 class CompressedReader
 {
   public:
@@ -103,8 +115,27 @@ class CompressedReader
     CompressedReader(const uint8_t *data, size_t data_capacity,
                      const uint8_t *hdr, size_t hdr_capacity, ElemType t);
 
-    /** Load-expand the next vector. */
+    /** Load-expand the next vector; DecodeError on a malformed stream. */
     Vec512 get();
+
+    /**
+     * Cross-check each decoded header's popcount against the writer's
+     * per-vector NNZ record (see CompressedWriter::nnzRecord()). Any
+     * mismatch - including reading more vectors than were written -
+     * raises DecodeError at the offending vector. The record must
+     * outlive the reader; pass nullptr to disable.
+     */
+    void expectNnzRecord(const std::vector<uint8_t> *record)
+    {
+        nnzRecord_ = record;
+    }
+
+    /**
+     * Assert the stream was consumed exactly: for exactly-sized
+     * streams, trailing unread bytes mean a truncated decode loop or a
+     * header that under-reported its payload. DecodeError on leftovers.
+     */
+    void finish() const;
 
     const StreamStats &stats() const { return stats_; }
     size_t bytesRead() const { return dataPtr_ - dataBase_; }
@@ -119,6 +150,7 @@ class CompressedReader
     size_t hdrCap_ = 0;
     ElemType etype_;
     StreamStats stats_;
+    const std::vector<uint8_t> *nnzRecord_ = nullptr;
 };
 
 /**

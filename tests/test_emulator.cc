@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "isa/emulator.hh"
 #include "workload/snapshot.hh"
@@ -147,20 +148,23 @@ TEST(Emulator, Int8Variant)
     EXPECT_TRUE(m.emu.vreg(3) == v);
 }
 
-TEST(EmulatorDeath, OutOfWindowAccessFaults)
+TEST(Emulator, OutOfWindowAccessRaisesDecodeError)
 {
     Machine m(64);
     m.emu.reg(2) = memBase + 60;    // worst case would overflow
     m.emu.vreg(0).setLane<float>(0, 1.0f);
-    EXPECT_DEATH(m.emu.exec("zcomps.i.ps [r2], zmm0, eqz"),
-                 "outside the memory window");
+    uint64_t before = decodeErrorCount();
+    EXPECT_THROW(m.emu.exec("zcomps.i.ps [r2], zmm0, eqz"), DecodeError);
+    EXPECT_EQ(decodeErrorCount(), before + 1);
 }
 
-TEST(EmulatorDeath, IllegalWordFaults)
+TEST(Emulator, IllegalWordRaisesDecodeError)
 {
     Machine m(64);
-    EXPECT_DEATH(m.emu.exec(static_cast<uint32_t>(0xFFFFFFFF)),
-                 "illegal instruction");
+    uint64_t before = decodeErrorCount();
+    EXPECT_THROW(m.emu.exec(static_cast<uint32_t>(0xFFFFFFFF)),
+                 DecodeError);
+    EXPECT_EQ(decodeErrorCount(), before + 1);
 }
 
 TEST(EmulatorDeath, SyntaxErrorFaults)

@@ -212,3 +212,36 @@ TEST(JsonHelpers, EscapeAndNumber)
     double v = 0.1;
     EXPECT_EQ(std::stod(jsonNumber(v)), v);
 }
+
+TEST(Json, PathologicalNestingIsRejectedNotCrashed)
+{
+    // 10k-deep inputs must come back as a clean parse error from the
+    // depth limit, not a stack overflow. The parser recurses per
+    // nesting level, so the limit is what keeps this test alive.
+    const int depth = 10000;
+    std::string arrays(depth, '[');
+    arrays += std::string(depth, ']');
+    std::string err;
+    Json j = Json::parse(arrays, &err);
+    EXPECT_TRUE(j.isNull());
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos) << err;
+
+    std::string objects;
+    objects.reserve(depth * 8);
+    for (int i = 0; i < depth; i++)
+        objects += "{\"k\":";
+    objects += "null";
+    objects += std::string(depth, '}');
+    err.clear();
+    j = Json::parse(objects, &err);
+    EXPECT_TRUE(j.isNull());
+    EXPECT_NE(err.find("nesting too deep"), std::string::npos) << err;
+
+    // Nesting at the documented limit still parses.
+    std::string ok(256, '[');
+    ok += std::string(256, ']');
+    err.clear();
+    j = Json::parse(ok, &err);
+    EXPECT_EQ(err, "");
+    EXPECT_TRUE(j.isArray());
+}

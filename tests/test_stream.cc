@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/rng.hh"
 #include "zcomp/stream.hh"
 
@@ -183,6 +185,138 @@ TEST(Stream, SeparateHeaderImmuneToIncompressibleData)
     EXPECT_EQ(w.bytesWritten(), n * 4);
     EXPECT_EQ(w.hdrBytesWritten(), hdrs.size());
     EXPECT_DOUBLE_EQ(w.stats().sparsity(ElemType::F32), 0.0);
+}
+
+TEST(Stream, TruncatedStreamRaisesDecodeError)
+{
+    const size_t n = 16 * 4;
+    auto src = makeSparse(n, 0.4, 8);
+    std::vector<uint8_t> buf(n * 4 + 2 * (n / 16));
+    StreamStats s = compressBufferPs(src.data(), n, buf.data(),
+                                     buf.size(), Ccf::EQZ);
+    uint64_t before = decodeErrorCount();
+    CompressedReader r(buf.data(), s.totalBytes() - 1, ElemType::F32);
+    EXPECT_THROW(
+        {
+            for (size_t i = 0; i < n / 16; i++)
+                r.get();
+        },
+        DecodeError);
+    EXPECT_GT(decodeErrorCount(), before);
+}
+
+TEST(Stream, FinishRejectsTrailingBytes)
+{
+    const size_t n = 16 * 4;
+    auto src = makeSparse(n, 0.4, 9);
+    std::vector<uint8_t> buf(n * 4 + 2 * (n / 16));
+    StreamStats s = compressBufferPs(src.data(), n, buf.data(),
+                                     buf.size(), Ccf::EQZ);
+
+    CompressedReader exact(buf.data(), s.totalBytes(), ElemType::F32);
+    for (size_t i = 0; i < n / 16; i++)
+        exact.get();
+    EXPECT_NO_THROW(exact.finish());
+
+    // Same stream with 3 extra capacity bytes: a truncated decode
+    // loop (one vector short) leaves undecoded bytes behind.
+    CompressedReader leftover(buf.data(), s.totalBytes(),
+                              ElemType::F32);
+    for (size_t i = 0; i < n / 16 - 1; i++)
+        leftover.get();
+    EXPECT_THROW(leftover.finish(), DecodeError);
+}
+
+TEST(Stream, NnzRecordMismatchRaisesDecodeError)
+{
+    const size_t n = 16 * 3;
+    auto src = makeSparse(n, 0.4, 10);
+    std::vector<uint8_t> buf(n * 4 + 2 * (n / 16));
+    CompressedWriter w(buf.data(), buf.size(), ElemType::F32,
+                       Ccf::EQZ);
+    for (size_t i = 0; i < n; i += 16)
+        w.put(Vec512::load(src.data() + i));
+
+    // Intact stream + intact record decodes clean.
+    {
+        CompressedReader r(buf.data(), w.bytesWritten(), ElemType::F32);
+        r.expectNnzRecord(&w.nnzRecord());
+        for (int i = 0; i < 3; i++)
+            r.get();
+        EXPECT_NO_THROW(r.finish());
+    }
+
+    // A header bitflip in vector 1 disagrees with the record at
+    // exactly that vector.
+    std::vector<uint8_t> corrupt(buf.begin(), buf.end());
+    size_t v1_hdr = 2 + static_cast<size_t>(w.nnzRecord()[0]) * 4;
+    corrupt[v1_hdr] ^= 0x01;
+    CompressedReader r(corrupt.data(), w.bytesWritten(), ElemType::F32);
+    r.expectNnzRecord(&w.nnzRecord());
+    r.get();
+    uint64_t before = decodeErrorCount();
+    EXPECT_THROW(r.get(), DecodeError);
+    EXPECT_EQ(decodeErrorCount(), before + 1);
+
+    // Reading past the recorded vector count is also a mismatch.
+    CompressedReader over(buf.data(), w.bytesWritten(), ElemType::F32);
+    std::vector<uint8_t> short_record(w.nnzRecord().begin(),
+                                      w.nnzRecord().begin() + 2);
+    over.expectNnzRecord(&short_record);
+    over.get();
+    over.get();
+    EXPECT_THROW(over.get(), DecodeError);
+}
+
+TEST(Stream, SeparateHeaderStoreTruncationRaisesDecodeError)
+{
+    const size_t n = 16 * 4;
+    auto src = makeSparse(n, 0.5, 11);
+    std::vector<uint8_t> data(n * 4);
+    std::vector<uint8_t> hdrs(2 * (n / 16));
+    CompressedWriter w(data.data(), data.size(), hdrs.data(),
+                       hdrs.size(), ElemType::F32, Ccf::EQZ);
+    for (size_t i = 0; i < n; i += 16)
+        w.put(Vec512::load(src.data() + i));
+
+    CompressedReader r(data.data(), w.bytesWritten(), hdrs.data(),
+                       hdrs.size() - 1, ElemType::F32);
+    EXPECT_THROW(
+        {
+            for (size_t i = 0; i < n / 16; i++)
+                r.get();
+        },
+        DecodeError);
+}
+
+TEST(Stream, InjectedFaultSitesRaiseDecodeError)
+{
+    const size_t n = 16;
+    auto src = makeSparse(n, 0.5, 12);
+    std::vector<uint8_t> buf(n * 4 + 2);
+    StreamStats s = compressBufferPs(src.data(), n, buf.data(),
+                                     buf.size(), Ccf::EQZ);
+
+    FaultInjector::global().configure("zcomp.header:1");
+    uint64_t before = decodeErrorCount();
+    CompressedReader r(buf.data(), s.totalBytes(), ElemType::F32);
+    EXPECT_THROW(r.get(), DecodeError);
+    EXPECT_EQ(decodeErrorCount(), before + 1);
+    EXPECT_EQ(FaultInjector::global().injected(faultsite::ZcompHeader),
+              1u);
+    FaultInjector::global().reset();
+
+    FaultInjector::global().configure("zcomp.stream.truncate:1");
+    CompressedReader r2(buf.data(), s.totalBytes(), ElemType::F32);
+    EXPECT_THROW(r2.get(), DecodeError);
+    EXPECT_EQ(
+        FaultInjector::global().injected(faultsite::StreamTruncate),
+        1u);
+    FaultInjector::global().reset();
+
+    // Disarmed again: the same stream decodes clean.
+    CompressedReader r3(buf.data(), s.totalBytes(), ElemType::F32);
+    EXPECT_NO_THROW(r3.get());
 }
 
 TEST(Stream, FitsWorstCaseReportsHonestly)

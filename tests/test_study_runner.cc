@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/log.hh"
 #include "common/result_cache.hh"
 #include "common/thread_pool.hh"
@@ -201,6 +203,109 @@ TEST(StudyRunner, TransientFaultRetries)
     EXPECT_EQ(rows[0].status, CellStatus::Simulated);
     EXPECT_EQ(rows[0].attempts, 2);
     EXPECT_GT(rows[0].results[0].cycles(), 0.0);
+}
+
+/**
+ * End-to-end --fault-spec path: a capped kernel.transient site faults
+ * the first two attempts inside NetworkSim::run() itself (no test
+ * hook), and the retry loop recovers the cell once the cap is hit.
+ */
+TEST(StudyRunner, InjectedKernelFaultIsRetriedEndToEnd)
+{
+    FaultInjector::global().reset();
+    resetDecodeErrorCount();
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyHarness h;
+    h.retries = 2;
+    h.backoffMillis = 1;
+    StudyOptions opt = quickOptions();
+    opt.inferenceOnly = true;
+    opt.pool = &seq;
+    opt.harness = &h;
+    // prob 1, seed 1, at most 2 injections: attempts 1 and 2 fault on
+    // their first policy run, attempt 3 completes all policies clean.
+    FaultInjector::global().configure("kernel.transient:1:1:2");
+    auto rows = runStudy(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].status, CellStatus::Simulated);
+    EXPECT_EQ(rows[0].attempts, 3);
+    EXPECT_GT(rows[0].results[0].cycles(), 0.0);
+    EXPECT_EQ(
+        FaultInjector::global().injected(faultsite::KernelTransient),
+        2u);
+    FaultInjector::global().reset();
+}
+
+/** An uncapped always-fire fault site exhausts retries into a
+ *  typed Failed row whose error names the site. */
+TEST(StudyRunner, InjectedKernelFaultExhaustsRetries)
+{
+    FaultInjector::global().reset();
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyHarness h;
+    h.retries = 2;
+    h.backoffMillis = 1;
+    h.failBudget = 1;
+    StudyOptions opt = quickOptions();
+    opt.inferenceOnly = true;
+    opt.pool = &seq;
+    opt.harness = &h;
+    FaultInjector::global().configure("kernel.transient:1");
+    auto rows = runStudy(opt);
+    setQuiet(false);
+    FaultInjector::global().reset();
+
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].status, CellStatus::Failed);
+    EXPECT_EQ(rows[0].attempts, 3);
+    EXPECT_NE(rows[0].error.find("fault:"), std::string::npos)
+        << rows[0].error;
+    EXPECT_NE(rows[0].error.find("kernel.transient"),
+              std::string::npos)
+        << rows[0].error;
+}
+
+/** CellAbort bypasses the retry loop entirely. */
+TEST(StudyRunner, CellAbortSkipsRetries)
+{
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyHarness h;
+    h.retries = 5;
+    h.backoffMillis = 1;
+    h.failBudget = 1;
+    StudyOptions opt = quickOptions();
+    opt.inferenceOnly = true;
+    opt.pool = &seq;
+    opt.harness = &h;
+    opt.faultHook = [](const StudyModel &, bool, int) {
+        throw CellAbort("operator stop");
+    };
+    auto rows = runStudy(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].status, CellStatus::Failed);
+    EXPECT_EQ(rows[0].attempts, 1);
+    EXPECT_EQ(rows[0].error, "aborted: operator stop");
+}
+
+/** Arming fault injection changes the cell cache key, so faulted
+ *  sweeps can never poison (or reuse) clean cached rows. */
+TEST(StudyRunner, FaultSpecIsPartOfCellKey)
+{
+    StudyOptions opt = quickOptions();
+    FaultInjector::global().reset();
+    std::string clean = studyCellKey(opt.models[0], true, false);
+    FaultInjector::global().configure("kernel.transient:0.5");
+    std::string faulted = studyCellKey(opt.models[0], true, false);
+    FaultInjector::global().reset();
+    EXPECT_NE(clean, faulted);
+    EXPECT_EQ(clean, studyCellKey(opt.models[0], true, false));
 }
 
 /** An attempt that overruns --cell-timeout is recorded as failed. */

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Robustness test for zcomp_inspect: malformed input must produce a
+clean diagnostic and a non-zero exit, never a crash/signal, and valid
+garbage data must still be analyzed.
+
+Usage: test_inspect_robustness.py <path-to-zcomp_inspect>
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+
+failures = []
+
+
+def run(args, **kw):
+    return subprocess.run(args, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, timeout=60, **kw)
+
+
+def check(name, proc, want_exit_zero, want_stderr=None):
+    if proc.returncode < 0:
+        failures.append("%s: killed by signal %d" %
+                        (name, -proc.returncode))
+        return
+    ok = (proc.returncode == 0) == want_exit_zero
+    if not ok:
+        failures.append("%s: exit %d (wanted %s)" %
+                        (name, proc.returncode,
+                         "0" if want_exit_zero else "non-zero"))
+        return
+    if not want_exit_zero and not proc.stderr.strip():
+        failures.append("%s: non-zero exit with no diagnostic" % name)
+        return
+    if want_stderr and want_stderr not in proc.stderr.decode(
+            "utf-8", "replace"):
+        failures.append("%s: stderr %r lacks %r" %
+                        (name, proc.stderr[:200], want_stderr))
+        return
+    print("ok: %s" % name)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: %s <zcomp_inspect binary>" % sys.argv[0])
+        return 2
+    tool = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        empty = os.path.join(tmp, "empty.bin")
+        open(empty, "wb").close()
+        tiny = os.path.join(tmp, "tiny.bin")
+        with open(tiny, "wb") as f:
+            f.write(b"\x37" * 63)
+        rng = random.Random(0x5EED)
+        garbage = os.path.join(tmp, "garbage.bin")
+        with open(garbage, "wb") as f:
+            f.write(bytes(rng.randrange(256) for _ in range(4096)))
+
+        check("no args", run([tool]), False, "usage")
+        check("missing file",
+              run([tool, os.path.join(tmp, "no.such.file")]), False,
+              "cannot open")
+        check("empty file", run([tool, empty]), False, "too small")
+        check("sub-line file", run([tool, tiny]), False, "too small")
+
+        # Arbitrary bytes >= one cache line are a valid fp32 dump: the
+        # tool must analyze them and exit 0.
+        check("garbage bytes analyze", run([tool, garbage]), True)
+        jp = run([tool, "--json", garbage])
+        check("garbage bytes --json", jp, True)
+        if jp.returncode == 0:
+            try:
+                doc = json.loads(jp.stdout)
+                assert doc["bytes"] == 4096
+                assert "zcomp" in doc and "ratio" in doc["zcomp"]
+                print("ok: --json output parses")
+            except Exception as e:  # noqa: BLE001
+                failures.append("--json output unparseable: %s" % e)
+
+        check("synth valid", run([tool, "--synth", "0.5", "65536"]),
+              True)
+        check("synth sparsity junk", run([tool, "--synth", "abc"]),
+              False, "[0, 1]")
+        check("synth sparsity trailing",
+              run([tool, "--synth", "0.5x"]), False, "[0, 1]")
+        check("synth sparsity out of range",
+              run([tool, "--synth", "1.5"]), False, "[0, 1]")
+        check("synth bytes junk",
+              run([tool, "--synth", "0.5", "12q"]), False, "integer")
+        check("synth bytes negative",
+              run([tool, "--synth", "0.5", "-64"]), False, "integer")
+        check("synth bytes absurd",
+              run([tool, "--synth", "0.5", "99999999999999"]), False,
+              "integer")
+
+    if failures:
+        for f in failures:
+            print("FAIL: %s" % f, file=sys.stderr)
+        return 1
+    print("zcomp_inspect robustness: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,11 @@
  * machine-readable JSON document on stdout with the same numbers.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -33,6 +35,43 @@
 using namespace zcomp;
 
 namespace {
+
+/** Strict numeric parsers: reject trailing junk and out-of-range
+ *  values with a message instead of silently reading them as 0. */
+double
+parseSparsity(const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE || !(v >= 0) ||
+        !(v <= 1)) {
+        std::fprintf(stderr,
+                     "zcomp_inspect: sparsity '%s' is not a number "
+                     "in [0, 1]\n",
+                     text);
+        std::exit(1);
+    }
+    return v;
+}
+
+size_t
+parseBytes(const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(text, &end, 10);
+    const long long max_bytes = 1ll << 32;
+    if (end == text || *end != '\0' || errno == ERANGE || v < 64 ||
+        v > max_bytes) {
+        std::fprintf(stderr,
+                     "zcomp_inspect: bytes '%s' is not an integer in "
+                     "[64, %lld]\n",
+                     text, max_bytes);
+        std::exit(1);
+    }
+    return static_cast<size_t>(v);
+}
 
 std::vector<uint8_t>
 readFile(const char *path)
@@ -51,8 +90,12 @@ readFile(const char *path)
     }
     std::vector<uint8_t> bytes(size);
     in.seekg(0);
-    in.read(reinterpret_cast<char *>(bytes.data()),
-            static_cast<std::streamsize>(size));
+    if (!in.read(reinterpret_cast<char *>(bytes.data()),
+                 static_cast<std::streamsize>(size))) {
+        std::fprintf(stderr, "%s: short read (wanted %zu bytes)\n",
+                     path, size);
+        std::exit(1);
+    }
     return bytes;
 }
 
@@ -67,10 +110,27 @@ makeSynthetic(double sparsity, size_t bytes)
     return out;
 }
 
+int runInspect(int argc, char **argv);
+
 } // namespace
 
 int
 main(int argc, char **argv)
+{
+    // Malformed inputs must come back as a clean diagnostic and a
+    // non-zero exit, never as an unhandled exception or a crash.
+    try {
+        return runInspect(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "zcomp_inspect: %s\n", e.what());
+        return 1;
+    }
+}
+
+namespace {
+
+int
+runInspect(int argc, char **argv)
 {
     // Pull --json out first so it can appear anywhere.
     bool json_mode = false;
@@ -87,10 +147,8 @@ main(int argc, char **argv)
     std::vector<uint8_t> data;
     std::string source;
     if (nargs >= 3 && std::string(args[1]) == "--synth") {
-        double sparsity = std::atof(args[2]);
-        size_t bytes = nargs >= 4
-                           ? static_cast<size_t>(std::atoll(args[3]))
-                           : (1u << 20);
+        double sparsity = parseSparsity(args[2]);
+        size_t bytes = nargs >= 4 ? parseBytes(args[3]) : (1u << 20);
         bytes -= bytes % 64;
         data = makeSynthetic(sparsity, bytes);
         source = "synthetic snapshot";
@@ -201,3 +259,5 @@ main(int argc, char **argv)
     }
     return 0;
 }
+
+} // namespace

@@ -21,6 +21,10 @@ raw-new             no raw `new` / `delete` outside explicitly
 rng                 no rand()/srand()/std::mt19937/... - all
                     randomness flows through common/rng.hh so studies
                     stay reproducible and seedable.
+catch-swallow       no `catch (...)` whose body neither rethrows,
+                    captures std::current_exception, nor logs - silent
+                    swallows hide real faults from the fault-injection
+                    and retry machinery.
 
 A finding on line N is suppressed by a comment
     // zcomp-lint: allow(<rule>)
@@ -289,6 +293,45 @@ def check_rng(root, findings):
                     "stay reproducible"))
 
 
+CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+# A catch-all body is fine if it rethrows, keeps the exception, or at
+# least reports it somewhere a human or the retry loop can see.
+CATCH_EVIDENCE_RE = re.compile(
+    r"\b(throw|current_exception|rethrow_exception|abort|exit|"
+    r"warn|inform|fatal|panic|fprintf|printf|cerr|clog|log)\b")
+
+
+def check_catch_swallow(root, findings):
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "catch-swallow")
+        text = "\n".join(strip_comments_and_strings(lines))
+        for m in CATCH_ALL_RE.finditer(text):
+            lineno = text[:m.start()].count("\n") + 1
+            if lineno in allowed:
+                continue
+            open_brace = text.find("{", m.end())
+            if open_brace < 0:
+                continue
+            depth = 0
+            end = -1
+            for j in range(open_brace, len(text)):
+                if text[j] == "{":
+                    depth += 1
+                elif text[j] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = j
+                        break
+            body = text[open_brace + 1:end] if end >= 0 \
+                else text[open_brace + 1:]
+            if not CATCH_EVIDENCE_RE.search(body):
+                findings.append(Finding(
+                    "catch-swallow", relpath(root, path), lineno,
+                    "catch (...) swallows the exception silently; "
+                    "rethrow, keep current_exception, or log it"))
+
+
 ALL_RULES = [
     check_cmake_registration,
     check_header_guard,
@@ -296,6 +339,7 @@ ALL_RULES = [
     check_stat_names,
     check_raw_new,
     check_rng,
+    check_catch_swallow,
 ]
 
 
@@ -321,7 +365,7 @@ def self_test():
     with tempfile.TemporaryDirectory() as root:
         write(os.path.join(root, "src", "CMakeLists.txt"),
               "add_library(x STATIC clean.cc dup_stats.cc raw_new.cc\n"
-              "    bad_rng.cc annotated.cc)\n")
+              "    bad_rng.cc annotated.cc catch_swallow.cc)\n")
         write(os.path.join(root, "src", "clean.cc"),
               '#include "clean.hh"\n'
               "// new Widget in a comment is fine\n"
@@ -352,6 +396,30 @@ def self_test():
               "#include <random>\n"
               "std::mt19937 gen;\n"
               "int r() { return rand(); }\n")
+        write(os.path.join(root, "src", "catch_swallow.cc"),
+              "void swallows() {\n"
+              "    try { work(); } catch (...) {\n"
+              "        int cleanup = 0;\n"          # silent: flagged
+              "        (void)cleanup;\n"
+              "    }\n"
+              "}\n"
+              "void rethrows() {\n"
+              "    try { work(); } catch (...) { throw; }\n"
+              "}\n"
+              "void keeps() {\n"
+              "    try { work(); } catch (...) {\n"
+              "        e = std::current_exception();\n"
+              "    }\n"
+              "}\n"
+              "void logs() {\n"
+              "    try { work(); } catch (...) {\n"
+              '        warn("cell fault");\n'
+              "    }\n"
+              "}\n"
+              "void annotated() {\n"
+              "    // zcomp-lint: allow(catch-swallow)\n"
+              "    try { work(); } catch (...) {}\n"
+              "}\n")
 
         findings = run_lint(root)
         got = {(f.rule, f.path, f.line) for f in findings}
@@ -365,6 +433,7 @@ def self_test():
             ("raw-new", "src/raw_new.cc", 2),
             ("rng", "src/bad_rng.cc", 2),
             ("rng", "src/bad_rng.cc", 3),
+            ("catch-swallow", "src/catch_swallow.cc", 2),
         }
         ok = True
         for item in sorted(want - got):
