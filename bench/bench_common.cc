@@ -50,11 +50,13 @@ studyModels()
 }
 
 PreparedNet
-prepareNet(const StudyModel &m, bool training, uint64_t seed)
+prepareNet(const StudyModel &m, bool training, uint64_t seed,
+           BumpArena *arena)
 {
     PreparedNet p;
     ArchConfig cfg;
-    p.ctx = std::make_unique<ExecContext>(cfg);
+    p.ctx = arena ? std::make_unique<ExecContext>(cfg, arena)
+                  : std::make_unique<ExecContext>(cfg);
 
     ModelOptions opt;
     opt.batch = training ? m.trainBatch : m.inferBatch;
@@ -127,7 +129,7 @@ class Deadline
  */
 StudyRow
 runStudyCell(const StudyModel &m, bool training, const StudyOptions &opt,
-             const StudyHarness &h, int attempt)
+             const StudyHarness &h, int attempt, BumpArena &arena)
 {
     const char *mode = training ? "training" : "inference";
     inform("preparing %s (%s)...", modelName(m.id), mode);
@@ -140,9 +142,12 @@ runStudyCell(const StudyModel &m, bool training, const StudyOptions &opt,
         opt.faultHook(m, training, attempt);
     deadline.check();
 
-    Clock::time_point t0 = Clock::now();
+    // Span timestamps are sampled outside the timed windows: nowUs()
+    // before Clock::now() on entry, and after msSince() on exit, so
+    // --trace never perturbs the prep/sim wall-clock numbers.
     double tus0 = tw ? tw->nowUs() : 0;
-    PreparedNet p = prepareNet(m, training);
+    Clock::time_point t0 = Clock::now();
+    PreparedNet p = prepareNet(m, training, /*seed=*/1, &arena);
     StudyRow row;
     row.model = modelName(m.id);
     row.training = training;
@@ -157,8 +162,8 @@ runStudyCell(const StudyModel &m, bool training, const StudyOptions &opt,
         NetworkSimConfig cfg;
         cfg.policy = static_cast<IoPolicy>(pol);
         cfg.traceLabel = cell;
-        Clock::time_point t1 = Clock::now();
         double tus1 = tw ? tw->nowUs() : 0;
+        Clock::time_point t1 = Clock::now();
         row.results[pol] = sim.run(cfg);
         row.simMillis[pol] = msSince(t1);
         if (tw) {
@@ -198,8 +203,13 @@ runStudyCellGuarded(const StudyModel &m, bool training,
     int max_attempts = 1 + std::max(0, h.retries);
     int attempts_used = max_attempts;
     std::string error = "unknown cell fault";
+    // One arena per cell: every attempt's tensors and scratch come
+    // from it, and a faulted attempt's memory is reclaimed wholesale
+    // by the reset below (chunks and warmed pages are retained).
+    BumpArena arena;
     for (int attempt = 1; attempt <= max_attempts; attempt++) {
         if (attempt > 1) {
+            arena.reset();
             // Doubling backoff, capped so a long retry chain cannot
             // stall the sweep for minutes.
             int shift = std::min(attempt - 2, 10);
@@ -210,7 +220,7 @@ runStudyCellGuarded(const StudyModel &m, bool training,
         }
         bool aborted = false;
         try {
-            return runStudyCell(m, training, opt, h, attempt);
+            return runStudyCell(m, training, opt, h, attempt, arena);
         } catch (const CellAbort &e) {
             // Deterministic failure: retrying would reproduce it.
             error = format("aborted: %s", e.what());

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/json.hh"
 #include "common/thread_pool.hh"
 #include "dnn/models.hh"
@@ -67,8 +68,16 @@ struct PreparedNet
     std::unique_ptr<Network> net;
 };
 
+/**
+ * @param arena optional caller-owned bump arena backing every tensor
+ *        and scratch buffer of the prepared network (see
+ *        ExecContext(const ArchConfig &, BumpArena *)). The study
+ *        runner passes one arena per (model, mode) cell and resets it
+ *        between retry attempts so a faulted attempt's memory is
+ *        reclaimed wholesale.
+ */
 PreparedNet prepareNet(const StudyModel &m, bool training,
-                       uint64_t seed = 1);
+                       uint64_t seed = 1, BumpArena *arena = nullptr);
 
 /** How a study cell's row came to be. */
 enum class CellStatus

@@ -1,0 +1,72 @@
+#include "common/arena.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/check.hh"
+
+namespace zcomp {
+
+BumpArena::BumpArena(size_t chunkBytes)
+    : chunkBytes_(std::max(chunkBytes, size_t{1} << 16))
+{
+}
+
+size_t
+BumpArena::alignedOff(const Chunk &c)
+{
+    const auto base = reinterpret_cast<uintptr_t>(c.mem.get());
+    return alignUp(base + c.used, kAlign) - base;
+}
+
+BumpArena::Chunk &
+BumpArena::chunkWithRoom(size_t bytes)
+{
+    while (cur_ < chunks_.size()) {
+        Chunk &c = chunks_[cur_];
+        if (alignedOff(c) + bytes <= c.size)
+            return c;
+        cur_++;
+    }
+    Chunk c;
+    c.size = std::max(chunkBytes_, bytes + kAlign);
+    // make_unique value-initializes the array: fresh chunks are zero.
+    c.mem = std::make_unique<uint8_t[]>(c.size);
+    reserved_ += c.size;
+    chunks_.push_back(std::move(c));
+    cur_ = chunks_.size() - 1;
+    return chunks_.back();
+}
+
+uint8_t *
+BumpArena::alloc(size_t bytes)
+{
+    ZCOMP_CHECK(bytes > 0, "arena alloc of zero bytes");
+    Chunk &c = chunkWithRoom(bytes);
+    const size_t off = alignedOff(c);
+    uint8_t *p = c.mem.get() + off;
+    // Only the part of the block below the chunk's dirty high-water
+    // mark has ever been written; everything above it is still zero
+    // from the chunk's value-initialization.
+    if (off < c.dirty)
+        std::memset(p, 0, std::min(bytes, c.dirty - off));
+    c.used = off + bytes + kRedzone;
+    c.dirty = std::max(c.dirty, c.used);
+    allocated_ += bytes;
+    allocCount_++;
+    return p;
+}
+
+void
+BumpArena::reset()
+{
+    for (Chunk &c : chunks_)
+        c.used = 0;
+    cur_ = 0;
+    allocated_ = 0;
+    allocCount_ = 0;
+    resetCount_++;
+}
+
+} // namespace zcomp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * BumpArena - a chunked bump allocator for per-study-cell tensor and
+ * scratch memory.
+ *
+ * The study runner allocates the same set of buffers for every retry
+ * of a cell and for every policy within a cell; going through the
+ * general-purpose heap made each (model, mode) cell pay malloc + page
+ * fault + memset costs repeatedly. A BumpArena instead grows a small
+ * list of large chunks once, hands out zeroed 64-byte-aligned blocks
+ * by bumping an offset, and reclaims everything at once with reset()
+ * while keeping the chunks (and their warmed pages) for the next use.
+ *
+ * Allocations are zero-filled, matching the heap path they replace.
+ * Fresh chunk memory is zero by construction; reset() does not wipe,
+ * instead each chunk tracks a high-water "dirty" offset and alloc()
+ * re-zeroes only the prefix of the block that was handed out before.
+ *
+ * Blocks are separated by a small redzone pad so a modest buffer
+ * overrun clobbers padding, not a neighbouring tensor.
+ *
+ * Not thread-safe; each study cell owns its arena exclusively.
+ */
+
+#ifndef ZCOMP_COMMON_ARENA_HH
+#define ZCOMP_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace zcomp {
+
+class BumpArena
+{
+  public:
+    static constexpr size_t kAlign = 64;
+    static constexpr size_t kRedzone = 64;
+
+    explicit BumpArena(size_t chunkBytes = size_t{64} << 20);
+
+    BumpArena(const BumpArena &) = delete;
+    BumpArena &operator=(const BumpArena &) = delete;
+
+    /** Zero-filled block of @p bytes, aligned to kAlign. */
+    uint8_t *alloc(size_t bytes);
+
+    /**
+     * Reclaim every allocation at once. Chunks (and the OS pages
+     * backing them) are retained for reuse; outstanding pointers into
+     * the arena become invalid.
+     */
+    void reset();
+
+    /** Bytes handed out since the last reset (excluding padding). */
+    size_t allocatedBytes() const { return allocated_; }
+
+    /** Total chunk capacity currently reserved from the heap. */
+    size_t reservedBytes() const { return reserved_; }
+
+    /** Number of allocations since the last reset. */
+    size_t allocCount() const { return allocCount_; }
+
+    /** Number of times reset() has been called. */
+    size_t resetCount() const { return resetCount_; }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<uint8_t[]> mem; //< zero-initialized at birth
+        size_t size = 0;
+        size_t used = 0;  //< bump offset of the current epoch
+        size_t dirty = 0; //< high-water mark across all epochs
+    };
+
+    /**
+     * Bump offset of the next block in c: the smallest offset at or
+     * above the used mark whose *host address* is kAlign-aligned
+     * (operator new only guarantees 16-byte alignment for the chunk
+     * base itself).
+     */
+    static size_t alignedOff(const Chunk &c);
+
+    Chunk &chunkWithRoom(size_t bytes);
+
+    std::vector<Chunk> chunks_;
+    size_t cur_ = 0; //< index of the chunk being bumped
+    size_t chunkBytes_;
+    size_t allocated_ = 0;
+    size_t reserved_ = 0;
+    size_t allocCount_ = 0;
+    size_t resetCount_ = 0;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_ARENA_HH

@@ -1,6 +1,9 @@
 #include "cpu/system.hh"
 
 #include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
 
 #include "common/log.hh"
 
@@ -33,19 +36,29 @@ MultiCoreSystem::runPhase(const TracePhase &phase)
         cores_[static_cast<size_t>(c)]->startPhase(t, globalTime_);
     }
 
-    // Interleave: always advance the core with the smallest local time.
+    // Interleave: always advance the core with the smallest local
+    // time. A min-heap keyed (time, coreId) replaces the former
+    // linear scan over all cores per step; the lexicographic order
+    // reproduces the scan's pick exactly (strictly-smaller time wins,
+    // lowest core id wins ties), so the step sequence - and therefore
+    // every timing result - is unchanged. Each live core has exactly
+    // one heap entry, kept current by re-pushing after its step.
+    using TimeSlot = std::pair<double, int>;
+    std::priority_queue<TimeSlot, std::vector<TimeSlot>,
+                        std::greater<TimeSlot>>
+        ready;
+    for (int c = 0; c < cfg_.numCores; c++)
+        ready.push({cores_[static_cast<size_t>(c)]->time(), c});
     int remaining = cfg_.numCores;
     while (remaining > 0) {
-        CoreModel *next = nullptr;
-        for (auto &core : cores_) {
-            if (core->done())
-                continue;
-            if (!next || core->time() < next->time())
-                next = core.get();
-        }
+        const int id = ready.top().second;
+        ready.pop();
+        CoreModel *next = cores_[static_cast<size_t>(id)].get();
         next->step();
         if (next->done())
             remaining--;
+        else
+            ready.push({next->time(), id});
     }
 
     // Barrier: everyone waits for the slowest core.

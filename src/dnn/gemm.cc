@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
+#include "common/simd.hh"
 #include "common/thread_pool.hh"
 
 namespace zcomp {
@@ -53,6 +55,8 @@ gemmRows(size_t i0, size_t i1, size_t n, size_t k, const float *a,
                 if (av == 0.0f)
                     continue;
                 const float *brow = b + p * n;
+                if (simd::axpyF32(av, brow, crow, n))
+                    continue;
                 for (size_t j = 0; j < n; j++)
                     crow[j] += av * brow[j];
             }
@@ -77,6 +81,8 @@ gemmAtBRows(size_t i0, size_t i1, size_t m, size_t n, size_t k,
                 if (av == 0.0f)
                     continue;
                 float *crow = c + i * n;
+                if (simd::axpyF32(av, brow, crow, n))
+                    continue;
                 for (size_t j = 0; j < n; j++)
                     crow[j] += av * brow[j];
             }
@@ -103,12 +109,42 @@ gemmABtRows(size_t i0, size_t i1, size_t n, size_t k, const float *a,
                 crow[j] *= beta;
         }
     }
+    // Probe whether the active backend has a vector path (a zero-
+    // length panel is a no-op either way); falling back mid-block is
+    // impossible since the backend is fixed for the run.
+    float probe[16] = {};
+    const bool vec = simd::dotPanel16F32(probe, probe, 0, probe);
+    static thread_local std::vector<float> btbuf;
+    if (vec)
+        btbuf.resize(Kc * 16);
     for (size_t pc = 0; pc < k; pc += Kc) {
         size_t pe = std::min(k, pc + Kc);
+        const size_t plen = pe - pc;
+        size_t j0 = 0;
+        if (vec) {
+            // 16-column panels: transpose the B^T panel once (exact
+            // copies) and reuse it for every row of the block. Each
+            // c(i,j) still accumulates its products in ascending p
+            // with separate multiply and add, so the value computed
+            // for every element is bit-identical to the scalar loop
+            // below; only the order *across* independent elements
+            // changes.
+            for (; j0 + 16 <= n; j0 += 16) {
+                for (size_t l = 0; l < 16; l++) {
+                    const float *bcol = b + (j0 + l) * k + pc;
+                    for (size_t p = 0; p < plen; p++)
+                        btbuf[p * 16 + l] = bcol[p];
+                }
+                for (size_t i = i0; i < i1; i++) {
+                    simd::dotPanel16F32(a + i * k + pc, btbuf.data(),
+                                        plen, c + i * n + j0);
+                }
+            }
+        }
         for (size_t i = i0; i < i1; i++) {
             const float *arow = a + i * k;
             float *crow = c + i * n;
-            for (size_t j = 0; j < n; j++) {
+            for (size_t j = j0; j < n; j++) {
                 const float *brow = b + j * k;
                 float acc = crow[j];
                 for (size_t p = pc; p < pe; p++)

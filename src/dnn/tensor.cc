@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "common/simd.hh"
 
 namespace zcomp {
 
@@ -35,8 +36,12 @@ Tensor::zero()
 double
 Tensor::sparsity() const
 {
-    size_t zeros = 0;
     const float *d = data();
+    size_t nnz = 0;
+    if (simd::countNonzeroF32(d, elems(), nnz))
+        return static_cast<double>(elems() - nnz) /
+               static_cast<double>(elems());
+    size_t zeros = 0;
     for (size_t i = 0; i < elems(); i++) {
         if (d[i] == 0.0f)
             zeros++;

@@ -1,8 +1,12 @@
 #include "isa/zcomp_isa.hh"
 
+#include <bit>
+#include <cstring>
+
 #include "common/bitops.hh"
 #include "common/check.hh"
 #include "common/error.hh"
+#include "common/simd.hh"
 
 namespace zcomp {
 
@@ -17,8 +21,11 @@ laneRaw(const Vec512 &v, ElemType t, int i)
 uint64_t
 computeHeader(const Vec512 &v, ElemType t, Ccf ccf)
 {
-    const int lanes = lanesPerVec(t);
     uint64_t header = 0;
+    if (simd::laneHeader(v.bytes, elemBytes(t), ccf == Ccf::LTEZ, header))
+        return header;
+    // Scalar reference: laneKept() on each lane's raw bits.
+    const int lanes = lanesPerVec(t);
     for (int i = 0; i < lanes; i++) {
         if (laneKept(laneRaw(v, t, i), t, ccf))
             header |= 1ULL << i;
@@ -28,21 +35,53 @@ computeHeader(const Vec512 &v, ElemType t, Ccf ccf)
 
 namespace {
 
+/**
+ * Scalar reference pack: walk the set header bits and move one lane
+ * at a time. The memcpy of a compile-time lane width compiles to a
+ * single move, replacing the old per-byte loadBytesLe loops.
+ */
+template <typename T>
+void
+packLanesScalar(const uint8_t *src, uint64_t header, uint8_t *dst)
+{
+    size_t out = 0;
+    for (uint64_t m = header; m != 0; m &= m - 1) {
+        const int i = std::countr_zero(m);
+        std::memcpy(dst + out * sizeof(T),
+                    src + static_cast<size_t>(i) * sizeof(T), sizeof(T));
+        out++;
+    }
+}
+
 /** Pack surviving lanes of src densely into dst; returns payload bytes. */
 int
 packLanes(const Vec512 &src, ElemType t, uint64_t header, uint8_t *dst)
 {
     const int eb = elemBytes(t);
-    const int lanes = lanesPerVec(t);
-    int out = 0;
-    for (int i = 0; i < lanes; i++) {
-        if ((header >> i) & 1) {
-            storeBytesLe(dst + static_cast<size_t>(out) * eb, eb,
-                         laneRaw(src, t, i));
-            out++;
-        }
+    const int bytes = popcount64(header) * eb;
+    if (simd::packLanes(src.bytes, eb, header, dst))
+        return bytes;
+    switch (eb) {
+      case 1: packLanesScalar<uint8_t>(src.bytes, header, dst); break;
+      case 2: packLanesScalar<uint16_t>(src.bytes, header, dst); break;
+      case 4: packLanesScalar<uint32_t>(src.bytes, header, dst); break;
+      default: packLanesScalar<uint64_t>(src.bytes, header, dst); break;
     }
-    return out * eb;
+    return bytes;
+}
+
+/** Scalar reference expand for one lane width. */
+template <typename T>
+void
+unpackLanesScalar(const uint8_t *payload, uint64_t header, uint8_t *out)
+{
+    size_t in = 0;
+    for (uint64_t m = header; m != 0; m &= m - 1) {
+        const int i = std::countr_zero(m);
+        std::memcpy(out + static_cast<size_t>(i) * sizeof(T),
+                    payload + in * sizeof(T), sizeof(T));
+        in++;
+    }
 }
 
 /** Scatter packed payload back to lanes selected by header. */
@@ -51,17 +90,14 @@ unpackLanes(const uint8_t *payload, ElemType t, uint64_t header,
             Vec512 &out)
 {
     const int eb = elemBytes(t);
-    const int lanes = lanesPerVec(t);
+    if (simd::unpackLanes(payload, eb, header, out.bytes))
+        return;
     out = Vec512::zero();
-    int in = 0;
-    for (int i = 0; i < lanes; i++) {
-        if ((header >> i) & 1) {
-            storeBytesLe(out.bytes + static_cast<size_t>(i) * eb, eb,
-                         loadBytesLe(payload +
-                                         static_cast<size_t>(in) * eb,
-                                     eb));
-            in++;
-        }
+    switch (eb) {
+      case 1: unpackLanesScalar<uint8_t>(payload, header, out.bytes); break;
+      case 2: unpackLanesScalar<uint16_t>(payload, header, out.bytes); break;
+      case 4: unpackLanesScalar<uint32_t>(payload, header, out.bytes); break;
+      default: unpackLanesScalar<uint64_t>(payload, header, out.bytes); break;
     }
 }
 
@@ -79,7 +115,8 @@ writeHeader(uint8_t *dst, ElemType t, uint64_t header)
     storeBytesLe(dst, headerBytes(t), header);
 }
 
-/** A header may only select lanes the element type actually has. */
+} // namespace
+
 bool
 headerInRange(uint64_t header, ElemType t)
 {
@@ -87,13 +124,13 @@ headerInRange(uint64_t header, ElemType t)
     return lanes >= 64 || (header >> lanes) == 0;
 }
 
-} // namespace
-
 ZcompResult
-zcompsInterleaved(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst)
+zcompsInterleavedWithHeader(const Vec512 &src, ElemType t,
+                            uint64_t header, uint8_t *dst)
 {
+    ZCOMP_DCHECK(headerInRange(header, t), "header selects absent lanes");
     ZcompResult r;
-    r.header = computeHeader(src, t, ccf);
+    r.header = header;
     r.nnz = popcount64(r.header);
     writeHeader(dst, t, r.header);
     r.dataBytes = packLanes(src, t, r.header, dst + headerBytes(t));
@@ -109,11 +146,19 @@ zcompsInterleaved(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst)
 }
 
 ZcompResult
-zcompsSeparate(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst,
-               uint8_t *hdr)
+zcompsInterleaved(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst)
 {
+    return zcompsInterleavedWithHeader(src, t, computeHeader(src, t, ccf),
+                                       dst);
+}
+
+ZcompResult
+zcompsSeparateWithHeader(const Vec512 &src, ElemType t, uint64_t header,
+                         uint8_t *dst, uint8_t *hdr)
+{
+    ZCOMP_DCHECK(headerInRange(header, t), "header selects absent lanes");
     ZcompResult r;
-    r.header = computeHeader(src, t, ccf);
+    r.header = header;
     r.nnz = popcount64(r.header);
     writeHeader(hdr, t, r.header);
     r.dataBytes = packLanes(src, t, r.header, dst);
@@ -125,18 +170,22 @@ zcompsSeparate(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst,
 }
 
 ZcompResult
-zcomplInterleaved(const uint8_t *src, ElemType t, Vec512 &out)
+zcompsSeparate(const Vec512 &src, ElemType t, Ccf ccf, uint8_t *dst,
+               uint8_t *hdr)
 {
+    return zcompsSeparateWithHeader(src, t, computeHeader(src, t, ccf),
+                                    dst, hdr);
+}
+
+ZcompResult
+zcomplInterleavedWithHeader(const uint8_t *src, ElemType t,
+                            uint64_t header, Vec512 &out)
+{
+    // Callers (zcomplInterleaved, CompressedReader) have already
+    // validated the lane range of the header they pass down.
+    ZCOMP_DCHECK(headerInRange(header, t), "header selects absent lanes");
     ZcompResult r;
-    r.header = readHeader(src, t);
-    if (!headerInRange(r.header, t)) {
-        // Lane-count validation runs in every build type: a header
-        // selecting lanes the element type does not have is corrupted
-        // input data, not a simulator bug.
-        decodeError("zcompl header 0x%llx selects lanes beyond the %d "
-                    "lanes of the element type",
-                    (unsigned long long)r.header, lanesPerVec(t));
-    }
+    r.header = header;
     r.nnz = popcount64(r.header);
     r.dataBytes = r.nnz * elemBytes(t);
     r.totalBytes = r.dataBytes + headerBytes(t);
@@ -149,16 +198,27 @@ zcomplInterleaved(const uint8_t *src, ElemType t, Vec512 &out)
 }
 
 ZcompResult
-zcomplSeparate(const uint8_t *src, const uint8_t *hdr, ElemType t,
-               Vec512 &out)
+zcomplInterleaved(const uint8_t *src, ElemType t, Vec512 &out)
 {
-    ZcompResult r;
-    r.header = readHeader(hdr, t);
-    if (!headerInRange(r.header, t)) {
+    const uint64_t header = readHeader(src, t);
+    if (!headerInRange(header, t)) {
+        // Lane-count validation runs in every build type: a header
+        // selecting lanes the element type does not have is corrupted
+        // input data, not a simulator bug.
         decodeError("zcompl header 0x%llx selects lanes beyond the %d "
                     "lanes of the element type",
-                    (unsigned long long)r.header, lanesPerVec(t));
+                    (unsigned long long)header, lanesPerVec(t));
     }
+    return zcomplInterleavedWithHeader(src, t, header, out);
+}
+
+ZcompResult
+zcomplSeparateWithHeader(const uint8_t *src, ElemType t, uint64_t header,
+                         Vec512 &out)
+{
+    ZCOMP_DCHECK(headerInRange(header, t), "header selects absent lanes");
+    ZcompResult r;
+    r.header = header;
     r.nnz = popcount64(r.header);
     r.dataBytes = r.nnz * elemBytes(t);
     r.totalBytes = r.dataBytes;
@@ -166,6 +226,19 @@ zcomplSeparate(const uint8_t *src, const uint8_t *hdr, ElemType t,
     ZCOMP_DCHECK((computeHeader(out, t, Ccf::EQZ) & ~r.header) == 0,
                  "dropped lane expanded to a nonzero value");
     return r;
+}
+
+ZcompResult
+zcomplSeparate(const uint8_t *src, const uint8_t *hdr, ElemType t,
+               Vec512 &out)
+{
+    const uint64_t header = readHeader(hdr, t);
+    if (!headerInRange(header, t)) {
+        decodeError("zcompl header 0x%llx selects lanes beyond the %d "
+                    "lanes of the element type",
+                    (unsigned long long)header, lanesPerVec(t));
+    }
+    return zcomplSeparateWithHeader(src, t, header, out);
 }
 
 } // namespace zcomp

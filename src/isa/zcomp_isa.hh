@@ -57,6 +57,9 @@ uint64_t laneRaw(const Vec512 &v, ElemType t, int i);
 /** Compute the lane-kept header for a vector under the given CCF. */
 uint64_t computeHeader(const Vec512 &v, ElemType t, Ccf ccf);
 
+/** A header may only select lanes the element type actually has. */
+bool headerInRange(uint64_t header, ElemType t);
+
 /**
  * Functional zcomps, interleaved header.
  *
@@ -85,6 +88,25 @@ ZcompResult zcomplInterleaved(const uint8_t *src, ElemType t, Vec512 &out);
 /** Functional zcompl, separate header. */
 ZcompResult zcomplSeparate(const uint8_t *src, const uint8_t *hdr,
                            ElemType t, Vec512 &out);
+
+/**
+ * WithHeader entry points: identical semantics with the header
+ * supplied by the caller instead of being (re)computed or (re)read.
+ * The stream codec uses these to avoid doing the lane comparison and
+ * header load twice per vector - it already computed the header for
+ * its capacity pre-check / record validation. The header must be in
+ * range for the element type (DCHECKed; the plain entry points above
+ * validate unconditionally before delegating here).
+ */
+ZcompResult zcompsInterleavedWithHeader(const Vec512 &src, ElemType t,
+                                        uint64_t header, uint8_t *dst);
+ZcompResult zcompsSeparateWithHeader(const Vec512 &src, ElemType t,
+                                     uint64_t header, uint8_t *dst,
+                                     uint8_t *hdr);
+ZcompResult zcomplInterleavedWithHeader(const uint8_t *src, ElemType t,
+                                        uint64_t header, Vec512 &out);
+ZcompResult zcomplSeparateWithHeader(const uint8_t *src, ElemType t,
+                                     uint64_t header, Vec512 &out);
 
 } // namespace zcomp
 

@@ -2,6 +2,7 @@
 
 #include "common/check.hh"
 #include "common/log.hh"
+#include "common/simd.hh"
 
 namespace zcomp {
 
@@ -17,76 +18,9 @@ Cache::Cache(std::string name, const CacheConfig &cfg, bool directory)
     ZCOMP_CHECK(numSets_ > 0 && assoc_ > 0,
                 "cache %s: degenerate geometry %d sets x %d ways",
                 name_.c_str(), numSets_, assoc_);
+    tags_.assign(num_lines, kInvalidTag);
     lines_.resize(num_lines);
     repl_ = ReplacementPolicy::create(cfg.repl, numSets_, assoc_);
-}
-
-int
-Cache::setIndex(Addr line) const
-{
-    uint64_t ln = line / lineBytes;
-    if (hashIndex_) {
-        // Strong multiplicative mix (Intel-LLC style complex set
-        // hashing): parallel streams at power-of-two strides spread
-        // uniformly over all sets instead of aliasing, and each
-        // stream's lines equidistribute across the whole index space.
-        ln *= 0x9E3779B97F4A7C15ULL;
-        ln ^= ln >> 29;
-        ln *= 0xBF58476D1CE4E5B9ULL;
-        ln ^= ln >> 32;
-    }
-    return static_cast<int>(ln % static_cast<uint64_t>(numSets_));
-}
-
-int
-Cache::findWay(int set, Addr line) const
-{
-    size_t base = static_cast<size_t>(set) * assoc_;
-    for (int w = 0; w < assoc_; w++) {
-        const Line &l = lines_[base + w];
-        if (l.valid && l.tag == line)
-            return w;
-    }
-    return -1;
-}
-
-bool
-Cache::access(Addr line, bool is_write)
-{
-    int set = setIndex(line);
-    int way = findWay(set, line);
-    if (way < 0) {
-        misses++;
-        return false;
-    }
-    hits++;
-    Line &l = lines_[static_cast<size_t>(set) * assoc_ + way];
-    if (l.prefetched) {
-        prefetchUseful++;
-        l.prefetched = false;
-    }
-    if (is_write)
-        l.dirty = true;
-    repl_->onHit(set, way);
-    return true;
-}
-
-bool
-Cache::contains(Addr line) const
-{
-    return findWay(setIndex(line), line) >= 0;
-}
-
-double
-Cache::readyWait(Addr line, double now) const
-{
-    int set = setIndex(line);
-    int way = findWay(set, line);
-    if (way < 0)
-        return 0.0;
-    double ready =
-        lines_[static_cast<size_t>(set) * assoc_ + way].readyAt;
-    return ready > now ? ready - now : 0.0;
 }
 
 CacheVictim
@@ -100,11 +34,16 @@ Cache::insert(Addr line, bool dirty, bool is_prefetch, double ready_at)
     int way = findWay(set, line);
     CacheVictim victim;
     if (way < 0) {
-        // Prefer an invalid way.
-        for (int w = 0; w < assoc_; w++) {
-            if (!lines_[base + w].valid) {
-                way = w;
-                break;
+        // Prefer the first invalid way (an empty way carries the
+        // sentinel tag, so this is just another tag probe).
+        if (!simd::findTag64(tags_.data() + base, assoc_, kInvalidTag,
+                             way)) {
+            way = -1;
+            for (int w = 0; w < assoc_; w++) {
+                if (tags_[base + w] == kInvalidTag) {
+                    way = w;
+                    break;
+                }
             }
         }
         if (way < 0) {
@@ -116,7 +55,7 @@ Cache::insert(Addr line, bool dirty, bool is_prefetch, double ready_at)
             victim.valid = true;
             victim.dirty = v.dirty;
             victim.wasPrefetch = v.prefetched;
-            victim.addr = v.tag;
+            victim.addr = tags_[base + way];
             victim.presence = v.presence;
             evictions++;
             if (v.dirty)
@@ -125,8 +64,7 @@ Cache::insert(Addr line, bool dirty, bool is_prefetch, double ready_at)
                 prefetchUnused++;
         }
         Line &l = lines_[base + way];
-        l.tag = line;
-        l.valid = true;
+        tags_[base + way] = line;
         l.dirty = dirty;
         l.prefetched = is_prefetch;
         l.presence = 0;
@@ -159,11 +97,12 @@ Cache::invalidate(Addr line)
     int way = findWay(set, line);
     if (way < 0)
         return false;
-    Line &l = lines_[static_cast<size_t>(set) * assoc_ + way];
+    size_t idx = static_cast<size_t>(set) * assoc_ + way;
+    Line &l = lines_[idx];
     bool was_dirty = l.dirty;
     if (l.prefetched)
         prefetchUnused++;
-    l.valid = false;
+    tags_[idx] = kInvalidTag;
     l.dirty = false;
     l.prefetched = false;
     l.presence = 0;
@@ -197,8 +136,8 @@ uint64_t
 Cache::validLines() const
 {
     uint64_t n = 0;
-    for (const Line &l : lines_) {
-        if (l.valid)
+    for (Addr t : tags_) {
+        if (t != kInvalidTag)
             n++;
     }
     return n;

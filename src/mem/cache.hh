@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/config.hh"
+#include "common/simd.hh"
 #include "common/stats.hh"
 #include "mem/addr.hh"
 #include "mem/replacement.hh"
@@ -97,10 +99,19 @@ class Cache
     uint64_t evictions = 0;         //!< total victims displaced
 
   private:
+    /**
+     * The tag of an empty way. Lookups are a pure tag-array probe (no
+     * valid bit): line addresses are 64-byte aligned so they can never
+     * equal the all-ones sentinel, making "tag matches" equivalent to
+     * "valid and tag matches". Keeping the tags of each set contiguous
+     * lets findWay compare a whole set per vector instruction instead
+     * of striding through Line records.
+     */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
+    /** Per-line state other than the tag (tag lives in tags_). */
     struct Line
     {
-        Addr tag = 0;
-        bool valid = false;
         bool dirty = false;
         bool prefetched = false;    //!< filled by prefetch, not yet used
         uint16_t presence = 0;      //!< cores holding this line (L3 only)
@@ -115,9 +126,88 @@ class Cache
     int assoc_;
     bool directory_;
     bool hashIndex_ = false;
+    std::vector<Addr> tags_;        //!< [set * assoc + way], kInvalidTag = empty
     std::vector<Line> lines_;
     std::unique_ptr<ReplacementPolicy> repl_;
 };
+
+// The lookup chain (setIndex -> findWay -> access/contains/readyWait)
+// runs billions of times per sweep - the timing model's hottest path -
+// so these stay in the header where they inline into the hierarchy
+// walk instead of paying a call per tag probe.
+
+inline int
+Cache::setIndex(Addr line) const
+{
+    uint64_t ln = line / lineBytes;
+    if (hashIndex_) {
+        // Strong multiplicative mix (Intel-LLC style complex set
+        // hashing): parallel streams at power-of-two strides spread
+        // uniformly over all sets instead of aliasing, and each
+        // stream's lines equidistribute across the whole index space.
+        ln *= 0x9E3779B97F4A7C15ULL;
+        ln ^= ln >> 29;
+        ln *= 0xBF58476D1CE4E5B9ULL;
+        ln ^= ln >> 32;
+    }
+    return static_cast<int>(ln % static_cast<uint64_t>(numSets_));
+}
+
+inline int
+Cache::findWay(int set, Addr line) const
+{
+    ZCOMP_DCHECK(line != kInvalidTag, "lookup of the invalid-tag sentinel");
+    const uint64_t *tags = tags_.data() + static_cast<size_t>(set) * assoc_;
+    // A set holds each tag at most once, so first-match == only-match
+    // and the result is backend independent.
+    int way;
+    if (simd::findTag64(tags, assoc_, line, way))
+        return way;
+    for (int w = 0; w < assoc_; w++) {
+        if (tags[w] == line)
+            return w;
+    }
+    return -1;
+}
+
+inline bool
+Cache::access(Addr line, bool is_write)
+{
+    int set = setIndex(line);
+    int way = findWay(set, line);
+    if (way < 0) {
+        misses++;
+        return false;
+    }
+    hits++;
+    Line &l = lines_[static_cast<size_t>(set) * assoc_ + way];
+    if (l.prefetched) {
+        prefetchUseful++;
+        l.prefetched = false;
+    }
+    if (is_write)
+        l.dirty = true;
+    repl_->onHit(set, way);
+    return true;
+}
+
+inline bool
+Cache::contains(Addr line) const
+{
+    return findWay(setIndex(line), line) >= 0;
+}
+
+inline double
+Cache::readyWait(Addr line, double now) const
+{
+    int set = setIndex(line);
+    int way = findWay(set, line);
+    if (way < 0)
+        return 0.0;
+    double ready =
+        lines_[static_cast<size_t>(set) * assoc_ + way].readyAt;
+    return ready > now ? ready - now : 0.0;
+}
 
 } // namespace zcomp
 

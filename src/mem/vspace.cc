@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/arena.hh"
 #include "common/bitops.hh"
 #include "common/log.hh"
 
@@ -27,8 +28,9 @@ allocClassName(AllocClass c)
     return "?";
 }
 
-VSpace::VSpace(Addr base, bool allocate_host)
-    : next_(alignUp(base, 4 * KiB)), allocateHost_(allocate_host)
+VSpace::VSpace(Addr base, bool allocate_host, BumpArena *arena)
+    : next_(alignUp(base, 4 * KiB)), allocateHost_(allocate_host),
+      arena_(allocate_host ? arena : nullptr)
 {
 }
 
@@ -41,7 +43,10 @@ VSpace::alloc(const std::string &name, size_t bytes, AllocClass cls)
     buf->cls = cls;
     buf->base = next_;
     buf->size = bytes;
-    if (allocateHost_) {
+    if (arena_) {
+        // Arena blocks come back zero-filled already.
+        buf->host = arena_->alloc(bytes);
+    } else if (allocateHost_) {
         backing_.push_back(std::make_unique<uint8_t[]>(bytes));
         buf->host = backing_.back().get();
         std::memset(buf->host, 0, bytes);
@@ -59,6 +64,12 @@ VSpace::alloc(const std::string &name, size_t bytes, AllocClass cls)
 void
 VSpace::releaseHost(Buffer &buf)
 {
+    if (arena_) {
+        // Arena memory is reclaimed wholesale at the owner's reset();
+        // detaching the pointer preserves the "host is gone" contract.
+        buf.host = nullptr;
+        return;
+    }
     for (auto &b : backing_) {
         if (b.get() == buf.host) {
             b.reset();

@@ -22,6 +22,8 @@
 
 namespace zcomp {
 
+class BumpArena;
+
 /** Data classes for footprint accounting (Figure 3 categories). */
 enum class AllocClass
 {
@@ -64,8 +66,15 @@ class VSpace
      *        and footprints without reserving host RAM - used for
      *        Figure 1b/3 footprint studies at the paper's full batch
      *        sizes, where functional execution is never run.
+     * @param arena optional bump arena supplying the host backing
+     *        memory instead of per-buffer heap allocations. The arena
+     *        must outlive the VSpace; its owner reclaims all backing
+     *        at once with BumpArena::reset() after the VSpace dies
+     *        (the study runner does this per cell). Ignored for
+     *        plan-only spaces.
      */
-    explicit VSpace(Addr base = 0x10000, bool allocate_host = true);
+    explicit VSpace(Addr base = 0x10000, bool allocate_host = true,
+                    BumpArena *arena = nullptr);
 
     VSpace(const VSpace &) = delete;
     VSpace &operator=(const VSpace &) = delete;
@@ -91,6 +100,7 @@ class VSpace
   private:
     Addr next_;
     bool allocateHost_;
+    BumpArena *arena_;
     std::vector<std::unique_ptr<Buffer>> buffers_;
     std::vector<std::unique_ptr<uint8_t[]>> backing_;
     uint64_t classBytes_[numAllocClasses] = {};

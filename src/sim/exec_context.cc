@@ -159,6 +159,11 @@ ExecContext::ExecContext(const ArchConfig &cfg) : sys_(cfg)
 {
 }
 
+ExecContext::ExecContext(const ArchConfig &cfg, BumpArena *arena)
+    : vs_(0x10000, /*allocate_host=*/true, arena), sys_(cfg)
+{
+}
+
 RunStats
 ExecContext::run(const TracePhase &phase)
 {

@@ -47,6 +47,15 @@ class ExecContext
   public:
     explicit ExecContext(const ArchConfig &cfg);
 
+    /**
+     * Back the context's VSpace with a caller-owned bump arena: every
+     * tensor and scratch buffer is carved from @p arena instead of
+     * individual heap allocations. The arena must outlive the context
+     * and may only be reset() after the context (and everything
+     * holding its buffers) is gone.
+     */
+    ExecContext(const ArchConfig &cfg, BumpArena *arena);
+
     VSpace &vs() { return vs_; }
     MultiCoreSystem &sys() { return sys_; }
     const ArchConfig &config() const { return sys_.config(); }

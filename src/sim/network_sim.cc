@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/fault.hh"
+#include "common/simd.hh"
 #include "common/log.hh"
 #include "common/trace_writer.hh"
 #include "dnn/layers/conv.hh"
@@ -36,6 +37,7 @@ struct StreamSpec
 {
     const Tensor *tensor = nullptr;
     Buffer *mask = nullptr;     //!< avx512-comp header array (or null)
+    const uint16_t *nnz = nullptr;  //!< memoized per-vector nonzeros
     bool write = false;
     bool fusedLtez = false;     //!< zcomps does the ReLU comparison
     bool compress = false;      //!< this tensor moves compressed
@@ -244,7 +246,8 @@ class PassBuilder
             return;
         }
 
-        uint32_t nnz = vecNnz(*spec.tensor, vec);
+        uint32_t nnz = spec.nnz ? spec.nnz[vec]
+                                : vecNnz(*spec.tensor, vec);
         if (cfg_.policy == IoPolicy::Zcomp) {
             TraceOp op = TraceOp::load(
                 ss.base + ss.byteOff,
@@ -347,6 +350,38 @@ NetworkSim::scratchFor(int core)
     return *scratch_[static_cast<size_t>(core)];
 }
 
+const NetworkSim::TensorScan &
+NetworkSim::scanFor(const Tensor &t)
+{
+    auto it = scans_.find(&t);
+    if (it != scans_.end())
+        return it->second;
+
+    TensorScan scan;
+    const float *d = t.data();
+    const size_t elems = t.elems();
+    const size_t vecs = elems / 16;
+    scan.nnz.resize(vecs);
+    if (!simd::vecNnzF32(d, vecs, scan.nnz.data())) {
+        for (size_t v = 0; v < vecs; v++) {
+            uint32_t n = 0;
+            for (int i = 0; i < 16; i++)
+                n += d[v * 16 + i] != 0.0f;
+            scan.nnz[v] = static_cast<uint16_t>(n);
+        }
+    }
+    size_t nnz_total = 0;
+    for (size_t v = 0; v < vecs; v++)
+        nnz_total += scan.nnz[v];
+    for (size_t i = vecs * 16; i < elems; i++)
+        nnz_total += d[i] != 0.0f;
+    // Same integer zero count as Tensor::sparsity(), so the derived
+    // double (and hence the compressibility gate) is bit-identical.
+    scan.sparsity = static_cast<double>(elems - nnz_total) /
+                    static_cast<double>(elems);
+    return scans_.emplace(&t, std::move(scan)).first->second;
+}
+
 NetworkSimResult
 NetworkSim::run(const NetworkSimConfig &cfg)
 {
@@ -375,18 +410,12 @@ NetworkSim::run(const NetworkSimConfig &cfg)
     NetworkSimResult result;
     bool avx = cfg.policy == IoPolicy::Avx512Comp;
 
-    // Memoized compressibility gate.
-    std::unordered_map<const Tensor *, bool> gate;
+    // Compressibility gate off the memoized tensor scan (shared with
+    // the other policy runs on this NetworkSim).
     auto compressible = [&](const Tensor &t) {
         if (cfg.policy == IoPolicy::Uncompressed || !isCrossLayer(t))
             return false;
-        auto it = gate.find(&t);
-        if (it == gate.end()) {
-            it = gate.emplace(&t, t.sparsity() >=
-                                      minSparsityToCompress)
-                     .first;
-        }
-        return it->second;
+        return scanFor(t).sparsity >= minSparsityToCompress;
     };
 
     // Build one stream spec, resolving policy, gate and mask arena.
@@ -400,8 +429,11 @@ NetworkSim::run(const NetworkSimConfig &cfg)
         s.fusedLtez = fused;
         s.extraUops = uops;
         s.compress = compressible(t);
-        if (s.compress && avx)
-            s.mask = &maskFor(node, grad);
+        if (s.compress) {
+            s.nnz = scanFor(t).nnz.data();
+            if (avx)
+                s.mask = &maskFor(node, grad);
+        }
         return s;
     };
 

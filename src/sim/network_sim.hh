@@ -35,6 +35,8 @@
 #ifndef ZCOMP_SIM_NETWORK_SIM_HH
 #define ZCOMP_SIM_NETWORK_SIM_HH
 
+#include <unordered_map>
+
 #include "dnn/network.hh"
 #include "sim/exec_context.hh"
 
@@ -100,6 +102,24 @@ class NetworkSim
 
   private:
     struct Impl;
+
+    /**
+     * One full scan of a tensor's values: per-16-lane-vector nonzero
+     * counts plus the derived sparsity. Tensor values are frozen once
+     * the functional pass has run, so the scan is computed once per
+     * tensor and shared by every policy run on this NetworkSim (the
+     * same tensor streams in several passes of each of the three
+     * policy runs; rescanning per emitted vector dominated trace
+     * construction).
+     */
+    struct TensorScan
+    {
+        std::vector<uint16_t> nnz;  //!< per elems/16 full vectors
+        double sparsity = 0.0;      //!< == Tensor::sparsity() exactly
+    };
+
+    const TensorScan &scanFor(const Tensor &t);
+
     ExecContext &ctx_;
     Network &net_;
     std::vector<Buffer *> maskArena_;   //!< avx512-comp header arrays
@@ -109,6 +129,7 @@ class NetworkSim
     Buffer &scratchFor(int core);
 
     std::vector<Buffer *> gradMaskArena_;
+    std::unordered_map<const Tensor *, TensorScan> scans_;
 };
 
 } // namespace zcomp

@@ -73,8 +73,11 @@ CompressedWriter::fitsWorstCase() const
 ZcompResult
 CompressedWriter::put(const Vec512 &v)
 {
+    // The header is computed once, drives the capacity pre-check, and
+    // is then handed to the WithHeader entry points so the lane
+    // comparison is not repeated inside the ISA routine.
     ZcompResult r;
-    uint64_t header = computeHeader(v, etype_, ccf_);
+    const uint64_t header = computeHeader(v, etype_, ccf_);
     size_t payload = static_cast<size_t>(popcount64(header)) *
                      static_cast<size_t>(elemBytes(etype_));
     if (separateHeader()) {
@@ -85,7 +88,10 @@ CompressedWriter::put(const Vec512 &v)
         fatal_if(bytesWritten() + payload > dataCap_,
                  "compressed data overflow at vector %llu",
                  (unsigned long long)stats_.vectors);
-        r = zcompsS(dataPtr_, v, hdrPtr_, etype_, ccf_);
+        r = zcompsSeparateWithHeader(v, etype_, header, dataPtr_,
+                                     hdrPtr_);
+        dataPtr_ += r.dataBytes;
+        hdrPtr_ += headerBytes(etype_);
     } else {
         size_t need = static_cast<size_t>(headerBytes(etype_)) + payload;
         fatal_if(bytesWritten() + need > dataCap_,
@@ -93,7 +99,8 @@ CompressedWriter::put(const Vec512 &v)
                  "data is not compressible enough for the original "
                  "allocation (Section 4.1)",
                  (unsigned long long)stats_.vectors);
-        r = zcompsI(dataPtr_, v, etype_, ccf_);
+        r = zcompsInterleavedWithHeader(v, etype_, header, dataPtr_);
+        dataPtr_ += r.totalBytes;
     }
     stats_.vectors++;
     stats_.nnz += static_cast<uint64_t>(r.nnz);
@@ -155,6 +162,15 @@ CompressedReader::get()
         }
         header = loadBytesLe(dataPtr_, static_cast<int>(hb));
     }
+    if (!headerInRange(header, etype_)) {
+        // Lane-count validation runs in every build type: a header
+        // selecting lanes the element type does not have is corrupted
+        // input data, not a simulator bug.
+        decodeError("vector %llu header 0x%llx selects lanes beyond "
+                    "the %d lanes of the element type",
+                    vec, (unsigned long long)header,
+                    lanesPerVec(etype_));
+    }
     const size_t nnz = static_cast<size_t>(popcount64(header));
     if (nnzRecord_) {
         if (stats_.vectors >= nnzRecord_->size()) {
@@ -184,14 +200,17 @@ CompressedReader::get()
         }
     }
 
+    // The pre-check above read and fully validated the header, so the
+    // expand passes it down instead of re-reading it; the WithHeader
+    // routines keep their own validation under ZCOMP_DCHECK only.
     Vec512 out;
     ZcompResult r;
     if (hdrBase_) {
-        r = zcomplSeparate(dataPtr_, hdrPtr_, etype_, out);
+        r = zcomplSeparateWithHeader(dataPtr_, etype_, header, out);
         dataPtr_ += r.dataBytes;
         hdrPtr_ += hb;
     } else {
-        r = zcomplInterleaved(dataPtr_, etype_, out);
+        r = zcomplInterleavedWithHeader(dataPtr_, etype_, header, out);
         dataPtr_ += r.totalBytes;
     }
     stats_.vectors++;

@@ -122,6 +122,41 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
     EXPECT_EQ(total.load(), 400u);
 }
 
+TEST(ThreadPool, ParallelForCallerParticipatesWhenWorkersAreBusy)
+{
+    // Regression guard: parallelFor's caller must claim and run
+    // chunks itself, not merely block on the helpers. With every
+    // worker parked on a latch, a parallelFor issued from the test
+    // thread can only finish if the caller drains the whole range -
+    // and it must do so without waiting for the workers.
+    ThreadPool pool(3);
+    std::atomic<bool> release{false};
+    std::vector<std::future<void>> blockers;
+    for (int t = 0; t < 3; t++) {
+        blockers.push_back(pool.submit([&] {
+            while (!release.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        }));
+    }
+
+    std::thread::id caller = std::this_thread::get_id();
+    std::atomic<size_t> covered{0};
+    std::atomic<bool> foreign_thread{false};
+    pool.parallelFor(0, 64, 4, [&](size_t b, size_t e) {
+        if (std::this_thread::get_id() != caller)
+            foreign_thread.store(true);
+        covered.fetch_add(e - b);
+    });
+    EXPECT_EQ(covered.load(), 64u);
+    EXPECT_FALSE(foreign_thread.load())
+        << "chunks ran on a worker that should have been parked";
+
+    release.store(true);
+    for (auto &f : blockers)
+        f.get();
+}
+
 TEST(ThreadPool, DestructorDrainsPendingTasks)
 {
     // Tasks already queued when the pool is torn down must still run:

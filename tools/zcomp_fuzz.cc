@@ -25,10 +25,19 @@
  * counter. Silent acceptance of corrupted input is a failure.
  *
  * Usage: zcomp_fuzz [--rounds N] [--seconds S] [--seed S] [--quiet]
+ *                   [--backend scalar|simd|both]
  *   --rounds N   rounds to run (default 2500; 0 = no round limit)
  *   --seconds S  stop after S seconds (default 0 = no time limit)
  *   --seed S     base RNG seed (default 1)
  *   --quiet      suppress the periodic progress line
+ *   --backend B  SIMD backend under test (default both). "both" runs
+ *                every round's emulator and stream differentials under
+ *                the scalar backend AND the best native one against
+ *                the same scalar-built reference, so any divergence
+ *                between the two implementations fails that round -
+ *                this is the cross-backend bit-identity oracle the CI
+ *                fuzz legs rely on. "simd" degrades to scalar (with a
+ *                warning) when the host has no vector extension.
  */
 
 #include <chrono>
@@ -42,6 +51,7 @@
 #include "common/error.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "isa/emulator.hh"
 #include "zcomp/stream.hh"
 
@@ -419,6 +429,7 @@ main(int argc, char **argv)
     uint64_t rounds = 2500;
     double seconds = 0;
     bool quiet = false;
+    std::string backend_mode = "both";
     for (int i = 1; i < argc; i++) {
         auto value = [&](const char *flag) -> const char * {
             if (i + 1 >= argc) {
@@ -435,13 +446,38 @@ main(int argc, char **argv)
             gSeed = std::strtoull(value("--seed"), nullptr, 10);
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
+        } else if (std::strcmp(argv[i], "--backend") == 0) {
+            backend_mode = value("--backend");
         } else {
             std::fprintf(stderr,
                          "usage: %s [--rounds N] [--seconds S] "
-                         "[--seed S] [--quiet]\n",
+                         "[--seed S] [--quiet] "
+                         "[--backend scalar|simd|both]\n",
                          argv[0]);
             return 1;
         }
+    }
+
+    // Backends each round's differentials run under. "both" makes
+    // every round a cross-backend oracle: scalar and native must each
+    // match the independent scalar-built reference byte for byte.
+    std::vector<simd::Backend> backends;
+    if (backend_mode == "scalar") {
+        backends = {simd::Backend::Scalar};
+    } else if (backend_mode == "simd") {
+        if (simd::bestSupportedBackend() == simd::Backend::Scalar)
+            warn("zcomp_fuzz: no native SIMD backend on this host; "
+                 "--backend simd runs scalar");
+        backends = {simd::bestSupportedBackend()};
+    } else if (backend_mode == "both") {
+        backends = {simd::Backend::Scalar};
+        if (simd::bestSupportedBackend() != simd::Backend::Scalar)
+            backends.push_back(simd::bestSupportedBackend());
+    } else {
+        std::fprintf(stderr,
+                     "unknown --backend '%s' (scalar|simd|both)\n",
+                     backend_mode.c_str());
+        return 1;
     }
     if (rounds == 0 && seconds <= 0)
         rounds = 2500;
@@ -476,10 +512,17 @@ main(int argc, char **argv)
 
         std::vector<Vec512> input = makeInput(cfg, rng);
         Reference ref = buildReference(cfg, input);
-        checkEmulator(cfg, input, ref);
-        checkStreams(cfg, input, ref);
-        vec_round_trips += static_cast<uint64_t>(cfg.nvec);
+        for (simd::Backend b : backends) {
+            simd::setBackend(b);
+            checkEmulator(cfg, input, ref);
+            checkStreams(cfg, input, ref);
+        }
+        vec_round_trips +=
+            static_cast<uint64_t>(cfg.nvec) * backends.size();
 
+        // Corruption trials alternate the active backend so the
+        // decode-validation path is fuzzed under each one.
+        simd::setBackend(backends[gRound % backends.size()]);
         for (int trial = 0; trial < 2; trial++) {
             corruptAndDecode(cfg, ref, rng);
             corruptions++;

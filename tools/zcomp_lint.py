@@ -25,6 +25,12 @@ catch-swallow       no `catch (...)` whose body neither rethrows,
                     captures std::current_exception, nor logs - silent
                     swallows hide real faults from the fault-injection
                     and retry machinery.
+simd-isolation      no direct <immintrin.h>/<x86intrin.h> include
+                    outside src/common/simd.cc - everything else goes
+                    through the runtime-dispatched common/simd.hh API
+                    so the rest of the tree stays baseline-ISA and the
+                    scalar/SIMD differential tests cover every vector
+                    code path.
 
 A finding on line N is suppressed by a comment
     // zcomp-lint: allow(<rule>)
@@ -332,6 +338,29 @@ def check_catch_swallow(root, findings):
                     "rethrow, keep current_exception, or log it"))
 
 
+INTRIN_RE = re.compile(
+    r"^\s*#\s*include\s*[<\"]\s*(immintrin|x86intrin|xmmintrin|"
+    r"emmintrin|pmmintrin|tmmintrin|smmintrin|nmmintrin|wmmintrin|"
+    r"avxintrin|avx2intrin|avx512\w*intrin|arm_neon)\s*\.h\s*[>\"]")
+SIMD_HOME = "src/common/simd.cc"
+
+
+def check_simd_isolation(root, findings):
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        rel = relpath(root, path)
+        if rel == SIMD_HOME:
+            continue        # the one sanctioned home for intrinsics
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "simd-isolation")
+        for i, line in enumerate(strip_comments_and_strings(lines),
+                                 start=1):
+            if INTRIN_RE.search(line) and i not in allowed:
+                findings.append(Finding(
+                    "simd-isolation", rel, i,
+                    "vector intrinsics header outside %s; use the "
+                    "dispatched common/simd.hh API" % SIMD_HOME))
+
+
 ALL_RULES = [
     check_cmake_registration,
     check_header_guard,
@@ -340,6 +369,7 @@ ALL_RULES = [
     check_raw_new,
     check_rng,
     check_catch_swallow,
+    check_simd_isolation,
 ]
 
 
@@ -365,7 +395,8 @@ def self_test():
     with tempfile.TemporaryDirectory() as root:
         write(os.path.join(root, "src", "CMakeLists.txt"),
               "add_library(x STATIC clean.cc dup_stats.cc raw_new.cc\n"
-              "    bad_rng.cc annotated.cc catch_swallow.cc)\n")
+              "    bad_rng.cc annotated.cc catch_swallow.cc\n"
+              "    stray_intrin.cc common/simd.cc)\n")
         write(os.path.join(root, "src", "clean.cc"),
               '#include "clean.hh"\n'
               "// new Widget in a comment is fine\n"
@@ -421,6 +452,15 @@ def self_test():
               "    try { work(); } catch (...) {}\n"
               "}\n")
 
+        write(os.path.join(root, "src", "stray_intrin.cc"),
+              "// #include <immintrin.h> in a comment is fine\n"
+              "#include <immintrin.h>\n"
+              "#include <x86intrin.h>\n"
+              "// zcomp-lint: allow(simd-isolation)\n"
+              "#include <emmintrin.h>\n")
+        write(os.path.join(root, "src", "common", "simd.cc"),
+              "#include <immintrin.h>\n")
+
         findings = run_lint(root)
         got = {(f.rule, f.path, f.line) for f in findings}
         want = {
@@ -434,6 +474,8 @@ def self_test():
             ("rng", "src/bad_rng.cc", 2),
             ("rng", "src/bad_rng.cc", 3),
             ("catch-swallow", "src/catch_swallow.cc", 2),
+            ("simd-isolation", "src/stray_intrin.cc", 2),
+            ("simd-isolation", "src/stray_intrin.cc", 3),
         }
         ok = True
         for item in sorted(want - got):
