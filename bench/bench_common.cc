@@ -10,9 +10,12 @@
 #include <stdexcept>
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/error.hh"
 #include "common/fault.hh"
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "common/report.hh"
 #include "common/result_cache.hh"
 #include "common/stats.hh"
@@ -452,6 +455,14 @@ runStudy(const StudyOptions &opt)
     // and this *is* the sequential loop. Cells restored from the
     // cache become pre-resolved futures in the same sequence, so
     // resumed and uninterrupted runs order rows identically.
+    // Host-domain sweep telemetry: progress records into the metrics
+    // JSONL and/or the live status line. Constructed only when either
+    // consumer exists, so flag-free runs carry zero extra work.
+    bool live = h.progress && !quiet() && isatty(STDERR_FILENO);
+    std::shared_ptr<SweepProgress> progress;
+    if (live || MetricsSink::global())
+        progress = std::make_shared<SweepProgress>(cells.size(), live);
+
     std::vector<std::future<StudyRow>> futs;
     futs.reserve(cells.size());
     for (const Cell &cell : cells) {
@@ -472,6 +483,10 @@ runStudy(const StudyOptions &opt)
                     std::promise<StudyRow> done;
                     done.set_value(std::move(row));
                     futs.push_back(done.get_future());
+                    if (progress)
+                        progress->cellDone(/*cached=*/true,
+                                           /*failed=*/false,
+                                           /*attempts=*/1);
                     continue;
                 } catch (const std::exception &e) {
                     warn("result cache: entry for %s (%s) does not "
@@ -482,11 +497,15 @@ runStudy(const StudyOptions &opt)
                 }
             }
         }
-        futs.push_back(pool.submit([m, training, key, cache, &opt,
-                                    &h] {
+        futs.push_back(pool.submit([m, training, key, cache, progress,
+                                    &opt, &h] {
             StudyRow row = runStudyCellGuarded(m, training, opt, h);
             if (cache && row.status != CellStatus::Failed)
                 cache->store(key, studyRowToJson(row));
+            if (progress)
+                progress->cellDone(/*cached=*/false,
+                                   row.status == CellStatus::Failed,
+                                   row.attempts);
             return row;
         }));
     }
@@ -494,6 +513,12 @@ runStudy(const StudyOptions &opt)
     rows.reserve(futs.size());
     for (std::future<StudyRow> &f : futs)
         rows.push_back(f.get());
+    // Clear the status line before the tables print: pool task
+    // objects may still hold copies of the reporter, so the
+    // destructor alone cannot be relied on to run here.
+    if (progress)
+        progress->finish();
+    progress.reset();
 
     uint64_t cached = 0, failed = 0;
     for (const StudyRow &row : rows) {
@@ -586,7 +611,9 @@ intValue(const char *flag, const char *value, long lo, long hi)
 void
 parseBenchArgs(int argc, char **argv, const std::string &title)
 {
-    std::string report_path, trace_path;
+    std::string report_path, trace_path, metrics_path;
+    double metrics_interval = MetricsSink::defaultIntervalCycles;
+    bool metrics_interval_set = false;
     StudyHarness &h = studyHarness();
     for (int i = 1; i < argc; i++) {
         const char *arg = argv[i];
@@ -596,6 +623,8 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
             std::printf(
                 "usage: %s [--jobs N] [--quiet] [--report PATH] "
                 "[--trace PATH]\n"
+                "       [--metrics PATH] [--metrics-interval N] "
+                "[--progress]\n"
                 "       [--cache DIR] [--resume] [--retries N] "
                 "[--cell-timeout S]\n"
                 "       [--fail-budget N]\n\n"
@@ -612,6 +641,19 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
                 "  --trace PATH      write a Chrome/Perfetto trace "
                 "of the run\n"
                 "                    (open at ui.perfetto.dev)\n"
+                "  --metrics PATH    append time-series telemetry "
+                "JSONL (schema\n"
+                "                    zcomp-metrics-v1: cycle-domain "
+                "counter samples\n"
+                "                    + host sweep progress; see "
+                "EXPERIMENTS.md)\n"
+                "  --metrics-interval N  simulated cycles between "
+                "samples\n"
+                "                    (default 100000; needs "
+                "--metrics)\n"
+                "  --progress        live one-line sweep status on "
+                "stderr (TTY\n"
+                "                    only; off under --quiet)\n"
                 "  --cache DIR       record every completed study "
                 "cell in DIR\n"
                 "  --resume          restore cached cells instead of "
@@ -640,6 +682,16 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
             setQuiet(true);
         } else if (std::strcmp(arg, "--resume") == 0) {
             h.resume = true;
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            h.progress = true;
+        } else if (valueArg(argc, argv, i, "--metrics", nullptr,
+                            &value)) {
+            metrics_path = value;
+        } else if (valueArg(argc, argv, i, "--metrics-interval",
+                            nullptr, &value)) {
+            metrics_interval = static_cast<double>(intValue(
+                "--metrics-interval", value, 1, 1000000000000L));
+            metrics_interval_set = true;
         } else if (valueArg(argc, argv, i, "--jobs", "-j", &value)) {
             ThreadPool::setGlobalJobs(static_cast<int>(
                 intValue("--jobs", value, 1, 1024)));
@@ -678,6 +730,9 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
     }
     fatal_if(h.resume && h.cacheDir.empty(),
              "--resume needs --cache DIR (nothing to resume from)");
+    fatal_if(metrics_interval_set && metrics_path.empty(),
+             "--metrics-interval needs --metrics PATH (nothing is "
+             "sampled without a sink)");
 
     // Install the process-wide report/trace sinks before any work
     // runs, and flush them at exit so every bench main gets both
@@ -704,6 +759,10 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
     if (!trace_path.empty()) {
         TraceWriter::enableGlobal(trace_path);
         std::atexit(TraceWriter::finishGlobal);
+    }
+    if (!metrics_path.empty()) {
+        MetricsSink::enableGlobal(metrics_path, metrics_interval);
+        std::atexit(MetricsSink::finishGlobal);
     }
     printBanner(title);
 }

@@ -163,6 +163,7 @@ struct StudyHarness
     double cellTimeoutSec = 0;  //!< per-attempt budget; 0 = unlimited
     int failBudget = 0;         //!< failed cells tolerated before exit(1)
     int backoffMillis = 50;     //!< base retry backoff (doubles per retry)
+    bool progress = false;      //!< live sweep status line (--progress)
 };
 
 /** The process-wide harness knobs parseBenchArgs() populates. */
@@ -226,6 +227,12 @@ std::vector<StudyRow> runFullStudy(bool training_only = false,
  *   --fail-budget N    tolerate up to N failed cells (default 0)
  *   --fault-spec SPEC  arm deterministic fault injection
  *                      (site:prob[:seed[:max]][,...]; common/fault.hh)
+ *   --metrics PATH     append time-series telemetry JSONL (schema
+ *                      zcomp-metrics-v1; cycle-domain samples + host
+ *                      sweep progress; common/metrics.hh)
+ *   --metrics-interval N  cycles between samples (default 100000)
+ *   --progress         live one-line sweep status on stderr (TTY
+ *                      only, off under --quiet)
  *
  * --report and --trace install the process-wide RunReport/TraceWriter
  * and register atexit flushes, so every bench binary gets them

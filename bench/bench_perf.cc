@@ -35,6 +35,7 @@
 #include "cachecomp/fpcd.hh"
 #include "common/json.hh"
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "common/rng.hh"
 #include "common/simd.hh"
 #include "dnn/gemm.hh"
@@ -219,8 +220,27 @@ main(int argc, char **argv)
         micro["vecRoundTripsPerSec"] = microVecRoundTrips(quick);
         micro["fpcLinesPerSec"] = microFpcLines(quick);
         micro["gemmMacsPerSec"] = microGemm(quick);
+        Json fig = figureSubset(quick);
+
+        // Telemetry tax: the same subset again with a throwaway
+        // --metrics sink at the default interval, reported as a
+        // wall-clock ratio (1.0 = free; EXPERIMENTS.md gates < 1.03).
+        // Skipped when the user's own --metrics sink is installed -
+        // replacing it would clobber their stream, and the first run
+        // would already have been sampled anyway.
+        if (!MetricsSink::global()) {
+            const std::string probe = out + ".metrics-probe.jsonl";
+            MetricsSink::enableGlobal(probe);
+            Json figm = figureSubset(quick);
+            MetricsSink::finishGlobal();
+            std::remove(probe.c_str());
+            fig["metricsOverheadRatio"] =
+                figm["wallSeconds"].asDouble() /
+                fig["wallSeconds"].asDouble();
+        }
+
         Json figures = Json::object();
-        figures["fig13_14_subset"] = figureSubset(quick);
+        figures["fig13_14_subset"] = std::move(fig);
         Json entry = Json::object();
         entry["backend"] = simd::backendName(b);
         entry["micro"] = std::move(micro);

@@ -19,7 +19,61 @@ std::atomic<bool> quietFlag{false};
  * unchanged.
  */
 std::mutex outputMu;
+
+/**
+ * The sticky status line (setStatusLine), guarded by outputMu. Log
+ * messages erase it, print, and redraw it so whole lines and the
+ * status can never tear each other under --jobs > 1.
+ */
+std::string statusLine;
+
+/** Erase the currently drawn status line. Caller holds outputMu. */
+void
+eraseStatusLocked()
+{
+    if (!statusLine.empty())
+        std::fprintf(stderr, "\r\x1b[2K");
+}
+
+/** Redraw the status line (no newline). Caller holds outputMu. */
+void
+redrawStatusLocked()
+{
+    if (!statusLine.empty()) {
+        std::fprintf(stderr, "%s", statusLine.c_str());
+        std::fflush(stderr);
+    }
+}
+
+/**
+ * Emit one complete log line, keeping the status line intact below
+ * it. Caller holds outputMu.
+ */
+void
+emitLineLocked(const char *prefix, const std::string &msg)
+{
+    eraseStatusLocked();
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    redrawStatusLocked();
+}
 } // namespace
+
+void
+setStatusLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lk(outputMu);
+    eraseStatusLocked();
+    statusLine = line;
+    redrawStatusLocked();
+}
+
+void
+clearStatusLine()
+{
+    std::lock_guard<std::mutex> lk(outputMu);
+    eraseStatusLocked();
+    statusLine.clear();
+}
 
 void
 setQuiet(bool q)
@@ -66,6 +120,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_end(ap);
     {
         std::lock_guard<std::mutex> lk(outputMu);
+        eraseStatusLocked();    // dying: print clean, no redraw
         std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
@@ -81,6 +136,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_end(ap);
     {
         std::lock_guard<std::mutex> lk(outputMu);
+        eraseStatusLocked();    // dying: print clean, no redraw
         std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
@@ -97,7 +153,7 @@ warnImpl(const char *fmt, ...)
     std::string msg = vformat(fmt, ap);
     va_end(ap);
     std::lock_guard<std::mutex> lk(outputMu);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLineLocked("warn", msg);
 }
 
 void
@@ -110,7 +166,7 @@ informImpl(const char *fmt, ...)
     std::string msg = vformat(fmt, ap);
     va_end(ap);
     std::lock_guard<std::mutex> lk(outputMu);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLineLocked("info", msg);
 }
 
 } // namespace zcomp

@@ -41,6 +41,23 @@ void informImpl(const char *fmt, ...)
 void setQuiet(bool quiet);
 bool quiet();
 
+/**
+ * Draw (or update) a single sticky status line at the bottom of
+ * stderr - the study runner's live sweep progress. The line shares
+ * the output mutex with inform()/warn()/panic()/fatal(): every log
+ * message erases the status line, prints itself on its own line, and
+ * redraws the status below it, so concurrent cells cannot tear each
+ * other's lines and the status never interleaves mid-message.
+ *
+ * Uses ANSI erase-line, so callers only enable it when stderr is a
+ * TTY (see SweepProgress). An empty line is equivalent to
+ * clearStatusLine().
+ */
+void setStatusLine(const std::string &line);
+
+/** Erase the status line and stop redrawing it. */
+void clearStatusLine();
+
 } // namespace zcomp
 
 #define panic(...) ::zcomp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)

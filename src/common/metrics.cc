@@ -1,0 +1,342 @@
+#include "common/metrics.hh"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "common/trace_writer.hh"
+
+namespace zcomp {
+
+// ------------------------------------------------------ MetricsSink
+
+MetricsSink::MetricsSink(std::string path, double interval_cycles)
+    : path_(std::move(path)), interval_(interval_cycles),
+      t0_(Clock::now())
+{
+    f_ = std::fopen(path_.c_str(), "w");
+    if (!f_)
+        warn("cannot write metrics file %s", path_.c_str());
+}
+
+MetricsSink::~MetricsSink()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (f_) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+void
+MetricsSink::append(Json record)
+{
+    record["hostMs"] =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0_)
+            .count();
+    std::string line = record.dump();
+    line += '\n';
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!f_)
+        return;
+    std::fwrite(line.data(), 1, line.size(), f_);
+    // Flushed per record so a live sweep can be tailed
+    // (zcomp_metrics.py tail) and a killed run keeps every complete
+    // sample.
+    std::fflush(f_);
+}
+
+namespace {
+std::atomic<MetricsSink *> globalSink{nullptr};
+} // namespace
+
+MetricsSink *
+MetricsSink::global()
+{
+    return globalSink.load(std::memory_order_acquire);
+}
+
+void
+MetricsSink::enableGlobal(const std::string &path,
+                          double interval_cycles)
+{
+    MetricsSink *prev =                 // zcomp-lint: allow(raw-new)
+        globalSink.exchange(new MetricsSink(path, interval_cycles),
+                            std::memory_order_acq_rel);
+    delete prev;        // zcomp-lint: allow(raw-new)
+}
+
+void
+MetricsSink::finishGlobal()
+{
+    MetricsSink *s =
+        globalSink.exchange(nullptr, std::memory_order_acq_rel);
+    delete s;           // zcomp-lint: allow(raw-new)
+}
+
+// --------------------------------------------------- MetricsSampler
+
+namespace {
+
+/** Match one path segment; a trailing '*' prefix-matches. */
+bool
+segMatch(const std::string &seg, const std::string &name)
+{
+    if (!seg.empty() && seg.back() == '*')
+        return name.compare(0, seg.size() - 1, seg, 0,
+                            seg.size() - 1) == 0;
+    return seg == name;
+}
+
+/** Sum every counter the pattern's remaining segments reach. */
+uint64_t
+sumMatches(const StatGroup &g, const std::vector<std::string> &segs,
+           size_t i)
+{
+    uint64_t sum = 0;
+    if (i + 1 == segs.size()) {
+        for (const auto &c : g.counters())
+            if (segMatch(segs[i], c->name()))
+                sum += c->value();
+        return sum;
+    }
+    for (const auto &child : g.children())
+        if (segMatch(segs[i], child->name()))
+            sum += sumMatches(*child, segs, i + 1);
+    return sum;
+}
+
+std::vector<std::string>
+splitPath(const std::string &pattern)
+{
+    std::vector<std::string> segs;
+    size_t start = 0;
+    while (true) {
+        size_t dot = pattern.find('.', start);
+        if (dot == std::string::npos) {
+            segs.push_back(pattern.substr(start));
+            return segs;
+        }
+        segs.push_back(pattern.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+} // namespace
+
+MetricsSampler::MetricsSampler(
+    MetricsSink *sink, std::string cell, std::string policy,
+    double interval_cycles, int num_cores,
+    std::function<void(StatGroup &)> provider)
+    : sink_(sink), cell_(std::move(cell)), policy_(std::move(policy)),
+      interval_(interval_cycles), numCores_(num_cores),
+      provider_(std::move(provider))
+{
+    fatal_if(!(interval_ > 0),
+             "metrics interval must be positive (got %g)", interval_);
+    nextAt_ = interval_;
+}
+
+void
+MetricsSampler::addCounterProbe(const std::string &pattern)
+{
+    Probe p;
+    p.pattern = pattern;
+    p.segments = splitPath(pattern);
+    probes_.push_back(std::move(p));
+}
+
+void
+MetricsSampler::evalAll()
+{
+    StatGroup g("metrics");
+    provider_(g);
+    current_.resize(probes_.size());
+    for (size_t i = 0; i < probes_.size(); i++)
+        current_[i] = sumMatches(g, probes_[i].segments, 0);
+}
+
+void
+MetricsSampler::rebase(double now_cycle)
+{
+    evalAll();
+    for (size_t i = 0; i < probes_.size(); i++)
+        probes_[i].last = current_[i];
+    lastCycle_ = now_cycle;
+    nextAt_ = (std::floor(now_cycle / interval_) + 1) * interval_;
+}
+
+void
+MetricsSampler::setLayerContext(const std::string &layer, double ratio)
+{
+    layer_ = layer;
+    layerRatio_ = ratio;
+}
+
+double
+MetricsSampler::delta(const char *pattern) const
+{
+    for (size_t i = 0; i < probes_.size(); i++)
+        if (probes_[i].pattern == pattern)
+            return static_cast<double>(current_[i] -
+                                       probes_[i].last);
+    return 0.0;
+}
+
+void
+MetricsSampler::emit(double now_cycle, bool drain)
+{
+    const double window = now_cycle - lastCycle_;
+    evalAll();
+
+    Json rec = Json::object();
+    rec["schema"] = metricsSchemaVersion;
+    rec["kind"] = "sample";
+    rec["cell"] = cell_;
+    rec["policy"] = policy_;
+    rec["cycle"] = now_cycle;
+    rec["window"] = window;
+    if (drain)
+        rec["drain"] = true;
+    rec["layer"] = layer_;
+
+    Json &counters = rec["counters"];
+    counters = Json::object();
+    for (size_t i = 0; i < probes_.size(); i++)
+        counters[probes_[i].pattern] =
+            current_[i] - probes_[i].last;
+
+    const double inv = window > 0 ? 1.0 / window : 0.0;
+    auto rate = [](double misses, double hits) {
+        double total = misses + hits;
+        return total > 0 ? misses / total : 0.0;
+    };
+    Json &derived = rec["derived"];
+    derived = Json::object();
+    derived["dramReadBytesPerCycle"] =
+        delta("mem.dram.bytes_read") * inv;
+    derived["dramWriteBytesPerCycle"] =
+        delta("mem.dram.bytes_written") * inv;
+    derived["l1MissRate"] =
+        rate(delta("mem.l1_*.misses"), delta("mem.l1_*.hits"));
+    derived["l2MissRate"] =
+        rate(delta("mem.l2_*.misses"), delta("mem.l2_*.hits"));
+    derived["l3MissRate"] =
+        rate(delta("mem.l3.misses"), delta("mem.l3.hits"));
+    derived["zcompBusyFraction"] =
+        numCores_ > 0 ? delta("core*.zcomp_busy_cycles") * inv /
+                            static_cast<double>(numCores_)
+                      : 0.0;
+    derived["nocHopsPerCycle"] = delta("mem.noc.hops") * inv;
+    derived["layerCompressionRatio"] = layerRatio_;
+
+    // The counter tracks mirror the derived block 1:1, on the same
+    // simulated-cycle timebase as the PR 2 per-core spans.
+    TraceWriter *tw = TraceWriter::global();
+    if (tw && tracePid_ >= 0) {
+        for (const auto &[name, value] : derived.members())
+            tw->counter(tracePid_, now_cycle, name,
+                        value.asDouble());
+    }
+
+    if (sink_)
+        sink_->append(std::move(rec));
+
+    for (size_t i = 0; i < probes_.size(); i++)
+        probes_[i].last = current_[i];
+    lastCycle_ = now_cycle;
+    emitted_++;
+}
+
+void
+MetricsSampler::sample(double now_cycle)
+{
+    emit(now_cycle, /*drain=*/false);
+    // The smallest interval multiple strictly beyond this sample, so
+    // a crossing observed late (the low-water mark jumps in op-sized
+    // steps) never re-fires inside the same interval.
+    nextAt_ = (std::floor(now_cycle / interval_) + 1) * interval_;
+}
+
+void
+MetricsSampler::finish(double now_cycle)
+{
+    if (now_cycle > lastCycle_)
+        emit(now_cycle, /*drain=*/true);
+    nextAt_ = std::numeric_limits<double>::infinity();
+}
+
+// ---------------------------------------------------- SweepProgress
+
+SweepProgress::SweepProgress(uint64_t total_cells, bool live)
+    : total_(total_cells), live_(live), t0_(Clock::now())
+{
+}
+
+SweepProgress::~SweepProgress()
+{
+    finish();
+}
+
+void
+SweepProgress::finish()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (live_) {
+        clearStatusLine();
+        live_ = false;
+    }
+}
+
+void
+SweepProgress::cellDone(bool cached, bool failed, int attempts)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    done_++;
+    cached_ += cached;
+    failed_ += failed;
+    retried_ += attempts > 1;
+
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0_).count();
+    const double rate =
+        elapsed > 0 ? static_cast<double>(done_) / elapsed : 0.0;
+    const uint64_t left = total_ > done_ ? total_ - done_ : 0;
+    const double eta =
+        rate > 0 ? static_cast<double>(left) / rate : 0.0;
+
+    if (MetricsSink *sink = MetricsSink::global()) {
+        Json rec = Json::object();
+        rec["schema"] = metricsSchemaVersion;
+        rec["kind"] = "progress";
+        rec["done"] = done_;
+        rec["total"] = total_;
+        rec["cached"] = cached_;
+        rec["failed"] = failed_;
+        rec["retried"] = retried_;
+        rec["cellsPerSec"] = rate;
+        rec["etaSec"] = eta;
+        sink->append(std::move(rec));
+    }
+
+    if (live_) {
+        setStatusLine(format(
+            "sweep %llu/%llu | %llu cached, %llu failed | "
+            "%.2f cells/s | eta %.0f s",
+            static_cast<unsigned long long>(done_),
+            static_cast<unsigned long long>(total_),
+            static_cast<unsigned long long>(cached_),
+            static_cast<unsigned long long>(failed_), rate, eta));
+    }
+}
+
+uint64_t
+SweepProgress::done() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return done_;
+}
+
+} // namespace zcomp

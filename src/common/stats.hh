@@ -107,6 +107,18 @@ class StatGroup
     /** Find a counter by path ("child.grandchild.counter"), or null. */
     const Counter *findCounter(const std::string &path) const;
 
+    /** This group's own counters, in registration order. */
+    const std::vector<std::unique_ptr<Counter>> &counters() const
+    {
+        return counters_;
+    }
+
+    /** This group's child groups, in registration order. */
+    const std::vector<std::unique_ptr<StatGroup>> &children() const
+    {
+        return children_;
+    }
+
     /** Find a histogram by path, analogous to findCounter(). */
     const Histogram *findHistogram(const std::string &path) const;
 

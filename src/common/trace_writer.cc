@@ -116,6 +116,22 @@ TraceWriter::span(int pid, int tid, double ts, double dur,
 }
 
 void
+TraceWriter::counter(int pid, double ts, const std::string &name,
+                     double value)
+{
+    Buffer &buf = threadBuffer();
+    Event ev;
+    ev.pid = pid;
+    ev.ts = ts;
+    ev.ph = 'C';
+    ev.name = name;
+    ev.cat = "metrics";
+    ev.args = "{\"value\":" + jsonNumber(value) + "}";
+    std::lock_guard<std::mutex> lk(buf.mu);
+    buf.events.push_back(std::move(ev));
+}
+
+void
 TraceWriter::hostSpan(const std::string &name, double start_us,
                       double end_us, const Json &args)
 {
@@ -222,12 +238,25 @@ TraceWriter::finish()
     }
 
     for (const Event &ev : events) {
-        std::string line = format(
-            "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,"
-            "\"dur\":%s,\"cat\":\"%s\",\"name\":\"%s\"",
-            ev.pid, ev.tid, jsonNumber(ev.ts).c_str(),
-            jsonNumber(ev.dur).c_str(), jsonEscape(ev.cat).c_str(),
-            jsonEscape(ev.name).c_str());
+        std::string line;
+        if (ev.ph == 'C') {
+            // Counter samples carry no duration or lane; Perfetto
+            // keys the track by (pid, name).
+            line = format(
+                "{\"ph\":\"C\",\"pid\":%d,\"ts\":%s,"
+                "\"cat\":\"%s\",\"name\":\"%s\"",
+                ev.pid, jsonNumber(ev.ts).c_str(),
+                jsonEscape(ev.cat).c_str(),
+                jsonEscape(ev.name).c_str());
+        } else {
+            line = format(
+                "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,"
+                "\"dur\":%s,\"cat\":\"%s\",\"name\":\"%s\"",
+                ev.pid, ev.tid, jsonNumber(ev.ts).c_str(),
+                jsonNumber(ev.dur).c_str(),
+                jsonEscape(ev.cat).c_str(),
+                jsonEscape(ev.name).c_str());
+        }
         if (!ev.args.empty())
             line += ",\"args\":" + ev.args;
         line += "}";

@@ -45,6 +45,7 @@ class TraceWriter
         int tid = 0;
         double ts = 0;      //!< microseconds (host) or cycles (sim)
         double dur = 0;
+        char ph = 'X';      //!< 'X' complete span, 'C' counter sample
         std::string name;
         std::string cat;
         std::string args;   //!< pre-serialized JSON object, or empty
@@ -75,6 +76,15 @@ class TraceWriter
     void span(int pid, int tid, double ts, double dur,
               const std::string &name, const std::string &cat,
               const Json &args = Json());
+
+    /**
+     * Emit one sample of a named counter track under a track group.
+     * Perfetto renders the samples of each (pid, name) pair as a
+     * filled line chart alongside that group's span lanes; the
+     * MetricsSampler uses this for its derived per-cycle rates.
+     */
+    void counter(int pid, double ts, const std::string &name,
+                 double value);
 
     /** Wall-clock microseconds since this writer was created. */
     double nowUs() const;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/metrics.hh"
 
 namespace zcomp {
 
@@ -51,6 +52,14 @@ MultiCoreSystem::runPhase(const TracePhase &phase)
         ready.push({cores_[static_cast<size_t>(c)]->time(), c});
     int remaining = cfg_.numCores;
     while (remaining > 0) {
+        // The heap top is the global time low-water mark: every live
+        // core's clock is >= it and it only moves forward, so one
+        // comparison per step is the entire metrics hot-path cost
+        // (sampleAt_ is +infinity when no sampler is attached).
+        if (ready.top().first >= sampleAt_) {
+            sampler_->sample(ready.top().first);
+            sampleAt_ = sampler_->nextSampleCycle();
+        }
         const int id = ready.top().second;
         ready.pop();
         CoreModel *next = cores_[static_cast<size_t>(id)].get();
@@ -116,6 +125,15 @@ MultiCoreSystem::resetStats()
     mem_.resetStats();
     // Note: globalTime_ keeps advancing monotonically; callers measure
     // deltas via PhaseResult.
+}
+
+void
+MultiCoreSystem::attachSampler(MetricsSampler *sampler)
+{
+    sampler_ = sampler;
+    sampleAt_ = sampler
+                    ? sampler->nextSampleCycle()
+                    : std::numeric_limits<double>::infinity();
 }
 
 void

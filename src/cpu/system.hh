@@ -15,12 +15,15 @@
 #ifndef ZCOMP_CPU_SYSTEM_HH
 #define ZCOMP_CPU_SYSTEM_HH
 
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "cpu/core.hh"
 
 namespace zcomp {
+
+class MetricsSampler;
 
 /** Timing results of one phase. */
 struct PhaseResult
@@ -69,11 +72,22 @@ class MultiCoreSystem
     /** Full reset including cache contents. */
     void resetAll();
 
+    /**
+     * Attach (null: detach) a cycle-domain metrics sampler. The
+     * stepping loop invokes it whenever the global time low-water
+     * mark crosses the sampler's next sample cycle. The sampler must
+     * outlive its attachment; detached (the default) the loop's only
+     * cost is one always-false comparison against +infinity.
+     */
+    void attachSampler(MetricsSampler *sampler);
+
   private:
     ArchConfig cfg_;
     MemoryHierarchy mem_;
     std::vector<std::unique_ptr<CoreModel>> cores_;
     double globalTime_ = 0;
+    MetricsSampler *sampler_ = nullptr;
+    double sampleAt_ = std::numeric_limits<double>::infinity();
 };
 
 } // namespace zcomp

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/log.hh"
+#include "common/stats.hh"
 #include "common/trace_writer.hh"
 
 namespace zcomp {
@@ -196,6 +197,36 @@ void
 ExecContext::warm(const TracePhase &phase)
 {
     sys_.runPhase(phase);
+}
+
+std::unique_ptr<MetricsSampler>
+ExecContext::makeMetricsSampler(const std::string &cell,
+                                const std::string &policy)
+{
+    MetricsSink *sink = MetricsSink::global();
+    if (!sink)
+        return nullptr;
+    auto s = std::make_unique<MetricsSampler>(
+        sink, cell, policy, sink->intervalCycles(),
+        sys_.config().numCores,
+        [this](StatGroup &g) { sys_.dumpStats(g); });
+    // The probe patterns sum over dumpStats() subtrees; leaf names
+    // must come from the registered addCounter() inventory (enforced
+    // by the zcomp_lint metrics-names rule).
+    s->addCounterProbe("mem.dram.bytes_read");
+    s->addCounterProbe("mem.dram.bytes_written");
+    s->addCounterProbe("mem.links.l3_dram_bytes");
+    s->addCounterProbe("mem.l1_*.hits");
+    s->addCounterProbe("mem.l1_*.misses");
+    s->addCounterProbe("mem.l2_*.hits");
+    s->addCounterProbe("mem.l2_*.misses");
+    s->addCounterProbe("mem.l3.hits");
+    s->addCounterProbe("mem.l3.misses");
+    s->addCounterProbe("core*.zcomp_busy_cycles");
+    s->addCounterProbe("mem.noc.hops");
+    s->setTracePid(tracePid_);
+    s->rebase(sys_.now());
+    return s;
 }
 
 } // namespace zcomp

@@ -9,7 +9,10 @@
 #ifndef ZCOMP_SIM_EXEC_CONTEXT_HH
 #define ZCOMP_SIM_EXEC_CONTEXT_HH
 
+#include <memory>
+
 #include "common/json.hh"
+#include "common/metrics.hh"
 #include "cpu/system.hh"
 #include "mem/vspace.hh"
 
@@ -77,6 +80,19 @@ class ExecContext
      */
     void setTracePid(int pid) { tracePid_ = pid; }
     int tracePid() const { return tracePid_; }
+
+    /**
+     * Build a cycle-domain MetricsSampler for one (cell, policy)
+     * simulation against this context's system: the standard probe
+     * set (DRAM bytes, per-level hits/misses, zcomp busy cycles, NoC
+     * hops), the --metrics-interval from the global MetricsSink, and
+     * the current trace pid for Perfetto counter tracks. Returns null
+     * when no global sink is installed (no --metrics flag), so the
+     * caller's attach stays a simple null check. The sampler holds a
+     * reference to this context and must not outlive it.
+     */
+    std::unique_ptr<MetricsSampler> makeMetricsSampler(
+        const std::string &cell, const std::string &policy);
 
   private:
     VSpace vs_;

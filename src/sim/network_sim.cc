@@ -80,12 +80,13 @@ class PassBuilder
 {
   public:
     PassBuilder(ExecContext &ctx, const NetworkSimConfig &cfg,
-                std::string name)
+                std::string name, MetricsSampler *sampler = nullptr)
         : ctx_(ctx), cfg_(cfg),
           phase_(std::move(name), ctx.config().numCores),
           cores_(ctx.config().numCores),
           logicLat_(static_cast<uint8_t>(
-              ctx.config().zcomp.logicLatency))
+              ctx.config().zcomp.logicLatency)),
+          sampler_(sampler)
     {}
 
     /** Emit an interleaved streaming pass over the given tensors. */
@@ -96,6 +97,27 @@ class PassBuilder
             1, std::min(cfg_.subBlocks,
                         CoreModel::maxStreams /
                             std::max<int>(1, specs.size())));
+        // Static compression ratio of this pass's streams, for the
+        // sampler's live per-layer metric. Only paid when a sampler
+        // exists (--metrics); the per-vector sizes are the memoized
+        // nnz counts the emit loop replays anyway.
+        if (sampler_) {
+            for (const StreamSpec &spec : specs) {
+                size_t vecs = spec.tensor->elems() / 16;
+                uint64_t orig = static_cast<uint64_t>(vecs) * 64;
+                uint64_t comp = orig;
+                if (spec.compress) {
+                    uint64_t payload = 0;
+                    for (size_t v = 0; v < vecs; v++)
+                        payload += spec.nnz
+                                       ? spec.nnz[v]
+                                       : vecNnz(*spec.tensor, v);
+                    comp = vecs * hdrB + payload * 4;
+                }
+                origBytes_ += orig;
+                compBytes_ += comp;
+            }
+        }
         for (int c = 0; c < cores_; c++)
             emitCore(c, specs, subs);
     }
@@ -118,6 +140,11 @@ class PassBuilder
     {
         if (panel_bytes == 0 || m_rows == 0)
             return;
+        if (sampler_) {
+            // Weight panels always move uncompressed: ratio 1.
+            origBytes_ += panel_bytes;
+            compBytes_ += panel_bytes;
+        }
         uint64_t lines = divCeil(panel_bytes, lineBytes);
         for (int c = 0; c < cores_; c++) {
             uint64_t line_begin =
@@ -149,6 +176,13 @@ class PassBuilder
     RunStats
     run()
     {
+        if (sampler_) {
+            sampler_->setLayerContext(
+                phase_.name,
+                compBytes_ > 0 ? static_cast<double>(origBytes_) /
+                                     static_cast<double>(compBytes_)
+                               : 1.0);
+        }
         return ctx_.run(phase_);
     }
 
@@ -288,6 +322,9 @@ class PassBuilder
     TracePhase phase_;
     int cores_;
     uint8_t logicLat_;
+    MetricsSampler *sampler_;
+    uint64_t origBytes_ = 0;    //!< pass bytes before compression
+    uint64_t compBytes_ = 0;    //!< pass bytes as the policy moves them
 };
 
 /** Per-vector compute uops attached to a layer's streaming pass. */
@@ -396,16 +433,38 @@ NetworkSim::run(const NetworkSimConfig &cfg)
     // Each (network, policy) run gets its own simulated track group
     // so the per-core lanes of back-to-back policy runs (which all
     // restart at cycle 0) do not overlap in the trace.
+    const std::string label =
+        cfg.traceLabel.empty() ? net_.name() : cfg.traceLabel;
     int prev_pid = ctx_.tracePid();
     if (TraceWriter *tw = TraceWriter::global()) {
-        std::string label =
-            cfg.traceLabel.empty() ? net_.name() : cfg.traceLabel;
         int pid = tw->newProcess(
             label + " [" + ioPolicyName(cfg.policy) + "]");
         for (int c = 0; c < ctx_.config().numCores; c++)
             tw->nameThread(pid, c, format("core %d", c));
         ctx_.setTracePid(pid);
     }
+
+    // Cycle-domain sampler for this (cell, policy) run; null without
+    // --metrics. Created after the resetAll/newProcess above so its
+    // cycle stream starts at this run's cycle 0 and its counter
+    // tracks land in this run's track group. The scope guard drains
+    // the final partial window and detaches on every return path.
+    std::unique_ptr<MetricsSampler> sampler =
+        ctx_.makeMetricsSampler(label, ioPolicyName(cfg.policy));
+    struct SamplerScope
+    {
+        ExecContext &ctx;
+        MetricsSampler *s;
+        ~SamplerScope()
+        {
+            if (s) {
+                s->finish(ctx.sys().now());
+                ctx.sys().attachSampler(nullptr);
+            }
+        }
+    } sampler_scope{ctx_, sampler.get()};
+    if (sampler)
+        ctx_.sys().attachSampler(sampler.get());
 
     NetworkSimResult result;
     bool avx = cfg.policy == IoPolicy::Avx512Comp;
@@ -494,7 +553,8 @@ NetworkSim::run(const NetworkSimConfig &cfg)
             // per-core L2-resident scratch (whose writes are absorbed
             // locally and charged as the extra uop).
             {
-                PassBuilder pb(ctx_, cfg, n.layer->name() + ".pack");
+                PassBuilder pb(ctx_, cfg, n.layer->name() + ".pack",
+                               sampler.get());
                 pb.stream({spec(n.inputs[0], false, false, false, 1)});
                 record(n.layer->name() + ".pack", false, pb.run());
             }
@@ -515,7 +575,8 @@ NetworkSim::run(const NetworkSimConfig &cfg)
                 }
                 uint64_t m_rows =
                     wbytes ? macs / (wbytes / 4) : 0;
-                PassBuilder pb(ctx_, cfg, n.layer->name() + ".gemm");
+                PassBuilder pb(ctx_, cfg, n.layer->name() + ".gemm",
+                               sampler.get());
                 pb.gemmCompute(wbase, wbytes, m_rows);
                 record(n.layer->name() + ".gemm", false, pb.run());
             }
@@ -528,7 +589,8 @@ NetworkSim::run(const NetworkSimConfig &cfg)
                 bool fused = fuse_out[i] >= 0 &&
                              cfg.policy == IoPolicy::Zcomp &&
                              compressible(net_.activation(out_node));
-                PassBuilder pb(ctx_, cfg, n.layer->name() + ".out");
+                PassBuilder pb(ctx_, cfg, n.layer->name() + ".out",
+                               sampler.get());
                 pb.stream({spec(out_node, false, true, fused,
                                 fused ? 0 : 1)});
                 record(n.layer->name() + ".out", false, pb.run());
@@ -545,7 +607,7 @@ NetworkSim::run(const NetworkSimConfig &cfg)
                      cfg.policy == IoPolicy::Zcomp &&
                      compressible(out);
         specs.push_back(spec(node, false, true, fused, fused ? 0 : 1));
-        PassBuilder pb(ctx_, cfg, n.layer->name());
+        PassBuilder pb(ctx_, cfg, n.layer->name(), sampler.get());
         pb.stream(specs);
         record(n.layer->name(), false, pb.run());
     }
@@ -575,7 +637,8 @@ NetworkSim::run(const NetworkSimConfig &cfg)
             // dW: re-read dY and X (packed), accumulate into the
             // weight-gradient region (modeled over the weight panel).
             {
-                PassBuilder pb(ctx_, cfg, n.layer->name() + ".dw");
+                PassBuilder pb(ctx_, cfg, n.layer->name() + ".dw",
+                               sampler.get());
                 pb.stream({spec(node, true, false, false, 1),
                            spec(n.inputs[0], false, false, false, 1)});
                 Addr wbase =
@@ -595,7 +658,8 @@ NetworkSim::run(const NetworkSimConfig &cfg)
             // mask) and the gradient lands below the ReLU.
             int dx_node = grad_target(n.inputs[0]);
             if (dx_node != 0) {
-                PassBuilder pb(ctx_, cfg, n.layer->name() + ".dx");
+                PassBuilder pb(ctx_, cfg, n.layer->name() + ".dx",
+                               sampler.get());
                 Addr wbase =
                     kind == LayerKind::Conv
                         ? static_cast<const ConvLayer &>(*n.layer)
@@ -631,7 +695,8 @@ NetworkSim::run(const NetworkSimConfig &cfg)
                 continue;
             specs.push_back(spec(in, true, true, false, 1));
         }
-        PassBuilder pb(ctx_, cfg, n.layer->name() + ".bwd");
+        PassBuilder pb(ctx_, cfg, n.layer->name() + ".bwd",
+                               sampler.get());
         pb.stream(specs);
         record(n.layer->name() + ".bwd", true, pb.run());
     }

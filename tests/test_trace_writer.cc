@@ -165,6 +165,55 @@ TEST(TraceWriter, MultiThreadedHostSpans)
     EXPECT_EQ(lanes, threads);
 }
 
+TEST(TraceWriter, CounterEventsRoundTrip)
+{
+    TempPath tmp("test_trace_counter.json");
+    {
+        TraceWriter tw(tmp.path);
+        int pid = tw.newProcess("sim");
+        tw.counter(pid, 100, "dramReadBytesPerCycle", 3.5);
+        tw.counter(pid, 200, "dramReadBytesPerCycle", 4.25);
+        tw.span(pid, 0, 0, 50, "phase", "sim");
+
+        std::vector<TraceWriter::Event> evs = tw.snapshotEvents();
+        ASSERT_EQ(evs.size(), 3u);
+        int counters = 0;
+        for (const TraceWriter::Event &ev : evs)
+            counters += ev.ph == 'C';
+        EXPECT_EQ(counters, 2);
+        tw.finish();
+    }
+
+    std::string err;
+    Json doc = Json::parse(slurp(tmp.path), &err);
+    ASSERT_EQ(err, "");
+    const Json *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    int counters = 0;
+    for (size_t i = 0; i < events->size(); i++) {
+        const Json &ev = events->at(i);
+        if (ev.find("ph")->asString() != "C")
+            continue;
+        counters++;
+        EXPECT_EQ(ev.find("name")->asString(),
+                  "dramReadBytesPerCycle");
+        EXPECT_EQ(ev.find("cat")->asString(), "metrics");
+        // Counter samples live on a (pid, name) track: no tid or dur.
+        EXPECT_EQ(ev.find("tid"), nullptr);
+        EXPECT_EQ(ev.find("dur"), nullptr);
+        const Json *args = ev.find("args");
+        ASSERT_NE(args, nullptr);
+        const Json *value = args->find("value");
+        ASSERT_NE(value, nullptr);
+        if (ev.find("ts")->asDouble() == 100)
+            EXPECT_DOUBLE_EQ(value->asDouble(), 3.5);
+        else
+            EXPECT_DOUBLE_EQ(value->asDouble(), 4.25);
+    }
+    EXPECT_EQ(counters, 2);
+}
+
 TEST(TraceWriter, FinishIsIdempotent)
 {
     TempPath tmp("test_trace_idem.json");

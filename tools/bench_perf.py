@@ -37,6 +37,10 @@ MICRO_METRICS = {
 FIGURE_METRICS = {
     "wallSeconds": "time",
     "cellsPerSec": "rate",
+    # Wall-clock ratio of the same subset with --metrics sampling on
+    # vs off (1.0 = telemetry is free); compared only when both
+    # snapshots recorded it.
+    "metricsOverheadRatio": "time",
 }
 
 

@@ -12,9 +12,17 @@
  *   zcomp_inspect <file>            analyze a raw fp32 binary dump
  *   zcomp_inspect --synth <sparsity> [bytes]
  *                                   analyze a generated snapshot
+ *   zcomp_inspect --metrics <file>  validate a --metrics JSONL stream
  *
  * --json (anywhere on the command line) switches the report to a
  * machine-readable JSON document on stdout with the same numbers.
+ *
+ * The --metrics mode checks every record of a zcomp-metrics-v1
+ * telemetry stream (bench --metrics out.jsonl): schema tag, record
+ * kind, required fields and types, and that sample cycles are
+ * strictly increasing within each (cell, policy) series. Any
+ * violation is a one-line diagnostic naming the offending line and
+ * a non-zero exit, so CI can gate on it.
  */
 
 #include <cerrno>
@@ -24,6 +32,9 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cachecomp/cache_model.hh"
@@ -110,6 +121,172 @@ makeSynthetic(double sparsity, size_t bytes)
     return out;
 }
 
+/** Compose "<path>:<line>: <what>" for metrics-stream diagnostics. */
+std::runtime_error
+metricsError(const std::string &path, size_t line,
+             const std::string &what)
+{
+    return std::runtime_error(path + ":" + std::to_string(line) +
+                              ": " + what);
+}
+
+/** Fetch a required member of a known Json type, or throw. */
+const Json &
+requireField(const Json &rec, const char *key, const char *type,
+             const std::string &path, size_t line)
+{
+    const Json *p = rec.find(key);
+    bool ok = p != nullptr;
+    if (ok) {
+        if (std::strcmp(type, "string") == 0)
+            ok = p->isString();
+        else if (std::strcmp(type, "number") == 0)
+            ok = p->isNumber();
+        else if (std::strcmp(type, "object") == 0)
+            ok = p->isObject();
+    }
+    if (!ok)
+        throw metricsError(path, line,
+                           std::string("record needs ") + type +
+                               " field '" + key + "'");
+    return *p;
+}
+
+/**
+ * Validate a zcomp-metrics-v1 JSONL stream (see common/metrics.hh
+ * for the writer). Prints a summary on success; throws on the first
+ * malformed record, which main() turns into exit 1.
+ */
+int
+validateMetrics(const char *file, bool json_mode)
+{
+    std::ifstream in(file);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", file);
+        std::exit(1);
+    }
+    const std::string path = file;
+
+    // Last sample cycle per (cell, policy) series, for monotonicity.
+    std::map<std::pair<std::string, std::string>, double> lastCycle;
+    std::map<std::pair<std::string, std::string>, uint64_t> perSeries;
+    uint64_t samples = 0, progress = 0, drains = 0;
+    double maxCycle = 0;
+
+    std::string text;
+    size_t lineno = 0;
+    while (std::getline(in, text)) {
+        lineno++;
+        if (text.empty())
+            throw metricsError(path, lineno, "empty line");
+        std::string err;
+        Json rec = Json::parse(text, &err);
+        if (!err.empty())
+            throw metricsError(path, lineno, "bad JSON: " + err);
+        if (!rec.isObject())
+            throw metricsError(path, lineno, "record is not an object");
+
+        const Json &schema =
+            requireField(rec, "schema", "string", path, lineno);
+        if (schema.asString() != "zcomp-metrics-v1")
+            throw metricsError(path, lineno,
+                               "unknown schema '" + schema.asString() +
+                                   "' (want zcomp-metrics-v1)");
+        const Json &kind =
+            requireField(rec, "kind", "string", path, lineno);
+        requireField(rec, "hostMs", "number", path, lineno);
+
+        if (kind.asString() == "sample") {
+            samples++;
+            const std::string cell =
+                requireField(rec, "cell", "string", path, lineno)
+                    .asString();
+            const std::string policy =
+                requireField(rec, "policy", "string", path, lineno)
+                    .asString();
+            double cycle =
+                requireField(rec, "cycle", "number", path, lineno)
+                    .asDouble();
+            double window =
+                requireField(rec, "window", "number", path, lineno)
+                    .asDouble();
+            if (!(window > 0))
+                throw metricsError(path, lineno,
+                                   "sample window must be > 0");
+            const Json &counters =
+                requireField(rec, "counters", "object", path, lineno);
+            for (const auto &kv : counters.members())
+                if (!kv.second.isNumber())
+                    throw metricsError(path, lineno,
+                                       "counter '" + kv.first +
+                                           "' is not a number");
+            const Json &derived =
+                requireField(rec, "derived", "object", path, lineno);
+            for (const auto &kv : derived.members())
+                if (!kv.second.isNumber())
+                    throw metricsError(path, lineno,
+                                       "derived '" + kv.first +
+                                           "' is not a number");
+            if (rec.find("drain"))
+                drains++;
+
+            auto key = std::make_pair(cell, policy);
+            auto it = lastCycle.find(key);
+            if (it != lastCycle.end() && !(cycle > it->second))
+                throw metricsError(
+                    path, lineno,
+                    "sample cycle " + std::to_string(cycle) +
+                        " not after " + std::to_string(it->second) +
+                        " for (" + cell + ", " + policy + ")");
+            lastCycle[key] = cycle;
+            perSeries[key]++;
+            if (cycle > maxCycle)
+                maxCycle = cycle;
+        } else if (kind.asString() == "progress") {
+            progress++;
+            for (const char *k :
+                 {"done", "total", "cached", "failed", "retried",
+                  "cellsPerSec", "etaSec"})
+                requireField(rec, k, "number", path, lineno);
+            double done =
+                rec.find("done")->asDouble();
+            double total = rec.find("total")->asDouble();
+            if (done > total)
+                throw metricsError(path, lineno,
+                                   "progress done exceeds total");
+        } else {
+            throw metricsError(path, lineno,
+                               "unknown kind '" + kind.asString() +
+                                   "'");
+        }
+    }
+    if (lineno == 0)
+        throw std::runtime_error(path + ": no records");
+
+    if (json_mode) {
+        Json doc = Json::object();
+        doc["file"] = path;
+        doc["records"] = lineno;
+        doc["samples"] = samples;
+        doc["progress"] = progress;
+        doc["drains"] = drains;
+        doc["series"] = perSeries.size();
+        doc["maxCycle"] = maxCycle;
+        std::printf("%s\n", doc.dump(2).c_str());
+        return 0;
+    }
+
+    std::printf("%s: %zu records OK\n", file, (size_t)lineno);
+    std::printf("samples  : %llu (%llu drain) across %zu "
+                "(cell, policy) series\n",
+                (unsigned long long)samples, (unsigned long long)drains,
+                perSeries.size());
+    std::printf("progress : %llu records\n",
+                (unsigned long long)progress);
+    std::printf("max cycle: %.0f\n", maxCycle);
+    return 0;
+}
+
 int runInspect(int argc, char **argv);
 
 } // namespace
@@ -146,7 +323,9 @@ runInspect(int argc, char **argv)
 
     std::vector<uint8_t> data;
     std::string source;
-    if (nargs >= 3 && std::string(args[1]) == "--synth") {
+    if (nargs == 3 && std::string(args[1]) == "--metrics") {
+        return validateMetrics(args[2], json_mode);
+    } else if (nargs >= 3 && std::string(args[1]) == "--synth") {
         double sparsity = parseSparsity(args[2]);
         size_t bytes = nargs >= 4 ? parseBytes(args[3]) : (1u << 20);
         bytes -= bytes % 64;
@@ -158,7 +337,8 @@ runInspect(int argc, char **argv)
     } else {
         std::fprintf(stderr,
                      "usage: %s [--json] <file> | "
-                     "--synth <sparsity> [bytes]\n",
+                     "--synth <sparsity> [bytes] | "
+                     "--metrics <file.jsonl>\n",
                      argv[0]);
         return 1;
     }

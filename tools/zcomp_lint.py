@@ -31,6 +31,11 @@ simd-isolation      no direct <immintrin.h>/<x86intrin.h> include
                     so the rest of the tree stays baseline-ISA and the
                     scalar/SIMD differential tests cover every vector
                     code path.
+metrics-names       the leaf segment of every addCounterProbe()
+                    pattern must name a counter somewhere registered
+                    via addCounter(), so telemetry probes cannot
+                    silently drift away from the stats tree and read
+                    zeros forever.
 
 A finding on line N is suppressed by a comment
     // zcomp-lint: allow(<rule>)
@@ -361,6 +366,43 @@ def check_simd_isolation(root, findings):
                     "dispatched common/simd.hh API" % SIMD_HOME))
 
 
+COUNTER_DEF_RE = re.compile(r"\baddCounter\s*\(\s*\"([^\"]+)\"")
+PROBE_RE = re.compile(r"\baddCounterProbe\s*\(\s*\"([^\"]+)\"")
+
+
+def check_metrics_names(root, findings):
+    """Probe patterns are validated against the union of every
+    addCounter() literal in the tree (a leaf ending in '*' must
+    prefix-match at least one); a probe whose leaf matches nothing
+    would sum an empty set and report zero forever."""
+    files = list(iter_files(root, SOURCE_EXTS + HEADER_EXTS))
+    registered = set()
+    for path in files:
+        stripped = strip_comments_and_strings(read_lines(path),
+                                              keep_strings=True)
+        for line in stripped:
+            for m in COUNTER_DEF_RE.finditer(line):
+                registered.add(m.group(1))
+    for path in files:
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "metrics-names")
+        stripped = strip_comments_and_strings(lines, keep_strings=True)
+        for i, line in enumerate(stripped, start=1):
+            for m in PROBE_RE.finditer(line):
+                leaf = m.group(1).rsplit(".", 1)[-1]
+                if leaf.endswith("*"):
+                    ok = any(n.startswith(leaf[:-1])
+                             for n in registered)
+                else:
+                    ok = leaf in registered
+                if not ok and i not in allowed:
+                    findings.append(Finding(
+                        "metrics-names", relpath(root, path), i,
+                        "probe \"%s\": leaf \"%s\" is not a "
+                        "registered addCounter() name"
+                        % (m.group(1), leaf)))
+
+
 ALL_RULES = [
     check_cmake_registration,
     check_header_guard,
@@ -370,6 +412,7 @@ ALL_RULES = [
     check_rng,
     check_catch_swallow,
     check_simd_isolation,
+    check_metrics_names,
 ]
 
 
@@ -396,7 +439,7 @@ def self_test():
         write(os.path.join(root, "src", "CMakeLists.txt"),
               "add_library(x STATIC clean.cc dup_stats.cc raw_new.cc\n"
               "    bad_rng.cc annotated.cc catch_swallow.cc\n"
-              "    stray_intrin.cc common/simd.cc)\n")
+              "    stray_intrin.cc metrics_probe.cc common/simd.cc)\n")
         write(os.path.join(root, "src", "clean.cc"),
               '#include "clean.hh"\n'
               "// new Widget in a comment is fine\n"
@@ -460,6 +503,14 @@ def self_test():
               "#include <emmintrin.h>\n")
         write(os.path.join(root, "src", "common", "simd.cc"),
               "#include <immintrin.h>\n")
+        write(os.path.join(root, "src", "metrics_probe.cc"),
+              "void probes(S &s) {\n"
+              '    s.addCounterProbe("mem.l1_*.hits");\n'     # ok
+              '    s.addCounterProbe("mem.bogus_counter");\n'  # flagged
+              '    s.addCounterProbe("core*.hit*");\n'         # prefix ok
+              "    // zcomp-lint: allow(metrics-names)\n"
+              '    s.addCounterProbe("suppressed_leaf");\n'
+              "}\n")
 
         findings = run_lint(root)
         got = {(f.rule, f.path, f.line) for f in findings}
@@ -476,6 +527,7 @@ def self_test():
             ("catch-swallow", "src/catch_swallow.cc", 2),
             ("simd-isolation", "src/stray_intrin.cc", 2),
             ("simd-isolation", "src/stray_intrin.cc", 3),
+            ("metrics-names", "src/metrics_probe.cc", 3),
         }
         ok = True
         for item in sorted(want - got):

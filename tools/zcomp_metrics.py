@@ -1,0 +1,382 @@
+#!/usr/bin/env python3
+"""Analyze zcomp-metrics-v1 telemetry streams (bench --metrics).
+
+Subcommands
+-----------
+summarize FILE      per-(cell, policy) series statistics - sample and
+                    drain counts, cycle span, and the mean/peak of
+                    each derived rate - plus the final sweep progress.
+plot FILE           ASCII time-series of one derived metric for one
+                    series (--cell/--policy select it, defaulting to
+                    the first series in the file); --csv PATH also
+                    writes (cycle, value) rows for external plotting.
+tail FILE           follow the stream like `tail -f`, rendering each
+                    record as one human-readable line as it lands
+                    (--once drains the current contents and exits,
+                    for scripts and tests).
+
+All input is JSONL with one record per line, "kind" of "sample" or
+"progress" (see src/common/metrics.hh; zcomp_inspect --metrics
+validates the schema strictly - this tool only needs well-formed
+lines and skips anything else with a warning).
+
+Usage:
+    tools/zcomp_metrics.py summarize run.jsonl
+    tools/zcomp_metrics.py plot run.jsonl --metric dramReadBytesPerCycle
+    tools/zcomp_metrics.py tail run.jsonl
+    tools/zcomp_metrics.py --self-test
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+SCHEMA = "zcomp-metrics-v1"
+
+
+def read_records(path):
+    """Parse a JSONL stream; returns (records, skipped_count)."""
+    records, skipped = [], 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                print(f"warning: {path}:{lineno}: unparseable line "
+                      "skipped", file=sys.stderr)
+                skipped += 1
+                continue
+            if not isinstance(rec, dict) or rec.get("schema") != SCHEMA:
+                print(f"warning: {path}:{lineno}: not a {SCHEMA} "
+                      "record, skipped", file=sys.stderr)
+                skipped += 1
+                continue
+            records.append(rec)
+    return records, skipped
+
+
+def series_key(rec):
+    return (rec.get("cell", "?"), rec.get("policy", "?"))
+
+
+def group_samples(records):
+    """(cell, policy) -> list of sample records, in file order."""
+    series = {}
+    for rec in records:
+        if rec.get("kind") == "sample":
+            series.setdefault(series_key(rec), []).append(rec)
+    return series
+
+
+# --------------------------------------------------------- summarize
+
+
+def cmd_summarize(args):
+    records, _ = read_records(args.file)
+    if not records:
+        sys.exit(f"error: {args.file}: no {SCHEMA} records")
+    series = group_samples(records)
+    progress = [r for r in records if r.get("kind") == "progress"]
+
+    print(f"{args.file}: {len(records)} records "
+          f"({sum(len(s) for s in series.values())} samples, "
+          f"{len(progress)} progress)")
+    for (cell, policy) in sorted(series):
+        samples = series[(cell, policy)]
+        drains = sum(1 for s in samples if s.get("drain"))
+        cycles = [s.get("cycle", 0.0) for s in samples]
+        print(f"\n{cell} | {policy}: {len(samples)} samples "
+              f"({drains} drain), cycles {min(cycles):.0f}.."
+              f"{max(cycles):.0f}")
+        metrics = {}
+        for s in samples:
+            for name, value in s.get("derived", {}).items():
+                metrics.setdefault(name, []).append(float(value))
+        for name in sorted(metrics):
+            vals = metrics[name]
+            print(f"  {name:<26} mean {sum(vals) / len(vals):>12.4f}  "
+                  f"peak {max(vals):>12.4f}")
+    if progress:
+        last = progress[-1]
+        print(f"\nsweep: {last.get('done', 0):.0f}/"
+              f"{last.get('total', 0):.0f} cells "
+              f"({last.get('cached', 0):.0f} cached, "
+              f"{last.get('failed', 0):.0f} failed, "
+              f"{last.get('retried', 0):.0f} retried) at "
+              f"{last.get('cellsPerSec', 0):.2f} cells/s")
+    return 0
+
+
+# -------------------------------------------------------------- plot
+
+
+def render_plot(points, width, height):
+    """Rows of an ASCII chart of (cycle, value) points."""
+    values = [v for _, v in points]
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    # Downsample to the terminal width by averaging per column.
+    cols = min(width, len(points))
+    per = len(points) / cols
+    col_vals = []
+    for c in range(cols):
+        chunk = values[int(c * per):max(int((c + 1) * per),
+                                        int(c * per) + 1)]
+        col_vals.append(sum(chunk) / len(chunk))
+    rows = []
+    for r in range(height, 0, -1):
+        cut = lo + span * (r - 0.5) / height
+        line = "".join("#" if v >= cut else " " for v in col_vals)
+        label = lo + span * r / height
+        rows.append(f"{label:>12.4f} |{line}")
+    rows.append(" " * 13 + "+" + "-" * cols)
+    rows.append(f"{'cycle':>13} {points[0][0]:.0f} .. "
+                f"{points[-1][0]:.0f}")
+    return rows
+
+
+def cmd_plot(args):
+    records, _ = read_records(args.file)
+    series = group_samples(records)
+    if not series:
+        sys.exit(f"error: {args.file}: no sample records")
+
+    key = None
+    for k in sorted(series):
+        if ((args.cell is None or k[0] == args.cell)
+                and (args.policy is None or k[1] == args.policy)):
+            key = k
+            break
+    if key is None:
+        names = ", ".join(f"{c} | {p}" for c, p in sorted(series))
+        sys.exit(f"error: no series matches --cell/--policy "
+                 f"(have: {names})")
+
+    points = []
+    for s in series[key]:
+        derived = s.get("derived", {})
+        if args.metric in derived:
+            points.append((float(s.get("cycle", 0.0)),
+                           float(derived[args.metric])))
+    if not points:
+        have = sorted(series[key][0].get("derived", {}))
+        sys.exit(f"error: metric {args.metric!r} not in series "
+                 f"(have: {', '.join(have)})")
+
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as f:
+            f.write(f"cycle,{args.metric}\n")
+            for cycle, value in points:
+                f.write(f"{cycle!r},{value!r}\n")
+        print(f"wrote {len(points)} rows to {args.csv}")
+
+    print(f"{key[0]} | {key[1]} : {args.metric} "
+          f"({len(points)} samples)")
+    for row in render_plot(points, args.width, args.height):
+        print(row)
+    return 0
+
+
+# -------------------------------------------------------------- tail
+
+
+def format_record(rec):
+    kind = rec.get("kind")
+    if kind == "sample":
+        derived = rec.get("derived", {})
+        drain = " (drain)" if rec.get("drain") else ""
+        return (f"[{rec.get('cell', '?')} | {rec.get('policy', '?')}] "
+                f"cycle {rec.get('cycle', 0):.0f}{drain} "
+                f"layer {rec.get('layer', '?')} "
+                f"dramR/c {derived.get('dramReadBytesPerCycle', 0):.2f} "
+                f"busy {derived.get('zcompBusyFraction', 0):.3f} "
+                f"ratio {derived.get('layerCompressionRatio', 0):.2f}")
+    if kind == "progress":
+        return (f"[sweep] {rec.get('done', 0):.0f}/"
+                f"{rec.get('total', 0):.0f} done "
+                f"({rec.get('failed', 0):.0f} failed) "
+                f"{rec.get('cellsPerSec', 0):.2f} cells/s "
+                f"eta {rec.get('etaSec', 0):.0f}s")
+    return f"[{kind}] {json.dumps(rec, sort_keys=True)}"
+
+
+def cmd_tail(args):
+    # The sink appends and flushes whole lines, so reading from the
+    # last known offset never yields a torn record (a partially
+    # flushed trailing line without '\n' is left for the next poll).
+    offset = 0
+    while True:
+        try:
+            with open(args.file, encoding="utf-8") as f:
+                f.seek(offset)
+                chunk = f.read()
+        except FileNotFoundError:
+            if args.once:
+                sys.exit(f"error: {args.file}: no such file")
+            time.sleep(args.interval)
+            continue
+        keep = chunk.rfind("\n") + 1
+        offset += keep
+        for line in chunk[:keep].splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            print(format_record(rec), flush=True)
+        if args.once:
+            return 0
+        time.sleep(args.interval)
+
+
+# --------------------------------------------------------- self-test
+
+
+def make_stream(path):
+    records = []
+    for i in range(1, 9):
+        records.append({
+            "schema": SCHEMA, "kind": "sample", "cell": "resnet",
+            "policy": "zcomp", "cycle": 100.0 * i, "window": 100.0,
+            "layer": f"conv{i}",
+            "counters": {"mem.dram.bytes_read": 400 * i},
+            "derived": {"dramReadBytesPerCycle": 4.0 * i,
+                        "zcompBusyFraction": 0.25,
+                        "layerCompressionRatio": 2.0},
+            "hostMs": 1.5 * i,
+        })
+    records[-1]["drain"] = True
+    records.append({
+        "schema": SCHEMA, "kind": "progress", "done": 2, "total": 2,
+        "cached": 1, "failed": 0, "retried": 0, "cellsPerSec": 0.5,
+        "etaSec": 0.0, "hostMs": 20.0,
+    })
+    with open(path, "w", encoding="utf-8") as f:
+        for rec in records:
+            f.write(json.dumps(rec) + "\n")
+        f.write("this line is not JSON\n")
+    return records
+
+
+def self_test():
+    import contextlib
+    import io
+
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+            print(f"self-test: FAIL {name}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "run.jsonl")
+        make_stream(path)
+
+        records, skipped = read_records(path)
+        check("skips non-schema lines", skipped == 1)
+        check("reads all records", len(records) == 9)
+
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            cmd_summarize(argparse.Namespace(file=path))
+        text = out.getvalue()
+        check("summarize names the series", "resnet | zcomp" in text)
+        check("summarize counts samples", "8 samples (1 drain)" in text)
+        check("summarize mean is right",
+              "dramReadBytesPerCycle" in text and "18.0000" in text)
+        check("summarize reports sweep", "2/2 cells" in text)
+
+        csv_path = os.path.join(tmp, "out.csv")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            cmd_plot(argparse.Namespace(
+                file=path, metric="dramReadBytesPerCycle", cell=None,
+                policy=None, width=40, height=5, csv=csv_path))
+        text = out.getvalue()
+        check("plot draws bars", "#" in text)
+        check("plot labels the cycle span", "100 .. 800" in text)
+        with open(csv_path, encoding="utf-8") as f:
+            rows = f.read().splitlines()
+        check("csv has header + 8 rows", len(rows) == 9
+              and rows[0] == "cycle,dramReadBytesPerCycle")
+
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            cmd_tail(argparse.Namespace(file=path, once=True,
+                                        interval=0.01))
+        lines = out.getvalue().splitlines()
+        check("tail renders every record", len(lines) == 9)
+        check("tail marks the drain", any("(drain)" in l for l in lines))
+        check("tail renders progress",
+              any(l.startswith("[sweep] 2/2") for l in lines))
+
+        missing = io.StringIO()
+        with contextlib.redirect_stdout(missing):
+            try:
+                cmd_plot(argparse.Namespace(
+                    file=path, metric="nope", cell=None, policy=None,
+                    width=40, height=5, csv=None))
+                check("plot rejects unknown metric", False)
+            except SystemExit as e:
+                check("plot rejects unknown metric",
+                      "nope" in str(e.code))
+
+    print("self-test: %s" % ("PASS" if not failures else
+                             "FAIL (%d)" % len(failures)))
+    return 0 if not failures else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in fixture tests")
+    sub = ap.add_subparsers(dest="cmd")
+
+    p = sub.add_parser("summarize", help="per-series statistics")
+    p.add_argument("file")
+
+    p = sub.add_parser("plot", help="ASCII time-series of one metric")
+    p.add_argument("file")
+    p.add_argument("--metric", default="dramReadBytesPerCycle",
+                   help="derived metric name (default: "
+                        "dramReadBytesPerCycle)")
+    p.add_argument("--cell", default=None,
+                   help="cell label (default: first series)")
+    p.add_argument("--policy", default=None,
+                   help="policy name (default: first series)")
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--height", type=int, default=12)
+    p.add_argument("--csv", default=None,
+                   help="also write cycle,value rows to this path")
+
+    p = sub.add_parser("tail", help="follow the stream live")
+    p.add_argument("file")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="poll interval in seconds (default 0.5)")
+    p.add_argument("--once", action="store_true",
+                   help="drain the current contents and exit")
+
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.cmd == "summarize":
+        return cmd_summarize(args)
+    if args.cmd == "plot":
+        return cmd_plot(args)
+    if args.cmd == "tail":
+        return cmd_tail(args)
+    ap.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
