@@ -534,20 +534,23 @@ runStudy(const StudyOptions &opt)
     if (RunReport *rep = RunReport::global()) {
         for (const StudyRow &row : rows)
             rep->addRow(studyRowToJson(row));
-        auto [doc, lock] = rep->root();
-        Json &host = (*doc)["host"];
-        auto bump = [&host](const char *key, uint64_t v) {
-            const Json *prev = host.find(key);
-            host[key] = (prev ? prev->asUint() : 0) + v;
-        };
-        bump("cellsTotal", rows.size());
-        bump("cellsSimulated", rows.size() - cached - failed);
-        bump("cellsCached", cached);
-        bump("cellsFailed", failed);
-        // The fault section only appears when something fault-related
-        // happened, keeping fault-free reports byte-identical.
-        if (FaultInjector::global().enabled() || decodeErrorCount() > 0)
-            host["faults"] = faultStatsJson();
+        rep->withRoot([&](Json &doc) {
+            Json &host = doc["host"];
+            auto bump = [&host](const char *key, uint64_t v) {
+                const Json *prev = host.find(key);
+                host[key] = (prev ? prev->asUint() : 0) + v;
+            };
+            bump("cellsTotal", rows.size());
+            bump("cellsSimulated", rows.size() - cached - failed);
+            bump("cellsCached", cached);
+            bump("cellsFailed", failed);
+            // The fault section only appears when something
+            // fault-related happened, keeping fault-free reports
+            // byte-identical.
+            if (FaultInjector::global().enabled() ||
+                decodeErrorCount() > 0)
+                host["faults"] = faultStatsJson();
+        });
     }
 
     // Enforce the failure budget only after every row (including the
@@ -752,8 +755,9 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
             if (!FaultInjector::global().enabled() &&
                 decodeErrorCount() == 0)
                 return;
-            auto [doc, lock] = rep->root();
-            (*doc)["host"]["faults"] = faultStatsJson();
+            rep->withRoot([](Json &doc) {
+                doc["host"]["faults"] = faultStatsJson();
+            });
         });
     }
     if (!trace_path.empty()) {

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Clang thread-safety ("capability") annotations and the annotated
+ * synchronization primitives the whole tree locks with.
+ *
+ * Every mutex in the repo is a zcomp::Mutex, every critical section a
+ * zcomp::LockGuard, and every wait a zcomp::CondVar - so under clang
+ * the static analysis (-Wthread-safety, turned into errors by the CI
+ * static-analysis leg) proves at compile time that
+ *
+ *  - every member annotated ZCOMP_GUARDED_BY(mu) is only touched with
+ *    mu held,
+ *  - every function annotated ZCOMP_REQUIRES(mu) is only called with
+ *    mu held (the "Locked" helper idiom: eraseStatusLocked,
+ *    specLocked, ...), and
+ *  - no path acquires a capability it already holds or releases one
+ *    it does not.
+ *
+ * On non-clang compilers every macro expands to nothing and the
+ * wrappers degrade to a plain std::mutex / std::lock_guard /
+ * std::condition_variable with zero overhead - GCC builds, TSan
+ * builds, and the runtime behavior are completely unchanged.
+ *
+ * The tools/zcomp_lint.py `raw-mutex` rule bans std::mutex and
+ * friends everywhere outside this header, so new concurrent code
+ * inherits the compile-time lock checking automatically.
+ *
+ * Style contract for annotated code:
+ *  - private data a mutex protects carries ZCOMP_GUARDED_BY(mu_);
+ *  - public entry points that take the lock carry ZCOMP_EXCLUDES(mu_)
+ *    (documents non-reentrancy and catches self-deadlock);
+ *  - private *Locked() helpers carry ZCOMP_REQUIRES(mu_);
+ *  - condition waits are explicit while-loops around CondVar::wait()
+ *    so the predicate's guarded reads stay inside the analyzed scope
+ *    (lambda predicates cannot carry REQUIRES annotations).
+ */
+
+#ifndef ZCOMP_COMMON_ANNOTATE_HH
+#define ZCOMP_COMMON_ANNOTATE_HH
+
+#include <condition_variable>
+#include <mutex>
+
+// ------------------------------------------------ capability macros
+
+#if defined(__clang__) && !defined(ZCOMP_DISABLE_THREAD_SAFETY_ANALYSIS)
+#define ZCOMP_TSA_(x) __attribute__((x))
+#else
+#define ZCOMP_TSA_(x)
+#endif
+
+/** Marks a class as a lockable capability (e.g. zcomp::Mutex). */
+#define ZCOMP_CAPABILITY(name) ZCOMP_TSA_(capability(name))
+
+/** Marks an RAII class that holds a capability for its lifetime. */
+#define ZCOMP_SCOPED_CAPABILITY ZCOMP_TSA_(scoped_lockable)
+
+/** Data member readable/writable only with the given lock(s) held. */
+#define ZCOMP_GUARDED_BY(...) ZCOMP_TSA_(guarded_by(__VA_ARGS__))
+
+/** Pointer member whose pointee is protected by the given lock(s). */
+#define ZCOMP_PT_GUARDED_BY(...) ZCOMP_TSA_(pt_guarded_by(__VA_ARGS__))
+
+/** Function that must be called with the given lock(s) already held. */
+#define ZCOMP_REQUIRES(...) ZCOMP_TSA_(requires_capability(__VA_ARGS__))
+
+/** Function that must NOT be called with the given lock(s) held. */
+#define ZCOMP_EXCLUDES(...) ZCOMP_TSA_(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the given lock(s) and returns holding them. */
+#define ZCOMP_ACQUIRE(...) ZCOMP_TSA_(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the given lock(s). */
+#define ZCOMP_RELEASE(...) ZCOMP_TSA_(release_capability(__VA_ARGS__))
+
+/** Function that acquires the lock(s) iff it returns `ret`. */
+#define ZCOMP_TRY_ACQUIRE(ret, ...)                                         \
+    ZCOMP_TSA_(try_acquire_capability(ret, __VA_ARGS__))
+
+/** Function returning a reference to the capability guarding it. */
+#define ZCOMP_RETURN_CAPABILITY(x) ZCOMP_TSA_(lock_returned(x))
+
+/** Escape hatch: disables the analysis inside one function body. */
+#define ZCOMP_NO_ANALYSIS ZCOMP_TSA_(no_thread_safety_analysis)
+
+namespace zcomp {
+
+class CondVar;
+
+/**
+ * A std::mutex the clang analysis can reason about. Prefer LockGuard
+ * over calling lock()/unlock() manually; try_lock() exists for
+ * non-blocking probes and tests.
+ */
+class ZCOMP_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ZCOMP_ACQUIRE() { mu_.lock(); }
+    void unlock() ZCOMP_RELEASE() { mu_.unlock(); }
+    bool try_lock() ZCOMP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /** Lets EXCLUDES/REQUIRES name the negation (!mu) under clang. */
+    const Mutex &operator!() const { return *this; }
+
+  private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+/**
+ * RAII critical section over a zcomp::Mutex - the one way the tree
+ * takes a lock. Not movable: a critical section begins and ends in
+ * the scope that opened it (APIs that used to hand locks to callers,
+ * like RunReport::root(), become callback-style instead - see
+ * RunReport::withRoot()).
+ */
+class ZCOMP_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &mu) ZCOMP_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+
+    ~LockGuard() ZCOMP_RELEASE() { mu_.unlock(); }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Condition variable bound to zcomp::Mutex. wait() atomically
+ * releases the mutex, blocks, and reacquires before returning, so
+ * from the analysis' point of view the caller holds the lock across
+ * the call - which is exactly the contract a condition wait gives a
+ * predicate loop:
+ *
+ *     LockGuard lk(mu_);
+ *     while (!ready_)         // ready_ is ZCOMP_GUARDED_BY(mu_)
+ *         cv_.wait(mu_);
+ *
+ * Use an explicit while-loop, not a lambda predicate: the lambda
+ * would be analyzed as a separate function that cannot declare it
+ * requires the lock.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Release @p mu, block until notified, reacquire, return. */
+    void
+    wait(Mutex &mu) ZCOMP_REQUIRES(mu)
+    {
+        std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+        cv_.wait(lk);
+        lk.release();
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_ANNOTATE_HH

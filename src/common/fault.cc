@@ -96,10 +96,14 @@ FaultInjector::global()
 void
 FaultInjector::configure(const std::string &spec)
 {
+    LockGuard lock(mutex_);
+    // Replace semantics: an empty spec must actually disarm sites
+    // configured earlier, not silently leave them live.
+    sites_.clear();
     if (spec.empty()) {
+        enabled_.store(false, std::memory_order_relaxed);
         return;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
     for (const std::string &entry : split(spec, ',')) {
         std::vector<std::string> parts = split(entry, ':');
         fatal_if(parts.size() < 2 || parts.size() > 4,
@@ -130,7 +134,7 @@ FaultInjector::shouldInject(const char *site)
     if (!enabled()) {
         return false;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = sites_.find(site);
     if (it == sites_.end()) {
         return false;
@@ -177,14 +181,14 @@ FaultInjector::specLocked() const
 std::string
 FaultInjector::spec() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return specLocked();
 }
 
 uint64_t
 FaultInjector::injected(const char *site) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = sites_.find(site);
     return it == sites_.end() ? 0 : it->second.fired;
 }
@@ -192,7 +196,7 @@ FaultInjector::injected(const char *site) const
 uint64_t
 FaultInjector::totalInjected() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     uint64_t total = 0;
     for (const auto &kv : sites_) {
         total += kv.second.fired;
@@ -203,7 +207,7 @@ FaultInjector::totalInjected() const
 Json
 FaultInjector::toJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     Json out = Json::object();
     out["spec"] = Json(specLocked());
     Json injected = Json::object();
@@ -219,7 +223,7 @@ FaultInjector::toJson() const
 void
 FaultInjector::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     sites_.clear();
     enabled_.store(false, std::memory_order_relaxed);
 }

@@ -37,9 +37,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "annotate.hh"
 #include "json.hh"
 #include "rng.hh"
 
@@ -68,11 +68,12 @@ class FaultInjector
     static FaultInjector &global();
 
     /**
-     * Parse and apply a --fault-spec string. Unknown sites, malformed
-     * entries, and out-of-range probabilities are user errors and
-     * fatal(). An empty spec disables injection.
+     * Parse and apply a --fault-spec string, *replacing* any earlier
+     * configuration. Unknown sites, malformed entries, and
+     * out-of-range probabilities are user errors and fatal(). An
+     * empty spec disables injection and clears all armed sites.
      */
-    void configure(const std::string &spec);
+    void configure(const std::string &spec) ZCOMP_EXCLUDES(mutex_);
 
     /** True once any site is armed. Inline fast path for hot code. */
     bool enabled() const
@@ -85,28 +86,28 @@ class FaultInjector
      * Counts the injection when it does. Sites that were never
      * configured always answer false.
      */
-    bool shouldInject(const char *site);
+    bool shouldInject(const char *site) ZCOMP_EXCLUDES(mutex_);
 
     /** Like shouldInject(), but throws FaultInjected when it fires. */
     void maybeInject(const char *site);
 
     /** Canonical form of the configured spec ("" when disabled). */
-    std::string spec() const;
+    std::string spec() const ZCOMP_EXCLUDES(mutex_);
 
     /** Total injections fired at one site so far. */
-    uint64_t injected(const char *site) const;
+    uint64_t injected(const char *site) const ZCOMP_EXCLUDES(mutex_);
 
     /** Injections fired across all sites. */
-    uint64_t totalInjected() const;
+    uint64_t totalInjected() const ZCOMP_EXCLUDES(mutex_);
 
     /**
      * {"spec": ..., "injected": {site: count, ...}} with only the
      * sites that actually fired, in site-name order.
      */
-    Json toJson() const;
+    Json toJson() const ZCOMP_EXCLUDES(mutex_);
 
     /** Drop all configuration and counts (tests). */
-    void reset();
+    void reset() ZCOMP_EXCLUDES(mutex_);
 
   private:
     struct Site
@@ -121,11 +122,15 @@ class FaultInjector
     };
 
     /** Canonical spec string; caller holds mutex_. */
-    std::string specLocked() const;
+    std::string specLocked() const ZCOMP_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
+    // Lock contract: mutex_ guards the site table (and each Site's
+    // RNG/counters inside it). enabled_ is a lock-free fast-path
+    // mirror of "sites_ is non-empty", updated only while mutex_ is
+    // held; readers that see it stale merely take the slow path.
+    mutable Mutex mutex_;
     std::atomic<bool> enabled_{false};
-    std::map<std::string, Site> sites_;
+    std::map<std::string, Site> sites_ ZCOMP_GUARDED_BY(mutex_);
 };
 
 /**

@@ -3,8 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
+
+#include "common/annotate.hh"
 
 namespace zcomp {
 
@@ -18,18 +19,18 @@ std::atomic<bool> quietFlag{false};
  * the mutex only orders whole lines - the single-threaded output is
  * unchanged.
  */
-std::mutex outputMu;
+Mutex outputMu;
 
 /**
  * The sticky status line (setStatusLine), guarded by outputMu. Log
  * messages erase it, print, and redraw it so whole lines and the
  * status can never tear each other under --jobs > 1.
  */
-std::string statusLine;
+std::string statusLine ZCOMP_GUARDED_BY(outputMu);
 
 /** Erase the currently drawn status line. Caller holds outputMu. */
 void
-eraseStatusLocked()
+eraseStatusLocked() ZCOMP_REQUIRES(outputMu)
 {
     if (!statusLine.empty())
         std::fprintf(stderr, "\r\x1b[2K");
@@ -37,7 +38,7 @@ eraseStatusLocked()
 
 /** Redraw the status line (no newline). Caller holds outputMu. */
 void
-redrawStatusLocked()
+redrawStatusLocked() ZCOMP_REQUIRES(outputMu)
 {
     if (!statusLine.empty()) {
         std::fprintf(stderr, "%s", statusLine.c_str());
@@ -51,6 +52,7 @@ redrawStatusLocked()
  */
 void
 emitLineLocked(const char *prefix, const std::string &msg)
+    ZCOMP_REQUIRES(outputMu)
 {
     eraseStatusLocked();
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
@@ -61,7 +63,7 @@ emitLineLocked(const char *prefix, const std::string &msg)
 void
 setStatusLine(const std::string &line)
 {
-    std::lock_guard<std::mutex> lk(outputMu);
+    LockGuard lk(outputMu);
     eraseStatusLocked();
     statusLine = line;
     redrawStatusLocked();
@@ -70,7 +72,7 @@ setStatusLine(const std::string &line)
 void
 clearStatusLine()
 {
-    std::lock_guard<std::mutex> lk(outputMu);
+    LockGuard lk(outputMu);
     eraseStatusLocked();
     statusLine.clear();
 }
@@ -119,7 +121,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     std::string msg = vformat(fmt, ap);
     va_end(ap);
     {
-        std::lock_guard<std::mutex> lk(outputMu);
+        LockGuard lk(outputMu);
         eraseStatusLocked();    // dying: print clean, no redraw
         std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
                      line);
@@ -135,7 +137,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     std::string msg = vformat(fmt, ap);
     va_end(ap);
     {
-        std::lock_guard<std::mutex> lk(outputMu);
+        LockGuard lk(outputMu);
         eraseStatusLocked();    // dying: print clean, no redraw
         std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
                      line);
@@ -152,7 +154,7 @@ warnImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::lock_guard<std::mutex> lk(outputMu);
+    LockGuard lk(outputMu);
     emitLineLocked("warn", msg);
 }
 
@@ -165,7 +167,7 @@ informImpl(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::lock_guard<std::mutex> lk(outputMu);
+    LockGuard lk(outputMu);
     emitLineLocked("info", msg);
 }
 

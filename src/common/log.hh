@@ -8,6 +8,14 @@
  *            configuration, invalid arguments). Prints and exits(1).
  * warn()   - something is approximated or suspicious but the run continues.
  * inform() - normal operating status messages.
+ *
+ * Lock contract: all stderr output (log lines and the sticky status
+ * line of setStatusLine()) is serialized by one internal mutex in
+ * log.cc; each message is pre-formatted outside the lock and emitted
+ * as a single fprintf, so the mutex only orders whole lines. Callers
+ * may log while holding their own locks (the sink acquires nothing
+ * else), but nothing may call into the log sink from code the sink
+ * itself invokes.
  */
 
 #ifndef ZCOMP_COMMON_LOG_HH

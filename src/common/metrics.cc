@@ -16,14 +16,16 @@ MetricsSink::MetricsSink(std::string path, double interval_cycles)
     : path_(std::move(path)), interval_(interval_cycles),
       t0_(Clock::now())
 {
-    f_ = std::fopen(path_.c_str(), "w");
-    if (!f_)
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f)
         warn("cannot write metrics file %s", path_.c_str());
+    LockGuard lk(mu_);
+    f_ = f;
 }
 
 MetricsSink::~MetricsSink()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     if (f_) {
         std::fclose(f_);
         f_ = nullptr;
@@ -38,7 +40,7 @@ MetricsSink::append(Json record)
             .count();
     std::string line = record.dump();
     line += '\n';
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     if (!f_)
         return;
     std::fwrite(line.data(), 1, line.size(), f_);
@@ -283,7 +285,7 @@ SweepProgress::~SweepProgress()
 void
 SweepProgress::finish()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     if (live_) {
         clearStatusLine();
         live_ = false;
@@ -293,7 +295,7 @@ SweepProgress::finish()
 void
 SweepProgress::cellDone(bool cached, bool failed, int attempts)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     done_++;
     cached_ += cached;
     failed_ += failed;
@@ -335,7 +337,7 @@ SweepProgress::cellDone(bool cached, bool failed, int attempts)
 uint64_t
 SweepProgress::done() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     return done_;
 }
 

@@ -39,10 +39,10 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/json.hh"
 
 namespace zcomp {
@@ -76,7 +76,7 @@ class MetricsSink
      * Stamp "hostMs" (wall milliseconds since the sink was created)
      * on the record and append it as one flushed JSONL line.
      */
-    void append(Json record);
+    void append(Json record) ZCOMP_EXCLUDES(mu_);
 
     double intervalCycles() const { return interval_; }
     const std::string &path() const { return path_; }
@@ -96,11 +96,13 @@ class MetricsSink
   private:
     using Clock = std::chrono::steady_clock;
 
+    // Lock contract: mu_ guards the output stream; path_, interval_
+    // and t0_ are set once in the constructor and read-only after.
     std::string path_;
     double interval_;
     Clock::time_point t0_;
-    std::mutex mu_;     //!< guards f_
-    std::FILE *f_ = nullptr;
+    Mutex mu_;
+    std::FILE *f_ ZCOMP_GUARDED_BY(mu_) = nullptr;
 };
 
 /**
@@ -232,7 +234,8 @@ class SweepProgress
      * Record one finished cell. @p attempts is the simulation
      * attempts the cell consumed (> 1 counts it as retried).
      */
-    void cellDone(bool cached, bool failed, int attempts);
+    void cellDone(bool cached, bool failed, int attempts)
+        ZCOMP_EXCLUDES(mu_);
 
     /**
      * Clear the status line now, once every cell has reported. The
@@ -241,21 +244,26 @@ class SweepProgress
      * their captures lazily) - call this before printing the result
      * tables so they never append to a stale status line.
      */
-    void finish();
+    void finish() ZCOMP_EXCLUDES(mu_);
 
-    uint64_t done() const;
+    uint64_t done() const ZCOMP_EXCLUDES(mu_);
 
   private:
     using Clock = std::chrono::steady_clock;
 
-    mutable std::mutex mu_;
+    // Lock contract: mu_ guards every tally plus the live-display
+    // flag (finish() clears it exactly once); total_ and t0_ are
+    // constructor-set and read-only after. The status line itself is
+    // guarded separately by the log sink's output mutex - cellDone()
+    // takes mu_ then that mutex, never the other way around.
+    mutable Mutex mu_;
     uint64_t total_;
-    bool live_;
+    bool live_ ZCOMP_GUARDED_BY(mu_);
     Clock::time_point t0_;
-    uint64_t done_ = 0;
-    uint64_t cached_ = 0;
-    uint64_t failed_ = 0;
-    uint64_t retried_ = 0;
+    uint64_t done_ ZCOMP_GUARDED_BY(mu_) = 0;
+    uint64_t cached_ ZCOMP_GUARDED_BY(mu_) = 0;
+    uint64_t failed_ ZCOMP_GUARDED_BY(mu_) = 0;
+    uint64_t retried_ ZCOMP_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace zcomp

@@ -83,6 +83,7 @@ RunReport::RunReport(std::string path, std::string title,
                      std::vector<std::string> argv)
     : path_(std::move(path)), t0_(Clock::now())
 {
+    LockGuard lk(mu_);
     doc_["schema"] = "zcomp-run-report-v1";
     doc_["title"] = std::move(title);
     Json &av = doc_["argv"];
@@ -97,27 +98,28 @@ RunReport::RunReport(std::string path, std::string title,
 void
 RunReport::setMachine(const ArchConfig &cfg)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     doc_["machine"] = machineToJson(cfg);
 }
 
 void
 RunReport::addRow(Json row)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     doc_["rows"].push(std::move(row));
 }
 
-std::pair<Json *, std::unique_lock<std::mutex>>
-RunReport::root()
+void
+RunReport::withRoot(const std::function<void(Json &)> &fn)
 {
-    return {&doc_, std::unique_lock<std::mutex>(mu_)};
+    LockGuard lk(mu_);
+    fn(doc_);
 }
 
 void
 RunReport::write()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     if (written_)
         return;
     written_ = true;

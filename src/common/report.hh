@@ -22,19 +22,20 @@
  *     ...        any extra sections a binary attaches via root()
  *   }
  *
- * addRow() and root() access is mutex-guarded so study cells running
- * on pool workers can contribute concurrently; the bench runner
- * nevertheless appends rows in deterministic study order.
+ * addRow() and withRoot() access is mutex-guarded so study cells
+ * running on pool workers can contribute concurrently; the bench
+ * runner nevertheless appends rows in deterministic study order.
  */
 
 #ifndef ZCOMP_COMMON_REPORT_HH
 #define ZCOMP_COMMON_REPORT_HH
 
 #include <chrono>
-#include <mutex>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/config.hh"
 #include "common/json.hh"
 
@@ -53,23 +54,25 @@ class RunReport
     RunReport &operator=(const RunReport &) = delete;
 
     /** Fill the "machine" section from an ArchConfig. */
-    void setMachine(const ArchConfig &cfg);
+    void setMachine(const ArchConfig &cfg) ZCOMP_EXCLUDES(mu_);
 
     /** Append one study-row object to "rows". Thread-safe. */
-    void addRow(Json row);
+    void addRow(Json row) ZCOMP_EXCLUDES(mu_);
 
     /**
-     * Direct access to the document plus the lock that guards it, for
-     * binaries that attach extra sections. Use via:
-     *   auto [doc, lock] = report->root();
+     * Run fn on the document with the lock held, for binaries that
+     * attach extra sections:
+     *   report->withRoot([&](Json &doc) { doc["extra"] = ...; });
+     * The callback must not call back into this RunReport.
      */
-    std::pair<Json *, std::unique_lock<std::mutex>> root();
+    void withRoot(const std::function<void(Json &)> &fn)
+        ZCOMP_EXCLUDES(mu_);
 
     /**
      * Stamp the "host" section (wall-clock since construction, pool
      * size) and write the document. Idempotent.
      */
-    void write();
+    void write() ZCOMP_EXCLUDES(mu_);
 
     const std::string &path() const { return path_; }
 
@@ -88,11 +91,16 @@ class RunReport
   private:
     using Clock = std::chrono::steady_clock;
 
+    // Lock contract: mu_ guards the document and the write-once
+    // latch; path_ and t0_ are constructor-set and read-only. The
+    // host wall-clock stamp is host-domain data (the report is never
+    // part of the deterministic study stdout), hence the wall-clock
+    // lint allowlist entry for this TU.
     std::string path_;
     Clock::time_point t0_;
-    std::mutex mu_;
-    Json doc_;
-    bool written_ = false;
+    Mutex mu_;
+    Json doc_ ZCOMP_GUARDED_BY(mu_);
+    bool written_ ZCOMP_GUARDED_BY(mu_) = false;
 };
 
 } // namespace zcomp

@@ -70,7 +70,7 @@ std::optional<Json>
 ResultCache::lookup(const std::string &key)
 {
     auto miss = [this]() -> std::optional<Json> {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         misses_++;
         return std::nullopt;
     };
@@ -107,7 +107,7 @@ ResultCache::lookup(const std::string &key)
         return miss();
 
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         hits_++;
     }
     return *value;
@@ -151,28 +151,28 @@ ResultCache::store(const std::string &key, const Json &value)
         std::remove(tmp.c_str());
         return;
     }
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     stores_++;
 }
 
 uint64_t
 ResultCache::hits() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     return hits_;
 }
 
 uint64_t
 ResultCache::misses() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     return misses_;
 }
 
 uint64_t
 ResultCache::stores() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     return stores_;
 }
 

@@ -31,10 +31,10 @@
 #define ZCOMP_COMMON_RESULT_CACHE_HH
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/annotate.hh"
 #include "common/json.hh"
 
 namespace zcomp {
@@ -55,10 +55,12 @@ class ResultCache
      * all return nullopt - a cache problem is never an error, just a
      * recompute.
      */
-    std::optional<Json> lookup(const std::string &key);
+    std::optional<Json> lookup(const std::string &key)
+        ZCOMP_EXCLUDES(mu_);
 
     /** Store (or overwrite) the value for key. Failures warn only. */
-    void store(const std::string &key, const Json &value);
+    void store(const std::string &key, const Json &value)
+        ZCOMP_EXCLUDES(mu_);
 
     /** The entry file a key maps to (exists only once stored). */
     std::string entryPath(const std::string &key) const;
@@ -69,16 +71,20 @@ class ResultCache
     const std::string &dir() const { return dir_; }
 
     // Harness-visible traffic counters (thread-safe).
-    uint64_t hits() const;
-    uint64_t misses() const;
-    uint64_t stores() const;
+    uint64_t hits() const ZCOMP_EXCLUDES(mu_);
+    uint64_t misses() const ZCOMP_EXCLUDES(mu_);
+    uint64_t stores() const ZCOMP_EXCLUDES(mu_);
 
   private:
+    // Lock contract: mu_ guards only the traffic counters; file I/O
+    // deliberately happens outside it (distinct keys hit distinct
+    // files, same-key store races write identical bytes), so lookups
+    // never serialize on each other.
     std::string dir_;
-    mutable std::mutex mu_;     //!< guards the counters
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t stores_ = 0;
+    mutable Mutex mu_;
+    uint64_t hits_ ZCOMP_GUARDED_BY(mu_) = 0;
+    uint64_t misses_ ZCOMP_GUARDED_BY(mu_) = 0;
+    uint64_t stores_ ZCOMP_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace zcomp

@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -38,7 +38,7 @@ void
 ThreadPool::enqueue(std::function<void()> fn)
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         // A task enqueued after shutdown began may never run: the
         // workers exit once the pre-stop queue drains, leaving the
         // task's future waiting forever. Fail loudly instead of
@@ -55,8 +55,11 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> fn;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            LockGuard lk(mu_);
+            // Explicit predicate loop (not a lambda) so the guarded
+            // reads of stop_/queue_ stay inside the analyzed scope.
+            while (!stop_ && queue_.empty())
+                cv_.wait(mu_);
             if (queue_.empty())
                 return;     // stop_ and drained
             fn = std::move(queue_.front());
@@ -87,9 +90,9 @@ struct ForState
     size_t begin = 0;
     size_t end = 0;
     size_t grain = 1;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr error ZCOMP_GUARDED_BY(mu);
 };
 
 /**
@@ -112,7 +115,7 @@ drain(ForState &st, const std::function<void(size_t, size_t)> *body)
             try {
                 (*body)(b, e);
             } catch (...) {
-                std::lock_guard<std::mutex> lk(st.mu);
+                LockGuard lk(st.mu);
                 if (!st.error)
                     st.error = std::current_exception();
                 st.aborted.store(true, std::memory_order_relaxed);
@@ -120,7 +123,7 @@ drain(ForState &st, const std::function<void(size_t, size_t)> *body)
         }
         size_t d = st.done.fetch_add(1, std::memory_order_acq_rel) + 1;
         if (d == st.chunks) {
-            std::lock_guard<std::mutex> lk(st.mu);
+            LockGuard lk(st.mu);
             st.cv.notify_all();
         }
     }
@@ -159,23 +162,22 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
 
     drain(*st, bodyp);
 
-    std::unique_lock<std::mutex> lk(st->mu);
-    st->cv.wait(lk, [&] {
-        return st->done.load(std::memory_order_acquire) == st->chunks;
-    });
+    LockGuard lk(st->mu);
+    while (st->done.load(std::memory_order_acquire) != st->chunks)
+        st->cv.wait(st->mu);
     if (st->error)
         std::rethrow_exception(st->error);
 }
 
 namespace {
-std::mutex globalMu;
-std::unique_ptr<ThreadPool> globalPool;
+Mutex globalMu;
+std::unique_ptr<ThreadPool> globalPool ZCOMP_GUARDED_BY(globalMu);
 } // namespace
 
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lk(globalMu);
+    LockGuard lk(globalMu);
     if (!globalPool)
         globalPool = std::make_unique<ThreadPool>(defaultJobs());
     return *globalPool;
@@ -184,7 +186,7 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalJobs(int jobs)
 {
-    std::lock_guard<std::mutex> lk(globalMu);
+    LockGuard lk(globalMu);
     globalPool = std::make_unique<ThreadPool>(jobs);
 }
 

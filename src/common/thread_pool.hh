@@ -25,15 +25,15 @@
 #ifndef ZCOMP_COMMON_THREAD_POOL_HH
 #define ZCOMP_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/annotate.hh"
 
 namespace zcomp {
 
@@ -107,15 +107,20 @@ class ThreadPool
     static int defaultJobs();
 
   private:
-    void enqueue(std::function<void()> fn);
-    void workerLoop();
+    void enqueue(std::function<void()> fn) ZCOMP_EXCLUDES(mu_);
+    void workerLoop() ZCOMP_EXCLUDES(mu_);
 
+    // Lock contract: mu_ guards the task queue and the shutdown
+    // flag; cv_ signals "queue_ grew or stop_ flipped". jobs_ and
+    // workers_ are written only by the constructor/destructor (the
+    // pool is externally owned, so construction/destruction cannot
+    // race public calls) and are read-only everywhere else.
     int jobs_;
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    std::deque<std::function<void()>> queue_ ZCOMP_GUARDED_BY(mu_);
+    Mutex mu_;
+    CondVar cv_;
+    bool stop_ ZCOMP_GUARDED_BY(mu_) = false;
 };
 
 } // namespace zcomp

@@ -16,8 +16,8 @@ namespace zcomp {
  */
 struct TraceWriter::Buffer
 {
-    std::mutex mu;
-    std::vector<Event> events;
+    Mutex mu;
+    std::vector<Event> events ZCOMP_GUARDED_BY(mu);
 };
 
 namespace {
@@ -61,7 +61,7 @@ TraceWriter::nowUs() const
 int
 TraceWriter::newProcess(const std::string &name)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     int pid = nextPid_++;
     processNames_.emplace_back(pid, name);
     return pid;
@@ -70,7 +70,7 @@ TraceWriter::newProcess(const std::string &name)
 void
 TraceWriter::nameThread(int pid, int tid, const std::string &name)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     threadNames_.push_back({{pid, tid}, name});
 }
 
@@ -82,7 +82,7 @@ TraceWriter::threadBuffer()
         Buffer *raw = buf.get();
         int tid;
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            LockGuard lk(mu_);
             buffers_.push_back(std::move(buf));
             tid = nextHostTid_++;
             threadNames_.push_back(
@@ -111,7 +111,7 @@ TraceWriter::span(int pid, int tid, double ts, double dur,
     ev.cat = cat;
     if (!args.isNull())
         ev.args = args.dump();
-    std::lock_guard<std::mutex> lk(buf.mu);
+    LockGuard lk(buf.mu);
     buf.events.push_back(std::move(ev));
 }
 
@@ -127,7 +127,7 @@ TraceWriter::counter(int pid, double ts, const std::string &name,
     ev.name = name;
     ev.cat = "metrics";
     ev.args = "{\"value\":" + jsonNumber(value) + "}";
-    std::lock_guard<std::mutex> lk(buf.mu);
+    LockGuard lk(buf.mu);
     buf.events.push_back(std::move(ev));
 }
 
@@ -144,9 +144,9 @@ std::vector<TraceWriter::Event>
 TraceWriter::mergedEvents()
 {
     std::vector<Event> all;
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     for (auto &buf : buffers_) {
-        std::lock_guard<std::mutex> blk(buf->mu);
+        LockGuard blk(buf->mu);
         all.insert(all.end(), buf->events.begin(), buf->events.end());
     }
     std::stable_sort(all.begin(), all.end(),
@@ -163,10 +163,10 @@ TraceWriter::mergedEvents()
 size_t
 TraceWriter::pendingEvents()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     size_t n = 0;
     for (auto &buf : buffers_) {
-        std::lock_guard<std::mutex> blk(buf->mu);
+        LockGuard blk(buf->mu);
         n += buf->events.size();
     }
     return n;
@@ -182,7 +182,7 @@ void
 TraceWriter::finish()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         if (finished_)
             return;
         finished_ = true;
@@ -211,7 +211,7 @@ TraceWriter::finish()
     // Metadata first: process and thread names / sort order. The host
     // process sorts before the simulated ones.
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        LockGuard lk(mu_);
         emit(format("{\"ph\":\"M\",\"pid\":%d,\"name\":"
                     "\"process_name\",\"args\":{\"name\":\"host\"}}",
                     hostPid));

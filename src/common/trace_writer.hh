@@ -27,10 +27,10 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/json.hh"
 
 namespace zcomp {
@@ -67,10 +67,11 @@ class TraceWriter
      * it are whatever tids the caller emits (core ids, typically
      * labeled "core N" lazily by the UI).
      */
-    int newProcess(const std::string &name);
+    int newProcess(const std::string &name) ZCOMP_EXCLUDES(mu_);
 
     /** Attach a thread_name metadata record to a lane. */
-    void nameThread(int pid, int tid, const std::string &name);
+    void nameThread(int pid, int tid, const std::string &name)
+        ZCOMP_EXCLUDES(mu_);
 
     /** Emit one complete event on an explicit lane. */
     void span(int pid, int tid, double ts, double dur,
@@ -102,13 +103,13 @@ class TraceWriter
      * timestamp, and write the trace file. Idempotent; also invoked
      * by the destructor if never called explicitly.
      */
-    void finish();
+    void finish() ZCOMP_EXCLUDES(mu_);
 
     /** Number of events currently buffered (tests). */
-    size_t pendingEvents();
+    size_t pendingEvents() ZCOMP_EXCLUDES(mu_);
 
     /** Merged, sorted event list without writing a file (tests). */
-    std::vector<Event> snapshotEvents();
+    std::vector<Event> snapshotEvents() ZCOMP_EXCLUDES(mu_);
 
     // ------------------------------------------------- global writer
     /** The process-wide writer enabled by --trace, or null. */
@@ -128,24 +129,31 @@ class TraceWriter
     static void setThreadLabel(const std::string &label);
 
   private:
-    Buffer &threadBuffer();
-    int registerHostThread(const std::string &label);
-    std::vector<Event> mergedEvents();
+    Buffer &threadBuffer() ZCOMP_EXCLUDES(mu_);
+    std::vector<Event> mergedEvents() ZCOMP_EXCLUDES(mu_);
 
     using Clock = std::chrono::steady_clock;
 
+    // Lock contract: mu_ guards buffer registration, the name
+    // tables, pid/tid allocation and the finished_ latch; each
+    // Buffer's own mutex guards that thread's event vector (appends
+    // are uncontended in steady state). mergedEvents() nests them
+    // strictly mu_ -> buffer.mu; no path acquires in the other
+    // order. path_, t0_ and id_ are constructor-set and read-only.
     std::string path_;
     Clock::time_point t0_;
     uint64_t id_ = 0;   //!< process-unique; keys thread-local buffers
 
-    std::mutex mu_;     //!< guards buffers_, names, pid allocation
-    std::vector<std::unique_ptr<Buffer>> buffers_;
-    std::vector<std::pair<int, std::string>> processNames_;
+    Mutex mu_;
+    std::vector<std::unique_ptr<Buffer>> buffers_
+        ZCOMP_GUARDED_BY(mu_);
+    std::vector<std::pair<int, std::string>> processNames_
+        ZCOMP_GUARDED_BY(mu_);
     std::vector<std::pair<std::pair<int, int>, std::string>>
-        threadNames_;
-    int nextPid_ = 1;   //!< 0 is the host process
-    int nextHostTid_ = 1;
-    bool finished_ = false;
+        threadNames_ ZCOMP_GUARDED_BY(mu_);
+    int nextPid_ ZCOMP_GUARDED_BY(mu_) = 1; //!< 0 is the host process
+    int nextHostTid_ ZCOMP_GUARDED_BY(mu_) = 1;
+    bool finished_ ZCOMP_GUARDED_BY(mu_) = false;
 };
 
 } // namespace zcomp

@@ -390,6 +390,8 @@ NetworkSim::scratchFor(int core)
 const NetworkSim::TensorScan &
 NetworkSim::scanFor(const Tensor &t)
 {
+    // Lookup-or-compute only; see the determinism note on scans_ in
+    // the header before adding any iteration over the map.
     auto it = scans_.find(&t);
     if (it != scans_.end())
         return it->second;

@@ -129,6 +129,11 @@ class NetworkSim
     Buffer &scratchFor(int core);
 
     std::vector<Buffer *> gradMaskArena_;
+    // Determinism note: this map is a pure memo keyed by tensor
+    // identity - only ever probed with find()/emplace(), never
+    // iterated - so its (pointer-hashed, run-varying) internal order
+    // cannot reach simulated state or study output. The zcomp_lint
+    // unordered-iteration rule enforces exactly this invariant.
     std::unordered_map<const Tensor *, TensorScan> scans_;
 };
 

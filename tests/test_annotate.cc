@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the annotated synchronization wrappers in
+ * common/annotate.hh: Mutex lock/try_lock semantics, LockGuard RAII,
+ * CondVar wakeups, and that the annotation macros compile away to
+ * nothing on non-clang builds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/annotate.hh"
+
+using namespace zcomp;
+
+namespace {
+
+/**
+ * Probe whether mu is currently free, from whichever thread runs
+ * this. The try_lock/unlock juggling is conditional in a way the
+ * static analysis cannot follow, so it is opted out and verified
+ * dynamically (TSan leg) instead.
+ */
+int
+probeTryLock(Mutex &mu) ZCOMP_NO_ANALYSIS
+{
+    if (!mu.try_lock())
+        return 0;
+    mu.unlock();
+    return 1;
+}
+
+} // namespace
+
+TEST(Annotate, TryLockReflectsOwnership)
+{
+    Mutex mu;
+    mu.lock();
+
+    // Contended probe must come from another thread: self-try_lock
+    // on an owned std::mutex is undefined behavior.
+    std::atomic<int> probed{-1};
+    std::thread t([&] { probed = probeTryLock(mu); });
+    t.join();
+    EXPECT_EQ(probed.load(), 0);
+
+    mu.unlock();
+    std::thread t2([&] { probed = probeTryLock(mu); });
+    t2.join();
+    EXPECT_EQ(probed.load(), 1);
+}
+
+TEST(Annotate, LockGuardReleasesOnScopeExit)
+{
+    Mutex mu;
+    std::atomic<int> probed{-1};
+    {
+        LockGuard lk(mu);
+        std::thread t([&] { probed = probeTryLock(mu); });
+        t.join();
+        EXPECT_EQ(probed.load(), 0);
+    }
+    std::thread t2([&] { probed = probeTryLock(mu); });
+    t2.join();
+    EXPECT_EQ(probed.load(), 1);
+}
+
+TEST(Annotate, MutexExcludesConcurrentCriticalSections)
+{
+    Mutex mu;
+    int counter = 0;
+    constexpr int threads = 4;
+    constexpr int iters = 2000;
+    std::vector<std::thread> ts;
+    for (int i = 0; i < threads; i++) {
+        ts.emplace_back([&] {
+            for (int j = 0; j < iters; j++) {
+                LockGuard lk(mu);
+                counter++;
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    LockGuard lk(mu);
+    EXPECT_EQ(counter, threads * iters);
+}
+
+TEST(Annotate, CondVarProducerConsumer)
+{
+    Mutex mu;
+    CondVar cv;
+    int ready = 0;
+    std::atomic<int> consumed{0};
+
+    std::thread consumer([&] {
+        for (int want = 1; want <= 3; want++) {
+            LockGuard lk(mu);
+            // Explicit predicate loop per the annotate.hh contract.
+            while (ready < want)
+                cv.wait(mu);
+            consumed = ready;
+        }
+    });
+    for (int i = 1; i <= 3; i++) {
+        LockGuard lk(mu);
+        ready = i;
+        cv.notify_one();
+    }
+    consumer.join();
+    EXPECT_EQ(consumed.load(), 3);
+}
+
+TEST(Annotate, MacrosAreNoOpsWhenAnalysisIsOff)
+{
+    // Under GCC (and clang with ZCOMP_DISABLE_THREAD_SAFETY_ANALYSIS)
+    // every capability macro must expand to nothing, so annotated
+    // declarations are plain declarations. This test compiling at all
+    // is most of the point; the stringize check pins the expansion.
+#if !defined(__clang__) || defined(ZCOMP_DISABLE_THREAD_SAFETY_ANALYSIS)
+#define ZCOMP_TEST_STR2(x) #x
+#define ZCOMP_TEST_STR(x) ZCOMP_TEST_STR2(x)
+    EXPECT_STREQ(ZCOMP_TEST_STR(ZCOMP_GUARDED_BY(mu_)), "");
+    EXPECT_STREQ(ZCOMP_TEST_STR(ZCOMP_REQUIRES(mu_)), "");
+    EXPECT_STREQ(ZCOMP_TEST_STR(ZCOMP_EXCLUDES(mu_)), "");
+#undef ZCOMP_TEST_STR
+#undef ZCOMP_TEST_STR2
+#endif
+    SUCCEED();
+}

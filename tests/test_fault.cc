@@ -24,6 +24,30 @@ TEST(Fault, EmptySpecStaysDisabled)
     EXPECT_FALSE(fi.enabled());
 }
 
+TEST(Fault, EmptySpecDisarmsEarlierConfig)
+{
+    // Regression: configure("") used to return early and leave the
+    // previously armed sites live, contradicting "an empty spec
+    // disables injection".
+    FaultInjector fi;
+    fi.configure("kernel.transient:1");
+    EXPECT_TRUE(fi.enabled());
+    fi.configure("");
+    EXPECT_FALSE(fi.enabled());
+    EXPECT_FALSE(fi.shouldInject(faultsite::KernelTransient));
+    EXPECT_EQ(fi.spec(), "");
+}
+
+TEST(Fault, ConfigureReplacesNotMerges)
+{
+    FaultInjector fi;
+    fi.configure("kernel.transient:1");
+    fi.configure("dram.bitflip:1");
+    EXPECT_FALSE(fi.shouldInject(faultsite::KernelTransient));
+    EXPECT_TRUE(fi.shouldInject(faultsite::DramBitflip));
+    EXPECT_EQ(fi.spec(), "dram.bitflip:1");
+}
+
 TEST(Fault, ProbabilityOneAlwaysFires)
 {
     FaultInjector fi;

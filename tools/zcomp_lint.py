@@ -36,6 +36,33 @@ metrics-names       the leaf segment of every addCounterProbe()
                     via addCounter(), so telemetry probes cannot
                     silently drift away from the stats tree and read
                     zeros forever.
+raw-mutex           no std::mutex / std::lock_guard / std::
+                    condition_variable etc. outside
+                    src/common/annotate.hh - all locking goes through
+                    the capability-annotated zcomp::Mutex/LockGuard/
+                    CondVar wrappers so clang's -Wthread-safety can
+                    prove the lock discipline of every critical
+                    section.
+unordered-iteration no range-for / .begin() iteration over
+                    std::unordered_{map,set} in src/ or bench/ - the
+                    hash order is implementation- and run-dependent,
+                    so any iteration feeding stats, reports, metrics,
+                    or traces silently breaks the byte-identical
+                    output contract. Probing (find/count/at/emplace)
+                    is fine; iterate an ordered mirror or switch the
+                    container.
+wall-clock          reads of wall/monotonic clocks (chrono clocks'
+                    now(), time(), gettimeofday, ...) confined to the
+                    host-domain allowlist (bench/tools/tests harness
+                    code and the report/metrics/trace host stamps).
+                    Simulated time comes from the event queue;
+                    sim-domain code reading a host clock is
+                    nondeterminism by construction.
+raw-rand            no C-library randomness (drand48 family, random(),
+                    rand_r, arc4random*, getentropy) anywhere outside
+                    common/rng.hh; complements the `rng` rule (which
+                    bans rand()/std:: engines) so every random draw is
+                    seeded and reproducible.
 
 A finding on line N is suppressed by a comment
     // zcomp-lint: allow(<rule>)
@@ -44,6 +71,9 @@ on line N or N-1.
 Usage:
     tools/zcomp_lint.py [--root DIR]     lint the tree (exit 1 on findings)
     tools/zcomp_lint.py --self-test      run the built-in fixture tests
+    tools/zcomp_lint.py --github         also emit GitHub workflow
+                                         ::error annotations (auto when
+                                         GITHUB_ACTIONS is set)
 """
 
 import argparse
@@ -60,15 +90,29 @@ SUPPRESS_RE = re.compile(r"zcomp-lint:\s*allow\(([a-z-]+)\)")
 
 
 class Finding:
-    def __init__(self, rule, path, line, message):
+    def __init__(self, rule, path, line, message, col=0):
         self.rule = rule
         self.path = path
         self.line = line
+        self.col = col          # 1-based; 0 = whole line
         self.message = message
 
     def __str__(self):
+        if self.col:
+            return "%s:%d:%d: [%s] %s" % (self.path, self.line,
+                                          self.col, self.rule,
+                                          self.message)
         return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
                                    self.message)
+
+    def github(self):
+        """GitHub workflow-command annotation (shows inline in PRs)."""
+        loc = "file=%s,line=%d" % (self.path, self.line)
+        if self.col:
+            loc += ",col=%d" % self.col
+        msg = self.message.replace("%", "%25").replace("\n", "%0A")
+        return "::error %s,title=zcomp-lint(%s)::%s" % (
+            loc, self.rule, msg)
 
 
 def read_lines(path):
@@ -225,11 +269,12 @@ def check_using_namespace(root, findings):
         allowed = suppressed_lines(lines, "using-namespace")
         for i, line in enumerate(strip_comments_and_strings(lines),
                                  start=1):
-            if re.search(r"\busing\s+namespace\b", line) \
-                    and i not in allowed:
+            m = re.search(r"\busing\s+namespace\b", line)
+            if m and i not in allowed:
                 findings.append(Finding(
                     "using-namespace", relpath(root, path), i,
-                    "using namespace in a header leaks into includers"))
+                    "using namespace in a header leaks into includers",
+                    m.start() + 1))
 
 
 STAT_RE = re.compile(
@@ -251,7 +296,8 @@ def check_stat_names(root, findings):
                         "stat-names", relpath(root, path), i,
                         "duplicate stat \"%s\" on receiver %s "
                         "(first at line %d)"
-                        % (m.group(3), m.group(1), seen[key])))
+                        % (m.group(3), m.group(1), seen[key]),
+                        m.start() + 1))
                 seen.setdefault(key, i)
 
 
@@ -271,16 +317,20 @@ def check_raw_new(root, findings):
                 continue
             # `= delete` / `= delete;` declarations are fine.
             code = re.sub(r"=\s*delete\b", "", line)
-            if NEW_RE.search(code):
+            m = NEW_RE.search(code)
+            if m:
                 findings.append(Finding(
                     "raw-new", relpath(root, path), i,
                     "raw new; use containers/smart pointers or "
-                    "annotate the ownership handoff"))
-            elif re.search(r"\bdelete\b", code):
-                findings.append(Finding(
-                    "raw-new", relpath(root, path), i,
-                    "raw delete; use containers/smart pointers or "
-                    "annotate the ownership handoff"))
+                    "annotate the ownership handoff", m.start() + 1))
+            else:
+                m = re.search(r"\bdelete\b", code)
+                if m:
+                    findings.append(Finding(
+                        "raw-new", relpath(root, path), i,
+                        "raw delete; use containers/smart pointers "
+                        "or annotate the ownership handoff",
+                        m.start() + 1))
 
 
 RNG_RE = re.compile(
@@ -297,11 +347,12 @@ def check_rng(root, findings):
         allowed = suppressed_lines(lines, "rng")
         for i, line in enumerate(strip_comments_and_strings(lines),
                                  start=1):
-            if RNG_RE.search(line) and i not in allowed:
+            m = RNG_RE.search(line)
+            if m and i not in allowed:
                 findings.append(Finding(
                     "rng", rel, i,
                     "unseeded/ad-hoc RNG; use common/rng.hh so runs "
-                    "stay reproducible"))
+                    "stay reproducible", m.start() + 1))
 
 
 CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
@@ -337,10 +388,12 @@ def check_catch_swallow(root, findings):
             body = text[open_brace + 1:end] if end >= 0 \
                 else text[open_brace + 1:]
             if not CATCH_EVIDENCE_RE.search(body):
+                col = m.start() - text.rfind("\n", 0, m.start())
                 findings.append(Finding(
                     "catch-swallow", relpath(root, path), lineno,
                     "catch (...) swallows the exception silently; "
-                    "rethrow, keep current_exception, or log it"))
+                    "rethrow, keep current_exception, or log it",
+                    col))
 
 
 INTRIN_RE = re.compile(
@@ -359,11 +412,13 @@ def check_simd_isolation(root, findings):
         allowed = suppressed_lines(lines, "simd-isolation")
         for i, line in enumerate(strip_comments_and_strings(lines),
                                  start=1):
-            if INTRIN_RE.search(line) and i not in allowed:
+            m = INTRIN_RE.search(line)
+            if m and i not in allowed:
                 findings.append(Finding(
                     "simd-isolation", rel, i,
                     "vector intrinsics header outside %s; use the "
-                    "dispatched common/simd.hh API" % SIMD_HOME))
+                    "dispatched common/simd.hh API" % SIMD_HOME,
+                    m.start() + 1))
 
 
 COUNTER_DEF_RE = re.compile(r"\baddCounter\s*\(\s*\"([^\"]+)\"")
@@ -400,7 +455,169 @@ def check_metrics_names(root, findings):
                         "metrics-names", relpath(root, path), i,
                         "probe \"%s\": leaf \"%s\" is not a "
                         "registered addCounter() name"
-                        % (m.group(1), leaf)))
+                        % (m.group(1), leaf), m.start() + 1))
+
+
+MUTEX_HOME = "src/common/annotate.hh"
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(?:_any)?)\b")
+
+
+def check_raw_mutex(root, findings):
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        rel = relpath(root, path)
+        if rel == MUTEX_HOME:
+            continue    # the annotated wrappers' own implementation
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "raw-mutex")
+        for i, line in enumerate(strip_comments_and_strings(lines),
+                                 start=1):
+            m = RAW_MUTEX_RE.search(line)
+            if m and i not in allowed:
+                findings.append(Finding(
+                    "raw-mutex", rel, i,
+                    "std::%s outside %s; use zcomp::Mutex/LockGuard/"
+                    "CondVar so -Wthread-safety covers the critical "
+                    "section" % (m.group(1), MUTEX_HOME),
+                    m.start() + 1))
+
+
+# Host-domain code that is allowed to read wall clocks: the bench /
+# tools / tests harness layer, and the host-timestamp fields of the
+# telemetry sinks (report wallMillis, metrics hostMs, trace-span
+# timestamps). None of these feed the deterministic study stdout.
+WALL_CLOCK_ALLOWED_PREFIXES = (
+    "bench/", "tools/", "tests/", "examples/",
+    "src/common/metrics.", "src/common/report.",
+    "src/common/trace_writer.", "src/common/result_cache.",
+)
+WALL_CLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*"
+    r"(?:system_clock|steady_clock|high_resolution_clock)\b|"
+    r"\b(?:system_clock|steady_clock|high_resolution_clock)"
+    r"\s*::\s*now\b|"
+    # time() always takes an argument, so requiring one skips
+    # declarations/calls of simulated-time accessors like
+    # `double time() const`.
+    r"(?<![\w.>:])(?:std\s*::\s*)?time\s*\(\s*"
+    r"(?:NULL\b|nullptr\b|0\b|&)|"
+    r"\b(?:gettimeofday|clock_gettime|timespec_get|ftime)\s*\(")
+
+
+def check_wall_clock(root, findings):
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        rel = relpath(root, path)
+        if rel.startswith(WALL_CLOCK_ALLOWED_PREFIXES):
+            continue
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "wall-clock")
+        for i, line in enumerate(strip_comments_and_strings(lines),
+                                 start=1):
+            m = WALL_CLOCK_RE.search(line)
+            if m and i not in allowed:
+                findings.append(Finding(
+                    "wall-clock", rel, i,
+                    "wall-clock read in sim-domain code; simulated "
+                    "time comes from the event queue (host stamps "
+                    "belong in the allowlisted telemetry sinks)",
+                    m.start() + 1))
+
+
+RNG_HOME_PREFIX = "src/common/rng."
+RAW_RAND_RE = re.compile(
+    r"(?<![\w.:>])(?:drand48|erand48|lrand48|nrand48|mrand48|"
+    r"jrand48|srand48|seed48|lcong48|rand_r|random|srandom|"
+    r"initstate|arc4random(?:_buf|_uniform)?|getentropy)\s*\(")
+
+
+def check_raw_rand(root, findings):
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        rel = relpath(root, path)
+        if rel.startswith(RNG_HOME_PREFIX):
+            continue    # the sanctioned RNG implementation
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "raw-rand")
+        for i, line in enumerate(strip_comments_and_strings(lines),
+                                 start=1):
+            m = RAW_RAND_RE.search(line)
+            if m and i not in allowed:
+                findings.append(Finding(
+                    "raw-rand", rel, i,
+                    "C-library randomness; draw from common/rng.hh "
+                    "so every sequence is seeded and reproducible",
+                    m.start() + 1))
+
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+
+
+def unordered_decl_names(text):
+    """Names declared (variable, member, parameter) with an
+    unordered-container type, found by bracket-matching the template
+    argument list and reading the declarator(s) after it."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        depth = 1
+        j = m.end()
+        while j < len(text) and depth:
+            if text[j] == "<":
+                depth += 1
+            elif text[j] == ">":
+                depth -= 1
+            j += 1
+        # Declarators up to the statement end: `x;`, `x = ...`,
+        # `x, y;`, `&x)`, `x{...}`. A '(' right after an identifier
+        # is a function returning the container - not a name whose
+        # iteration we could see anyway.
+        tail = text[j:]
+        end = len(tail)
+        for stop in ";={(":
+            k = tail.find(stop)
+            if 0 <= k < end:
+                end = k
+        for dm in re.finditer(r"[A-Za-z_]\w*", tail[:end]):
+            if dm.group(0) not in ("const", "constexpr", "static",
+                                   "mutable", "inline"):
+                names.add(dm.group(0))
+    return names
+
+
+def check_unordered_iteration(root, findings):
+    """Iterating an unordered container exposes its hash order, which
+    varies across libraries and runs; in src/ and bench/ that order
+    must never reach stats, reports, metrics, traces, or stdout.
+    Lookup-only use (find/count/at/emplace) is fine."""
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        rel = relpath(root, path)
+        if not rel.startswith(("src/", "bench/")):
+            continue
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "unordered-iteration")
+        stripped = strip_comments_and_strings(lines)
+        text = "\n".join(stripped)
+        names = unordered_decl_names(text)
+        if not names:
+            continue
+        pat = "|".join(re.escape(n) for n in sorted(names))
+        iter_re = re.compile(
+            # range-for whose range expression is a tracked name...
+            r"for\s*\([^;()]*:\s*&?\s*(?:%s)\s*\)|"
+            # ...or an explicit iterator walk off a tracked name.
+            r"\b(?:%s)\s*\.\s*c?r?begin\s*\(" % (pat, pat))
+        for m in iter_re.finditer(text):
+            lineno = text[:m.start()].count("\n") + 1
+            if lineno in allowed:
+                continue
+            col = m.start() - text.rfind("\n", 0, m.start())
+            findings.append(Finding(
+                "unordered-iteration", rel, lineno,
+                "iteration over an unordered container leaks hash "
+                "order into sim-domain code; use an ordered "
+                "container or probe with find()/at() only", col))
 
 
 ALL_RULES = [
@@ -413,6 +630,10 @@ ALL_RULES = [
     check_catch_swallow,
     check_simd_isolation,
     check_metrics_names,
+    check_raw_mutex,
+    check_wall_clock,
+    check_raw_rand,
+    check_unordered_iteration,
 ]
 
 
@@ -439,7 +660,11 @@ def self_test():
         write(os.path.join(root, "src", "CMakeLists.txt"),
               "add_library(x STATIC clean.cc dup_stats.cc raw_new.cc\n"
               "    bad_rng.cc annotated.cc catch_swallow.cc\n"
-              "    stray_intrin.cc metrics_probe.cc common/simd.cc)\n")
+              "    stray_intrin.cc metrics_probe.cc common/simd.cc\n"
+              "    raw_mutex.cc wall_clock.cc raw_rand.cc\n"
+              "    unordered_iter.cc)\n")
+        write(os.path.join(root, "bench", "CMakeLists.txt"),
+              "add_executable(timer timer.cc)\n")
         write(os.path.join(root, "src", "clean.cc"),
               '#include "clean.hh"\n'
               "// new Widget in a comment is fine\n"
@@ -512,6 +737,52 @@ def self_test():
               '    s.addCounterProbe("suppressed_leaf");\n'
               "}\n")
 
+        write(os.path.join(root, "src", "raw_mutex.cc"),
+              "std::mutex rawMu;\n"                       # flagged
+              "void f() { zcomp::LockGuard lk(m); }\n"           # fine
+              "std::condition_variable rawCv;\n"          # flagged
+              "// zcomp-lint: allow(raw-mutex)\n"
+              "std::unique_lock<std::mutex> special;\n"   # suppressed
+              "zcomp::Mutex fine;\n")
+        # The wrappers' own implementation file is exempt.
+        write(os.path.join(root, "src", "common", "annotate.hh"),
+              "#pragma once\n"
+              "std::mutex mu_;\n"
+              "std::condition_variable cv_;\n")
+        write(os.path.join(root, "src", "wall_clock.cc"),
+              "auto t0 = std::chrono::steady_clock::now();\n"  # flagged
+              "double t1 = time(nullptr);\n"                   # flagged
+              "double simNow = core->time();\n"         # member: fine
+              "// zcomp-lint: allow(wall-clock)\n"
+              "auto t2 = std::chrono::system_clock::now();\n"
+              "void stamp(struct timeval *tv)"
+              " { gettimeofday(tv, 0); }\n")                   # flagged
+        # bench/ is host-domain: wall clocks are allowed there.
+        write(os.path.join(root, "bench", "timer.cc"),
+              "auto t0 = std::chrono::steady_clock::now();\n")
+        write(os.path.join(root, "src", "raw_rand.cc"),
+              "double d = drand48();\n"                        # flagged
+              "int r(unsigned *s) { return rand_r(s); }\n"     # flagged
+              "void io(S &s) { s.setstate(failbit); }\n"  # member: fine
+              "// zcomp-lint: allow(raw-rand)\n"
+              "uint32_t a = arc4random();\n")            # suppressed
+        write(os.path.join(root, "src", "unordered_iter.cc"),
+              "std::unordered_map<const T *, Scan> memo;\n"
+              "std::map<std::string, int> ordered;\n"
+              "void probe() { auto it = memo.find(k); }\n"  # probe: ok
+              "void leak() {\n"
+              "    for (auto &kv : memo)\n"                    # flagged
+              "        use(kv);\n"
+              "    for (auto it = memo.begin(); it != memo.end();\n"
+              "         ++it)\n"                # .begin(): flagged (l7)
+              "        use(*it);\n"
+              "    for (auto &kv : ordered)\n"             # ordered: ok
+              "        use(kv);\n"
+              "    // zcomp-lint: allow(unordered-iteration)\n"
+              "    for (auto &kv : memo)\n"                # suppressed
+              "        use(kv);\n"
+              "}\n")
+
         findings = run_lint(root)
         got = {(f.rule, f.path, f.line) for f in findings}
         want = {
@@ -528,6 +799,15 @@ def self_test():
             ("simd-isolation", "src/stray_intrin.cc", 2),
             ("simd-isolation", "src/stray_intrin.cc", 3),
             ("metrics-names", "src/metrics_probe.cc", 3),
+            ("raw-mutex", "src/raw_mutex.cc", 1),
+            ("raw-mutex", "src/raw_mutex.cc", 3),
+            ("wall-clock", "src/wall_clock.cc", 1),
+            ("wall-clock", "src/wall_clock.cc", 2),
+            ("wall-clock", "src/wall_clock.cc", 6),
+            ("raw-rand", "src/raw_rand.cc", 1),
+            ("raw-rand", "src/raw_rand.cc", 2),
+            ("unordered-iteration", "src/unordered_iter.cc", 5),
+            ("unordered-iteration", "src/unordered_iter.cc", 7),
         }
         ok = True
         for item in sorted(want - got):
@@ -549,6 +829,10 @@ def main():
                     help="repository root (default: the tool's repo)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in fixture tests")
+    ap.add_argument("--github", action="store_true",
+                    default=bool(os.environ.get("GITHUB_ACTIONS")),
+                    help="also emit ::error workflow annotations "
+                         "(default when GITHUB_ACTIONS is set)")
     args = ap.parse_args()
 
     if args.self_test:
@@ -559,6 +843,8 @@ def main():
     findings = run_lint(root)
     for f in findings:
         print(f)
+        if args.github:
+            print(f.github())
     if findings:
         print("zcomp_lint: %d finding(s)" % len(findings))
         return 1
