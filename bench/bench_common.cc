@@ -12,6 +12,7 @@
 
 #include <unistd.h>
 
+#include "cachecomp/scheme.hh"
 #include "common/error.hh"
 #include "common/fault.hh"
 #include "common/log.hh"
@@ -35,6 +36,47 @@ msSince(Clock::time_point t0)
 }
 
 } // namespace
+
+const std::vector<StudyPolicy> &
+studyPolicies()
+{
+    // Derived once from the scheme registry: the registered schemes
+    // that have a NetworkSim IoPolicy dispatch, in registration order
+    // (uncompressed, avx512-comp, zcomp - the historical sequence, so
+    // row indices, report keys and figure output are unchanged).
+    // Cache-model-only schemes (limitcc, twotagcc, ebpc, zvc) have no
+    // timing-model dispatch and are skipped here; they enter through
+    // bench_fig15_cache_comp instead.
+    static const std::vector<StudyPolicy> policies = [] {
+        std::vector<StudyPolicy> v;
+        for (const CompressionScheme *s : allSchemes()) {
+            IoPolicy pol;
+            if (ioPolicyFromName(s->name(), pol))
+                v.push_back({s->name(), pol});
+        }
+        panic_if(v.size() != static_cast<size_t>(numIoPolicies),
+                 "scheme registry covers %zu of %d I/O policies",
+                 v.size(), numIoPolicies);
+        return v;
+    }();
+    return policies;
+}
+
+const NetworkSimResult &
+StudyRow::result(const std::string &policy) const
+{
+    const std::vector<StudyPolicy> &pols = studyPolicies();
+    for (size_t i = 0; i < pols.size(); i++) {
+        if (pols[i].name == policy) {
+            panic_if(i >= results.size(),
+                     "study row for %s carries no '%s' result "
+                     "(failed cell?)",
+                     model.c_str(), policy.c_str());
+            return results[i];
+        }
+    }
+    panic("'%s' is not a study policy", policy.c_str());
+}
 
 const std::vector<StudyModel> &
 studyModels()
@@ -160,18 +202,21 @@ runStudyCell(const StudyModel &m, bool training, const StudyOptions &opt,
         tw->hostSpan("prep " + cell, tus0, tw->nowUs());
     deadline.check();
 
+    const std::vector<StudyPolicy> &pols = studyPolicies();
+    row.results.resize(pols.size());
+    row.simMillis.assign(pols.size(), 0.0);
     NetworkSim sim(*p.ctx, *p.net);
-    for (int pol = 0; pol < numIoPolicies; pol++) {
+    for (size_t pi = 0; pi < pols.size(); pi++) {
         NetworkSimConfig cfg;
-        cfg.policy = static_cast<IoPolicy>(pol);
+        cfg.policy = pols[pi].policy;
         cfg.traceLabel = cell;
         double tus1 = tw ? tw->nowUs() : 0;
         Clock::time_point t1 = Clock::now();
-        row.results[pol] = sim.run(cfg);
-        row.simMillis[pol] = msSince(t1);
+        row.results[pi] = sim.run(cfg);
+        row.simMillis[pi] = msSince(t1);
         if (tw) {
-            tw->hostSpan(std::string("sim ") +
-                             ioPolicyName(cfg.policy) + " " + cell,
+            tw->hostSpan(std::string("sim ") + pols[pi].name + " " +
+                             cell,
                          tus1, tw->nowUs());
         }
         deadline.check();
@@ -186,9 +231,13 @@ runStudyCell(const StudyModel &m, bool training, const StudyOptions &opt,
         p.ctx->sys().dumpStats(sg);
         row.stats = sg.dumpJson();
     }
-    inform("%s (%s) row done: prep %.0f ms, sim %.0f/%.0f/%.0f ms",
-           modelName(m.id), mode, row.prepMillis, row.simMillis[0],
-           row.simMillis[1], row.simMillis[2]);
+    std::string sim_ms;
+    for (size_t pi = 0; pi < row.simMillis.size(); pi++) {
+        sim_ms += pi ? "/" : "";
+        sim_ms += format("%.0f", row.simMillis[pi]);
+    }
+    inform("%s (%s) row done: prep %.0f ms, sim %s ms",
+           modelName(m.id), mode, row.prepMillis, sim_ms.c_str());
     return row;
 }
 
@@ -265,6 +314,12 @@ studyCellKey(const StudyModel &m, bool training, bool want_stats)
     // fault-free ones (or for runs with a different spec).
     key["faultSpec"] = FaultInjector::global().spec();
     key["machine"] = machineToJson(ArchConfig{});
+    // The policy set is part of the row layout: a cached row can only
+    // stand in for a fresh one when both sweep the same schemes.
+    Json policies = Json::array();
+    for (const StudyPolicy &sp : studyPolicies())
+        policies.push(sp.name);
+    key["policies"] = std::move(policies);
     Json &cell = key["cell"];
     cell = Json::object();
     cell["model"] = modelName(m.id);
@@ -298,12 +353,13 @@ studyRowToJson(const StudyRow &row)
     if (row.attempts > 1)
         j["attempts"] = row.attempts;
 
+    const std::vector<StudyPolicy> &policies = studyPolicies();
     Json &pols = j["policies"];
     pols = Json::object();
-    for (int pol = 0; pol < numIoPolicies; pol++) {
-        const NetworkSimResult &res = row.results[pol];
+    for (size_t pi = 0; pi < policies.size(); pi++) {
+        const NetworkSimResult &res = row.results.at(pi);
         Json p = Json::object();
-        p["simMillis"] = row.simMillis[pol];
+        p["simMillis"] = row.simMillis.at(pi);
         p["total"] = runStatsToJson(res.total);
 
         Json layers = Json::array();
@@ -315,7 +371,7 @@ studyRowToJson(const StudyRow &row)
             layers.push(std::move(l));
         }
         p["layers"] = std::move(layers);
-        pols[ioPolicyName(static_cast<IoPolicy>(pol))] = std::move(p);
+        pols[policies[pi].name] = std::move(p);
     }
     if (!row.stats.isNull())
         j["stats"] = row.stats;
@@ -370,23 +426,34 @@ studyRowFromJson(const Json &j)
         row.attempts = static_cast<int>(attempts->asInt());
     }
 
+    // Policy names are validated here, at parse time, against the
+    // scheme registry: every study policy must be present, and no
+    // unknown policy entry may ride along (an unrecognized name would
+    // otherwise deserialize into a row whose layout no caller
+    // expects).
+    const std::vector<StudyPolicy> &policies = studyPolicies();
     const Json &pols = rowField(j, "policies");
-    for (int pol = 0; pol < numIoPolicies; pol++) {
-        const Json &p =
-            rowField(pols, ioPolicyName(static_cast<IoPolicy>(pol)));
+    if (!pols.isObject() || pols.size() != policies.size())
+        throw std::runtime_error(
+            "study row JSON: policies do not match the scheme "
+            "registry");
+    row.results.resize(policies.size());
+    row.simMillis.assign(policies.size(), 0.0);
+    for (size_t pi = 0; pi < policies.size(); pi++) {
+        const Json &p = rowField(pols, policies[pi].name.c_str());
         const Json &sim_ms = rowField(p, "simMillis");
         if (!sim_ms.isNumber())
             throw std::runtime_error(
                 "study row JSON: simMillis not a number");
-        row.simMillis[pol] = sim_ms.asDouble();
-        row.results[pol].total =
+        row.simMillis[pi] = sim_ms.asDouble();
+        row.results[pi].total =
             runStatsFromJson(rowField(p, "total"));
 
         const Json &layers = rowField(p, "layers");
         if (!layers.isArray())
             throw std::runtime_error(
                 "study row JSON: layers not an array");
-        row.results[pol].layers.reserve(layers.size());
+        row.results[pi].layers.reserve(layers.size());
         for (size_t i = 0; i < layers.size(); i++) {
             const Json &l = layers.at(i);
             LayerPassStats lp;
@@ -401,7 +468,7 @@ studyRowFromJson(const Json &j)
                     "study row JSON: layer backward not a bool");
             lp.backward = backward.asBool();
             lp.stats = runStatsFromJson(rowField(l, "stats"));
-            row.results[pol].layers.push_back(std::move(lp));
+            row.results[pi].layers.push_back(std::move(lp));
         }
     }
     if (const Json *stats = j.find("stats"))

@@ -7,8 +7,8 @@
  *
  * The study runner fans its (model, mode) cells out over a
  * ThreadPool - each cell owns a private ExecContext/MemoryHierarchy,
- * prepares its network once, and times the three I/O policies
- * sequentially against those shared read-only tensors. Rows come
+ * prepares its network once, and times every studyPolicies() I/O
+ * policy sequentially against those shared read-only tensors. Rows come
  * back in the same deterministic order as the old sequential loop
  * and with bitwise-identical numbers for any worker count;
  * parallelism only ever spans independent simulations, never the
@@ -87,17 +87,43 @@ enum class CellStatus
     Failed,     //!< all attempts threw or timed out
 };
 
+/**
+ * One I/O policy the study sweeps: a registered CompressionScheme
+ * name paired with its NetworkSim dispatch value.
+ */
+struct StudyPolicy
+{
+    std::string name;   //!< == the CompressionScheme's name()
+    IoPolicy policy;
+};
+
+/**
+ * The policies every study cell runs, derived once from the scheme
+ * registry (the registered schemes that have a NetworkSim IoPolicy
+ * behind them) in registration order - which matches the historical
+ * uncompressed / avx512-comp / zcomp sequence, keeping row layout,
+ * report keys and figure output identical.
+ */
+const std::vector<StudyPolicy> &studyPolicies();
+
 /** One (model, mode) row of the Figures 13/14 study. */
 struct StudyRow
 {
     std::string model;
     bool training = false;
-    NetworkSimResult results[numIoPolicies];
+
+    /** Per-policy simulation results, indexed like studyPolicies().
+     *  Empty on failed rows; use result(name) for keyed access. */
+    std::vector<NetworkSimResult> results;
 
     // Harness wall-clock (host seconds, not simulated cycles), logged
     // per row so BENCH_*.json entries can track runner speed.
     double prepMillis = 0;
-    double simMillis[numIoPolicies] = {0, 0, 0};
+    std::vector<double> simMillis;
+
+    /** The results entry for one policy/scheme name; panics when the
+     *  name is not a study policy or the row carries no results. */
+    const NetworkSimResult &result(const std::string &policy) const;
 
     /**
      * gem5-style stats-tree snapshot of the cell's system after all
@@ -137,7 +163,7 @@ StudyRow studyRowFromJson(const Json &j);
  * preparation change, so stale caches miss instead of resurrecting
  * rows the current code would not reproduce.
  */
-constexpr const char *studyCellSchemaVersion = "zcomp-study-cell-v2";
+constexpr const char *studyCellSchemaVersion = "zcomp-study-cell-v3";
 
 /**
  * Canonical result-cache key of one (model, mode) study cell: a JSON
@@ -192,8 +218,8 @@ struct StudyOptions
 };
 
 /**
- * Run every (model, mode) cell of the study under all three
- * policies, in parallel across cells on the pool. Row order and
+ * Run every (model, mode) cell of the study under every
+ * studyPolicies() policy, in parallel across cells on the pool. Row order and
  * simulation numbers are independent of the worker count and of
  * which cells were restored from the cache.
  *
@@ -207,7 +233,7 @@ std::vector<StudyRow> runStudy(const StudyOptions &opt);
 
 /**
  * Run the full five-network study: every model in both training and
- * inference mode under all three policies.
+ * inference mode under every study policy.
  */
 std::vector<StudyRow> runFullStudy(bool training_only = false,
                                    bool inference_only = false);

@@ -29,12 +29,13 @@ main(int argc, char **argv)
     double red_c[2] = {0, 0}, red_z[2] = {0, 0};
     int count[2] = {0, 0};
     for (const auto &row : rows) {
-        uint64_t base = row.results[0].trafficBytes();
+        uint64_t base = row.result("uncompressed").trafficBytes();
         double rc = 1.0 - static_cast<double>(
-                              row.results[1].trafficBytes()) /
+                              row.result("avx512-comp")
+                                  .trafficBytes()) /
                               base;
         double rz = 1.0 - static_cast<double>(
-                              row.results[2].trafficBytes()) /
+                              row.result("zcomp").trafficBytes()) /
                               base;
         int mode = row.training ? 0 : 1;
         red_c[mode] += rc;

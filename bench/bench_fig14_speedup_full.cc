@@ -32,9 +32,9 @@ main(int argc, char **argv)
     double max_z[2] = {0, 0};
     int count[2] = {0, 0}, comp_slowdowns = 0;
     for (const auto &row : rows) {
-        double base = row.results[0].cycles();
-        double sc = base / row.results[1].cycles();
-        double sz = base / row.results[2].cycles();
+        double base = row.result("uncompressed").cycles();
+        double sc = base / row.result("avx512-comp").cycles();
+        double sz = base / row.result("zcomp").cycles();
         int mode = row.training ? 0 : 1;
         sp_c[mode] += sc;
         sp_z[mode] += sz;

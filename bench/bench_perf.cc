@@ -31,8 +31,10 @@
 #include <vector>
 
 #include "bench/bench_common.hh"
+#include "cachecomp/ebpc.hh"
 #include "cachecomp/fpc.hh"
 #include "cachecomp/fpcd.hh"
+#include "cachecomp/zvc.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
@@ -111,6 +113,27 @@ microFpcLines(bool quick)
     double sec = secSince(t0);
     fatal_if(sink == 0, "bench_perf fpc sink is zero");
     return static_cast<double>(lines) * 2 * iters / sec;
+}
+
+/** One scheme codec's 64 B line sizing over sparse data, lines/sec
+ *  (the EBPC/ZVC trajectory legs; see tools/bench_perf.py). */
+double
+microSchemeLines(int (*line_bytes)(const uint8_t *), bool quick)
+{
+    const size_t lines = quick ? (size_t{1} << 13) : (size_t{1} << 15);
+    const int iters = quick ? 4 : 16;
+    std::vector<float> pat = sparsePattern(lines * 16);
+    const uint8_t *bytes = reinterpret_cast<const uint8_t *>(pat.data());
+
+    Clock::time_point t0 = Clock::now();
+    uint64_t sink = 0;
+    for (int it = 0; it < iters; it++) {
+        for (size_t l = 0; l < lines; l++)
+            sink += static_cast<uint64_t>(line_bytes(bytes + l * 64));
+    }
+    double sec = secSince(t0);
+    fatal_if(sink == 0, "bench_perf scheme sink is zero");
+    return static_cast<double>(lines) * iters / sec;
 }
 
 /** A*Bt GEMM (the conv/FC inner product shape), in MAC/sec. */
@@ -219,6 +242,8 @@ main(int argc, char **argv)
         Json micro = Json::object();
         micro["vecRoundTripsPerSec"] = microVecRoundTrips(quick);
         micro["fpcLinesPerSec"] = microFpcLines(quick);
+        micro["ebpcLinesPerSec"] = microSchemeLines(ebpcLineBytes, quick);
+        micro["zvcLinesPerSec"] = microSchemeLines(zvcLineBytes, quick);
         micro["gemmMacsPerSec"] = microGemm(quick);
         Json fig = figureSubset(quick);
 

@@ -44,20 +44,21 @@ main(int argc, char **argv)
                           "FAILED: " + row.error, "-", "-", "-"});
             continue;
         }
-        for (int pol = 0; pol < numIoPolicies; pol++) {
-            const NetworkSimResult &r = row.results[pol];
+        const auto &pols = bench::studyPolicies();
+        for (size_t pi = 0; pi < pols.size(); pi++) {
+            const NetworkSimResult &r = row.results[pi];
             check(r.cycles() > 0, "simulated cycles are positive");
             check(r.trafficBytes() > 0, "traffic bytes are positive");
             check(!r.layers.empty(), "per-layer stats were recorded");
             table.addRow({row.training ? "train" : "infer",
-                          ioPolicyName(static_cast<IoPolicy>(pol)),
+                          pols[pi].name,
                           Table::fmt(r.cycles(), 0),
                           Table::fmtBytes(static_cast<double>(
                               r.trafficBytes())),
-                          Table::fmt(row.simMillis[pol], 0)});
+                          Table::fmt(row.simMillis[pi], 0)});
         }
-        check(row.results[2].trafficBytes() <
-                  row.results[0].trafficBytes(),
+        check(row.result("zcomp").trafficBytes() <
+                  row.result("uncompressed").trafficBytes(),
               "zcomp moves less data than the uncompressed baseline");
     }
     table.print(std::cout);

@@ -5,42 +5,61 @@
 #include <cstring>
 
 #include "cachecomp/fpcd.hh"
+#include "cachecomp/scheme.hh"
 #include "common/log.hh"
 
 namespace zcomp {
 
+namespace {
+
+/**
+ * FPC-D size of one line as the cache-compression models store it:
+ * never past the physical line. fpcdLineBytes() already saturates at
+ * 64, but the models clamp again at their use site so the invariant
+ * cannot silently regress if the codec changes (ISSUE 9: an
+ * unclamped size deflated limitCCRatio() below 1 and wedged TwoTagCC
+ * slots past any possible partner).
+ */
+int
+storedFpcdLineBytes(const uint8_t *line)
+{
+    return std::min(schemeLineBytes, fpcdLineBytes(line));
+}
+
+} // namespace
+
 double
 zcompSnapshotRatio(const uint8_t *data, size_t bytes)
 {
-    fatal_if(bytes % 64 != 0, "snapshot must be line-aligned");
+    checkSnapshotAligned(bytes);
+    if (bytes == 0)
+        return 1.0;
     uint64_t compressed = 0;
-    for (size_t off = 0; off < bytes; off += 64) {
-        int nnz = 0;
-        for (int w = 0; w < 16; w++) {
-            uint32_t word = 0;
-            std::memcpy(&word, data + off + w * 4, 4);
-            nnz += word != 0;
-        }
-        compressed += 2 + static_cast<uint64_t>(nnz) * 4;
-    }
+    for (size_t off = 0; off < bytes; off += 64)
+        compressed += static_cast<uint64_t>(zcompLineBytes(data + off));
     return static_cast<double>(bytes) / static_cast<double>(compressed);
 }
 
 double
 limitCCRatio(const uint8_t *data, size_t bytes)
 {
-    fatal_if(bytes % 64 != 0, "snapshot must be line-aligned");
+    checkSnapshotAligned(bytes);
+    if (bytes == 0)
+        return 1.0;
     uint64_t compressed = 0;
     for (size_t off = 0; off < bytes; off += 64)
-        compressed += static_cast<uint64_t>(fpcdLineBytes(data + off));
+        compressed +=
+            static_cast<uint64_t>(storedFpcdLineBytes(data + off));
     return static_cast<double>(bytes) / static_cast<double>(compressed);
 }
 
 double
 twoTagCCRatio(const uint8_t *data, size_t bytes, int sets)
 {
-    fatal_if(bytes % 64 != 0, "snapshot must be line-aligned");
+    checkSnapshotAligned(bytes);
     fatal_if(sets <= 0, "need at least one set");
+    if (bytes == 0)
+        return 1.0;
     size_t lines = bytes / 64;
 
     // Greedy in-set pairing: walk each set's lines in order, packing a
@@ -50,7 +69,7 @@ twoTagCCRatio(const uint8_t *data, size_t bytes, int sets)
     uint64_t physical = 0;
     for (size_t l = 0; l < lines; l++) {
         int set = static_cast<int>(l % static_cast<size_t>(sets));
-        int sz = fpcdLineBytes(data + l * 64);
+        int sz = storedFpcdLineBytes(data + l * 64);
         int prev = pending[static_cast<size_t>(set)];
         if (prev >= 0 && prev + sz <= 64) {
             // Pair completes: the two logical lines share one
@@ -83,6 +102,59 @@ geomean(const std::vector<double> &values)
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+namespace {
+
+class LimitCCScheme : public CompressionScheme
+{
+  public:
+    const char *name() const override { return "limitcc"; }
+    int lineBytes(const uint8_t *line) const override
+    {
+        return storedFpcdLineBytes(line);
+    }
+    double snapshotRatio(const uint8_t *data,
+                         size_t bytes) const override
+    {
+        return limitCCRatio(data, bytes);
+    }
+    // Hardware FPC-D behind the cache: compression is off the store
+    // path, decompression adds a short serial decode on fills.
+    double unpackCyclesPerLine() const override { return 2; }
+};
+
+class TwoTagCCScheme : public CompressionScheme
+{
+  public:
+    const char *name() const override { return "twotagcc"; }
+    int lineBytes(const uint8_t *line) const override
+    {
+        return storedFpcdLineBytes(line);
+    }
+    // The effective ratio is set by in-set pairing, not the per-line
+    // sum, so the snapshot walk is overridden wholesale.
+    double snapshotRatio(const uint8_t *data,
+                         size_t bytes) const override
+    {
+        return twoTagCCRatio(data, bytes);
+    }
+    double unpackCyclesPerLine() const override { return 2; }
+};
+
+} // namespace
+
+void
+registerCacheModelSchemes()
+{
+    static const LimitCCScheme limitcc;
+    static const TwoTagCCScheme twotagcc;
+    static const bool once = [] {
+        registerScheme(limitcc);
+        registerScheme(twotagcc);
+        return true;
+    }();
+    (void)once;
 }
 
 } // namespace zcomp

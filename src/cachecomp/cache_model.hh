@@ -34,6 +34,12 @@ struct CompRatios
  * Analyze a raw fp32 snapshot (byte length must be a multiple of 64)
  * and return all three effective compression ratios.
  *
+ * All the ratio functions below clamp per-line compressed sizes to
+ * the 64-byte physical line (a real cache stores incompressible
+ * lines uncompressed rather than expanding them), and throw
+ * DecodeError on a misaligned snapshot so a truncated input fails
+ * its study cell in isolation instead of killing the sweep.
+ *
  * @param sets number of cache sets the TwoTagCC pairing models
  *        (consecutive lines round-robin over sets, pairs form within
  *        a set).
@@ -49,6 +55,10 @@ double limitCCRatio(const uint8_t *data, size_t bytes);
 
 /** TwoTagCC ratio: greedy in-set pairing of FPC-D lines. */
 double twoTagCCRatio(const uint8_t *data, size_t bytes, int sets = 64);
+
+/** One-time registration hook for the Figure 15 cache-compression
+ *  CompressionSchemes defined here ("limitcc", "twotagcc"). */
+void registerCacheModelSchemes();
 
 /** Geometric mean helper for aggregating per-snapshot ratios. */
 double geomean(const std::vector<double> &values);

@@ -24,7 +24,23 @@ ioPolicyName(IoPolicy p)
       case IoPolicy::Zcomp:
         return "zcomp";
     }
-    return "?";
+    // An out-of-range value here would otherwise flow silently into
+    // report rows and result-cache keys, colliding distinct invalid
+    // policies on one cached entry (ISSUE 9).
+    panic("invalid IoPolicy %d", static_cast<int>(p));
+}
+
+bool
+ioPolicyFromName(const std::string &name, IoPolicy &out)
+{
+    for (int p = 0; p < numIoPolicies; p++) {
+        IoPolicy pol = static_cast<IoPolicy>(p);
+        if (name == ioPolicyName(pol)) {
+            out = pol;
+            return true;
+        }
+    }
+    return false;
 }
 
 namespace {

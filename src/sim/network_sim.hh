@@ -35,6 +35,7 @@
 #ifndef ZCOMP_SIM_NETWORK_SIM_HH
 #define ZCOMP_SIM_NETWORK_SIM_HH
 
+#include <string>
 #include <unordered_map>
 
 #include "dnn/network.hh"
@@ -51,7 +52,15 @@ enum class IoPolicy
 
 constexpr int numIoPolicies = 3;
 
+/** Stable policy label ("uncompressed"/"avx512-comp"/"zcomp"), also
+ *  the matching CompressionScheme name; panics on an out-of-range
+ *  value so a bad policy can never reach report rows or result-cache
+ *  keys under a shared "?" label. */
 const char *ioPolicyName(IoPolicy p);
+
+/** Reverse of ioPolicyName(); false (out untouched) on an unknown
+ *  name, so callers can report bad input in their own terms. */
+bool ioPolicyFromName(const std::string &name, IoPolicy &out);
 
 struct NetworkSimConfig
 {

@@ -40,7 +40,9 @@ fakeRow()
     row.model = "TestNet";
     row.training = true;
     row.prepMillis = 12.5;
-    for (int pol = 0; pol < numIoPolicies; pol++) {
+    row.results.resize(studyPolicies().size());
+    row.simMillis.resize(studyPolicies().size());
+    for (size_t pol = 0; pol < studyPolicies().size(); pol++) {
         row.simMillis[pol] = 100.0 + pol;
         RunStats &t = row.results[pol].total;
         t.cycles = 1000.0 * (pol + 1);

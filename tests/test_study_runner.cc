@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "cachecomp/cache_model.hh"
 #include "common/error.hh"
 #include "common/fault.hh"
 #include "common/log.hh"
@@ -416,4 +417,42 @@ TEST(StudyRunner, CacheResumeIsByteIdentical)
               studyCellKey(opt.models[0], false, false));
     EXPECT_NE(studyCellKey(opt.models[0], true, false),
               studyCellKey(opt.models[0], true, true));
+}
+
+/**
+ * A truncated (non-line-aligned) snapshot surfacing mid-cell raises a
+ * typed DecodeError: the runner treats it as a recoverable SimError -
+ * retried per the harness, then recorded as a failed row with the
+ * "decode" kind - instead of fatal()ing the whole sweep (ISSUE 9).
+ */
+TEST(StudyRunner, TruncatedSnapshotFailsCellInIsolation)
+{
+    resetDecodeErrorCount();
+    setQuiet(true);
+    ThreadPool seq(1);
+    StudyHarness h;
+    h.retries = 1;
+    h.backoffMillis = 1;
+    h.failBudget = 1;
+    StudyOptions opt = quickOptions();
+    opt.inferenceOnly = true;
+    opt.pool = &seq;
+    opt.harness = &h;
+    opt.faultHook = [](const StudyModel &, bool, int) {
+        // 65 bytes: a snapshot cut off mid-line.
+        std::vector<uint8_t> snap(65, 0);
+        zcompSnapshotRatio(snap.data(), snap.size());
+    };
+    auto rows = runStudy(opt);
+    setQuiet(false);
+
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].status, CellStatus::Failed);
+    EXPECT_EQ(rows[0].attempts, 2);
+    EXPECT_NE(rows[0].error.find("decode"), std::string::npos)
+        << rows[0].error;
+    EXPECT_NE(rows[0].error.find("line-aligned"), std::string::npos)
+        << rows[0].error;
+    // Every detection bumped the observable counter (one per attempt).
+    EXPECT_EQ(decodeErrorCount(), 2u);
 }

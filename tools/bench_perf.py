@@ -32,6 +32,8 @@ SCHEMA = "zcomp-bench-perf-v1"
 MICRO_METRICS = {
     "vecRoundTripsPerSec": "rate",
     "fpcLinesPerSec": "rate",
+    "ebpcLinesPerSec": "rate",
+    "zvcLinesPerSec": "rate",
     "gemmMacsPerSec": "rate",
 }
 FIGURE_METRICS = {

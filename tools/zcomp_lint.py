@@ -63,6 +63,11 @@ raw-rand            no C-library randomness (drand48 family, random(),
                     common/rng.hh; complements the `rng` rule (which
                     bans rand()/std:: engines) so every random draw is
                     seeded and reproducible.
+scheme-registration every src/cachecomp/*.cc that defines a
+                    CompressionScheme subclass must also call
+                    registerScheme() - a scheme that never reaches
+                    the registry silently drops out of the Figure 15
+                    tables, report rows, and result-cache keys.
 
 A finding on line N is suppressed by a comment
     // zcomp-lint: allow(<rule>)
@@ -620,6 +625,36 @@ def check_unordered_iteration(root, findings):
                 "container or probe with find()/at() only", col))
 
 
+SCHEME_SUBCLASS_RE = re.compile(
+    r":\s*(?:public\s+)?(?:zcomp\s*::\s*)?CompressionScheme\b")
+SCHEME_REGISTER_RE = re.compile(r"\bregisterScheme\s*\(")
+
+
+def check_scheme_registration(root, findings):
+    """A cachecomp source defining a CompressionScheme subclass must
+    register it; an unregistered scheme is invisible to allSchemes()
+    and silently missing from every table, report row, and cache key
+    keyed off the registry."""
+    for path in iter_files(root, SOURCE_EXTS):
+        rel = relpath(root, path)
+        if not rel.startswith("src/cachecomp/"):
+            continue
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "scheme-registration")
+        stripped = strip_comments_and_strings(lines)
+        if SCHEME_REGISTER_RE.search("\n".join(stripped)):
+            continue
+        for i, line in enumerate(stripped, start=1):
+            m = SCHEME_SUBCLASS_RE.search(line)
+            if m and i not in allowed:
+                findings.append(Finding(
+                    "scheme-registration", rel, i,
+                    "CompressionScheme subclass in a file that never "
+                    "calls registerScheme(); the scheme would be "
+                    "missing from allSchemes() tables and cache keys",
+                    m.start() + 1))
+
+
 ALL_RULES = [
     check_cmake_registration,
     check_header_guard,
@@ -634,6 +669,7 @@ ALL_RULES = [
     check_wall_clock,
     check_raw_rand,
     check_unordered_iteration,
+    check_scheme_registration,
 ]
 
 
@@ -662,7 +698,8 @@ def self_test():
               "    bad_rng.cc annotated.cc catch_swallow.cc\n"
               "    stray_intrin.cc metrics_probe.cc common/simd.cc\n"
               "    raw_mutex.cc wall_clock.cc raw_rand.cc\n"
-              "    unordered_iter.cc)\n")
+              "    unordered_iter.cc cachecomp/scheme_good.cc\n"
+              "    cachecomp/scheme_bad.cc unregistered_elsewhere.cc)\n")
         write(os.path.join(root, "bench", "CMakeLists.txt"),
               "add_executable(timer timer.cc)\n")
         write(os.path.join(root, "src", "clean.cc"),
@@ -783,6 +820,20 @@ def self_test():
               "        use(kv);\n"
               "}\n")
 
+        # Outside src/cachecomp/ the scheme-registration rule is
+        # silent; registration there is scheme.cc's business.
+        write(os.path.join(root, "src", "unregistered_elsewhere.cc"),
+              "struct Outside : public CompressionScheme {};\n")
+        write(os.path.join(root, "src", "cachecomp", "scheme_good.cc"),
+              "struct Good : public CompressionScheme {};\n"
+              "void hook() { registerScheme(good); }\n")
+        write(os.path.join(root, "src", "cachecomp", "scheme_bad.cc"),
+              "// `: public CompressionScheme` in a comment is fine\n"
+              "struct Bad : public CompressionScheme {\n"    # flagged
+              "};\n"
+              "// zcomp-lint: allow(scheme-registration)\n"
+              "struct Hidden : public CompressionScheme {};\n")
+
         findings = run_lint(root)
         got = {(f.rule, f.path, f.line) for f in findings}
         want = {
@@ -808,6 +859,7 @@ def self_test():
             ("raw-rand", "src/raw_rand.cc", 2),
             ("unordered-iteration", "src/unordered_iter.cc", 5),
             ("unordered-iteration", "src/unordered_iter.cc", 7),
+            ("scheme-registration", "src/cachecomp/scheme_bad.cc", 2),
         }
         ok = True
         for item in sorted(want - got):
