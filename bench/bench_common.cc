@@ -1,18 +1,22 @@
 #include "bench/bench_common.hh"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <future>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include <unistd.h>
 
 #include "cachecomp/scheme.hh"
+#include "common/annotate.hh"
 #include "common/error.hh"
 #include "common/fault.hh"
 #include "common/log.hh"
@@ -20,6 +24,7 @@
 #include "common/report.hh"
 #include "common/result_cache.hh"
 #include "common/stats.hh"
+#include "common/sweep_supervisor.hh"
 #include "common/trace_writer.hh"
 
 namespace zcomp::bench {
@@ -174,7 +179,8 @@ class Deadline
  */
 StudyRow
 runStudyCell(const StudyModel &m, bool training, const StudyOptions &opt,
-             const StudyHarness &h, int attempt, BumpArena &arena)
+             const StudyHarness &h, int attempt, BumpArena &arena,
+             bool want_stats)
 {
     const char *mode = training ? "training" : "inference";
     inform("preparing %s (%s)...", modelName(m.id), mode);
@@ -225,8 +231,11 @@ runStudyCell(const StudyModel &m, bool training, const StudyOptions &opt,
     // Snapshot the cell's full stats tree only when a report wants
     // it. Each policy run resets the counters (coldCaches), so the
     // tree reflects the final (Zcomp) run; the per-policy numbers
-    // live in results[] either way.
-    if (RunReport::global()) {
+    // live in results[] either way. The flag is explicit (not
+    // RunReport::global()) because an isolated worker has no report
+    // installed but must still produce whatever row shape the
+    // parent's cache key promises.
+    if (want_stats) {
         StatGroup sg("system");
         p.ctx->sys().dumpStats(sg);
         row.stats = sg.dumpJson();
@@ -249,7 +258,8 @@ runStudyCell(const StudyModel &m, bool training, const StudyOptions &opt,
  */
 StudyRow
 runStudyCellGuarded(const StudyModel &m, bool training,
-                    const StudyOptions &opt, const StudyHarness &h)
+                    const StudyOptions &opt, const StudyHarness &h,
+                    bool want_stats)
 {
     const char *mode = training ? "training" : "inference";
     int max_attempts = 1 + std::max(0, h.retries);
@@ -272,7 +282,8 @@ runStudyCellGuarded(const StudyModel &m, bool training,
         }
         bool aborted = false;
         try {
-            return runStudyCell(m, training, opt, h, attempt, arena);
+            return runStudyCell(m, training, opt, h, attempt, arena,
+                                want_stats);
         } catch (const CellAbort &e) {
             // Deterministic failure: retrying would reproduce it.
             error = format("aborted: %s", e.what());
@@ -483,6 +494,206 @@ studyHarness()
     return h;
 }
 
+namespace {
+
+/** One (model, mode) cell reference shared by both execution paths. */
+struct CellRef
+{
+    StudyModel m;
+    bool training;
+};
+
+/** Schema tag of the hidden --worker-cell spec JSON. */
+constexpr const char *workerCellSchema = "zcomp-worker-cell-v1";
+
+/** Serialize a cell into the --worker-cell spec the worker parses.
+ *  The full StudyModel rides along (not just an index into
+ *  studyModels()) so tests can sweep their own tiny models. */
+std::string
+workerCellSpec(const StudyModel &m, bool training, bool want_stats)
+{
+    Json s = Json::object();
+    s["schema"] = workerCellSchema;
+    Json &model = s["model"];
+    model = Json::object();
+    model["id"] = static_cast<int64_t>(m.id);
+    model["trainBatch"] = m.trainBatch;
+    model["inferBatch"] = m.inferBatch;
+    model["imageSize"] = m.imageSize;
+    model["widthScale"] = m.widthScale;
+    s["training"] = training;
+    s["wantStats"] = want_stats;
+    return s.dump();
+}
+
+std::string
+cellLabel(const StudyModel &m, bool training)
+{
+    return std::string(modelName(m.id)) + " (" +
+           (training ? "training" : "inference") + ")";
+}
+
+/** Decode one worker-reported row (success or typed failure). */
+StudyRow
+rowFromWorkerJson(const Json &j, const CellRef &c)
+{
+    if (const Json *f = j.find("failed");
+        f && f->isBool() && f->asBool()) {
+        StudyRow row;
+        row.model = modelName(c.m.id);
+        row.training = c.training;
+        row.status = CellStatus::Failed;
+        const Json *err = j.find("error");
+        row.error = err && err->isString() ? err->asString()
+                                           : "unknown worker failure";
+        const Json *att = j.find("attempts");
+        row.attempts = att && att->isNumber()
+                           ? static_cast<int>(att->asInt())
+                           : 1;
+        return row;
+    }
+    StudyRow row = studyRowFromJson(j);
+    row.status = CellStatus::Simulated;
+    return row;
+}
+
+/**
+ * The --isolate-cells execution path: shard the non-cached cells
+ * across worker processes under the SweepSupervisor. Row order and
+ * (successful) row bytes are identical to the in-process path -
+ * rows round-trip through studyRowToJson/FromJson exactly - while a
+ * cell that SIGSEGVs, deadlocks or spins costs exactly itself.
+ */
+std::vector<StudyRow>
+runStudyIsolated(const std::vector<CellRef> &cells,
+                 const StudyHarness &h, bool want_stats,
+                 const std::shared_ptr<ResultCache> &cache,
+                 const std::shared_ptr<SweepProgress> &progress)
+{
+    std::vector<std::optional<StudyRow>> rows(cells.size());
+
+    // Resume pre-pass, identical in behavior to the in-process path:
+    // cached cells never reach a worker.
+    std::vector<SweepCell> todo;
+    std::vector<size_t> todo_idx;
+    for (size_t i = 0; i < cells.size(); i++) {
+        const CellRef &c = cells[i];
+        if (cache && h.resume) {
+            std::string key =
+                studyCellKey(c.m, c.training, want_stats);
+            if (std::optional<Json> v = cache->lookup(key)) {
+                try {
+                    StudyRow row = studyRowFromJson(*v);
+                    row.status = CellStatus::Cached;
+                    inform("%s (%s) restored from cache",
+                           modelName(c.m.id),
+                           c.training ? "training" : "inference");
+                    rows[i] = std::move(row);
+                    if (progress)
+                        progress->cellDone(/*cached=*/true,
+                                           /*failed=*/false,
+                                           /*attempts=*/1);
+                    continue;
+                } catch (const std::exception &e) {
+                    warn("result cache: entry for %s (%s) does not "
+                         "decode (%s); re-simulating",
+                         modelName(c.m.id),
+                         c.training ? "training" : "inference",
+                         e.what());
+                }
+            }
+        }
+        todo.push_back({workerCellSpec(c.m, c.training, want_stats),
+                        cellLabel(c.m, c.training)});
+        todo_idx.push_back(i);
+    }
+
+    if (!todo.empty()) {
+        SweepSupervisorOptions sopt;
+        sopt.workerArgv = h.workerArgv;
+        if (sopt.workerArgv.empty())
+            sopt.workerArgv.push_back("/proc/self/exe");
+        // Re-arm the worker with exactly the harness context that
+        // changes a row: cache (stores), in-worker retries and the
+        // cooperative timeout, and the fault spec (part of the cache
+        // key). Report/trace/metrics stay parent-only.
+        if (!h.cacheDir.empty()) {
+            sopt.workerArgv.push_back("--cache");
+            sopt.workerArgv.push_back(h.cacheDir);
+        }
+        if (h.retries > 0) {
+            sopt.workerArgv.push_back("--retries");
+            sopt.workerArgv.push_back(format("%d", h.retries));
+        }
+        if (h.cellTimeoutSec > 0) {
+            sopt.workerArgv.push_back("--cell-timeout");
+            sopt.workerArgv.push_back(format("%g", h.cellTimeoutSec));
+        }
+        if (!h.faultSpec.empty()) {
+            sopt.workerArgv.push_back("--fault-spec");
+            sopt.workerArgv.push_back(h.faultSpec);
+        }
+        if (quiet())
+            sopt.workerArgv.push_back("--quiet");
+        sopt.workers = std::max(1, h.workers);
+        sopt.hardTimeoutSec = h.hardTimeoutSec;
+        sopt.heartbeatTimeoutSec = h.heartbeatTimeoutSec;
+        sopt.backoffMillis = h.backoffMillis;
+        sopt.onCellDone = [&progress](const SweepCellResult &r) {
+            if (!progress)
+                return;
+            bool failed = !r.ok;
+            if (r.ok) {
+                const Json *f = r.row.find("failed");
+                failed = f && f->isBool() && f->asBool();
+            }
+            progress->cellDone(/*cached=*/false, failed,
+                               std::max(1, r.attempts));
+        };
+
+        SweepSupervisor sup(sopt);
+        std::vector<SweepCellResult> results = sup.run(todo);
+        for (size_t j = 0; j < results.size(); j++) {
+            const SweepCellResult &r = results[j];
+            const CellRef &c = cells[todo_idx[j]];
+            StudyRow row;
+            if (r.ok) {
+                try {
+                    row = rowFromWorkerJson(r.row, c);
+                } catch (const std::exception &e) {
+                    row.model = modelName(c.m.id);
+                    row.training = c.training;
+                    row.status = CellStatus::Failed;
+                    row.error = format(
+                        "worker row does not decode: %s", e.what());
+                    row.attempts = std::max(1, r.attempts);
+                }
+            } else {
+                // Out-of-process failure domain: signal name, hard
+                // timeout or heartbeat loss, straight from the
+                // supervisor.
+                row.model = modelName(c.m.id);
+                row.training = c.training;
+                row.status = CellStatus::Failed;
+                row.error = r.error;
+                row.attempts = std::max(1, r.attempts);
+            }
+            rows[todo_idx[j]] = std::move(row);
+        }
+    }
+
+    std::vector<StudyRow> out;
+    out.reserve(cells.size());
+    for (std::optional<StudyRow> &row : rows) {
+        panic_if(!row.has_value(), "isolated study cell never "
+                                   "resolved");
+        out.push_back(std::move(*row));
+    }
+    return out;
+}
+
+} // namespace
+
 std::vector<StudyRow>
 runStudy(const StudyOptions &opt)
 {
@@ -499,12 +710,7 @@ runStudy(const StudyOptions &opt)
     if (!h.cacheDir.empty())
         cache = std::make_shared<ResultCache>(h.cacheDir);
 
-    struct Cell
-    {
-        StudyModel m;
-        bool training;
-    };
-    std::vector<Cell> cells;
+    std::vector<CellRef> cells;
     for (const StudyModel &m : models) {
         for (int mode = 0; mode < 2; mode++) {
             bool training = mode == 0;
@@ -530,56 +736,66 @@ runStudy(const StudyOptions &opt)
     if (live || MetricsSink::global())
         progress = std::make_shared<SweepProgress>(cells.size(), live);
 
-    std::vector<std::future<StudyRow>> futs;
-    futs.reserve(cells.size());
-    for (const Cell &cell : cells) {
-        StudyModel m = cell.m;
-        bool training = cell.training;
-        std::string key =
-            cache ? studyCellKey(m, training, want_stats)
-                  : std::string();
+    std::vector<StudyRow> rows;
+    if (h.isolateCells) {
+        // Out-of-process sharding: one worker process per cell under
+        // the SweepSupervisor, so a crash costs exactly one cell.
+        rows = runStudyIsolated(cells, h, want_stats, cache,
+                                progress);
+    } else {
+        std::vector<std::future<StudyRow>> futs;
+        futs.reserve(cells.size());
+        for (const CellRef &cell : cells) {
+            StudyModel m = cell.m;
+            bool training = cell.training;
+            std::string key =
+                cache ? studyCellKey(m, training, want_stats)
+                      : std::string();
 
-        if (cache && h.resume) {
-            if (std::optional<Json> v = cache->lookup(key)) {
-                try {
-                    StudyRow row = studyRowFromJson(*v);
-                    row.status = CellStatus::Cached;
-                    inform("%s (%s) restored from cache",
-                           modelName(m.id),
-                           training ? "training" : "inference");
-                    std::promise<StudyRow> done;
-                    done.set_value(std::move(row));
-                    futs.push_back(done.get_future());
-                    if (progress)
-                        progress->cellDone(/*cached=*/true,
-                                           /*failed=*/false,
-                                           /*attempts=*/1);
-                    continue;
-                } catch (const std::exception &e) {
-                    warn("result cache: entry for %s (%s) does not "
-                         "decode (%s); re-simulating",
-                         modelName(m.id),
-                         training ? "training" : "inference",
-                         e.what());
+            if (cache && h.resume) {
+                if (std::optional<Json> v = cache->lookup(key)) {
+                    try {
+                        StudyRow row = studyRowFromJson(*v);
+                        row.status = CellStatus::Cached;
+                        inform("%s (%s) restored from cache",
+                               modelName(m.id),
+                               training ? "training" : "inference");
+                        std::promise<StudyRow> done;
+                        done.set_value(std::move(row));
+                        futs.push_back(done.get_future());
+                        if (progress)
+                            progress->cellDone(/*cached=*/true,
+                                               /*failed=*/false,
+                                               /*attempts=*/1);
+                        continue;
+                    } catch (const std::exception &e) {
+                        warn("result cache: entry for %s (%s) does "
+                             "not decode (%s); re-simulating",
+                             modelName(m.id),
+                             training ? "training" : "inference",
+                             e.what());
+                    }
                 }
             }
+            futs.push_back(pool.submit([m, training, key, cache,
+                                        progress, want_stats, &opt,
+                                        &h] {
+                StudyRow row = runStudyCellGuarded(m, training, opt,
+                                                   h, want_stats);
+                if (cache && row.status != CellStatus::Failed)
+                    cache->store(key, studyRowToJson(row));
+                if (progress)
+                    progress->cellDone(
+                        /*cached=*/false,
+                        row.status == CellStatus::Failed,
+                        row.attempts);
+                return row;
+            }));
         }
-        futs.push_back(pool.submit([m, training, key, cache, progress,
-                                    &opt, &h] {
-            StudyRow row = runStudyCellGuarded(m, training, opt, h);
-            if (cache && row.status != CellStatus::Failed)
-                cache->store(key, studyRowToJson(row));
-            if (progress)
-                progress->cellDone(/*cached=*/false,
-                                   row.status == CellStatus::Failed,
-                                   row.attempts);
-            return row;
-        }));
+        rows.reserve(futs.size());
+        for (std::future<StudyRow> &f : futs)
+            rows.push_back(f.get());
     }
-    std::vector<StudyRow> rows;
-    rows.reserve(futs.size());
-    for (std::future<StudyRow> &f : futs)
-        rows.push_back(f.get());
     // Clear the status line before the tables print: pool task
     // objects may still hold copies of the reporter, so the
     // destructor alone cannot be relied on to run here.
@@ -676,14 +892,268 @@ intValue(const char *flag, const char *value, long lo, long hi)
     return v;
 }
 
+double
+secondsValue(const char *flag, const char *value)
+{
+    char *rest = nullptr;
+    double s = std::strtod(value, &rest);
+    fatal_if(*value == '\0' || (rest && *rest != '\0') || !(s >= 0),
+             "bad %s value '%s' (want seconds >= 0)", flag, value);
+    return s;
+}
+
+// ----------------------------------------------------------------
+// Worker mode (--worker-cell): one isolated study cell per process,
+// speaking the supervisor's JSONL protocol on stdout.
+// ----------------------------------------------------------------
+
+/** Serializes hello/heartbeat/result records: the heartbeat thread
+ *  and the cell thread share stdout, and the supervisor parses it
+ *  line-wise, so every record must land whole. */
+Mutex workerOutMu;
+
+void
+emitWorkerRecord(Json rec) ZCOMP_EXCLUDES(workerOutMu)
+{
+    rec["schema"] = "zcomp-worker-v1";
+    std::string line = rec.dump();
+    line += '\n';
+    LockGuard lk(workerOutMu);
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fflush(stdout);
+}
+
+/**
+ * Background sign-of-life emitter: one heartbeat record every ~500ms
+ * until destruction. The supervisor SIGKILLs workers whose status
+ * channel goes silent past --heartbeat-timeout, so a worker stuck in
+ * uninstrumented code (a deadlocked cell, a hung syscall) is reaped
+ * even when no hard timeout is armed. The stop flag is polled every
+ * 50ms instead of a timed condition wait to keep the thread trivially
+ * sanitizer-clean.
+ */
+class WorkerHeartbeat
+{
+  public:
+    explicit WorkerHeartbeat(std::string cell)
+    {
+        th_ = std::thread([this, cell = std::move(cell)] {
+            int ticks = 0;
+            while (!stop_.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+                if (++ticks < 10)
+                    continue;
+                ticks = 0;
+                Json r = Json::object();
+                r["kind"] = "heartbeat";
+                r["cell"] = cell;
+                emitWorkerRecord(std::move(r));
+            }
+        });
+    }
+
+    ~WorkerHeartbeat()
+    {
+        stop_.store(true, std::memory_order_relaxed);
+        th_.join();
+    }
+
+  private:
+    std::atomic<bool> stop_{false};
+    std::thread th_;
+};
+
+/**
+ * Test-only crash hook: ZCOMP_TEST_CRASH_CELL="<model>:<mode>:<how>"
+ * makes the worker running that cell die mid-cell, where <how> is
+ *   sigsegv - raise a real SIGSEGV (default disposition restored
+ *             first, so sanitizer handlers cannot soften it)
+ *   sigkill - raise SIGKILL
+ *   spin    - hang forever while the heartbeat thread keeps beating
+ *             (only the hard wall-clock deadline can reap this)
+ *   exit    - exit 42 without reporting a result
+ * The hook only ever fires in worker processes, after the hello
+ * record, so the supervisor observes a mid-cell death.
+ */
+void
+maybeCrashForTest(const StudyModel &m, bool training)
+{
+    const char *spec = std::getenv("ZCOMP_TEST_CRASH_CELL");
+    if (!spec)
+        return;
+    std::string s(spec);
+    size_t colon = s.rfind(':');
+    if (colon == std::string::npos)
+        return;
+    std::string target = s.substr(0, colon);
+    std::string how = s.substr(colon + 1);
+    std::string cell = std::string(modelName(m.id)) + ":" +
+                       (training ? "training" : "inference");
+    if (target != cell)
+        return;
+    warn("ZCOMP_TEST_CRASH_CELL: crashing cell %s (%s)",
+         cell.c_str(), how.c_str());
+    if (how == "sigsegv") {
+        std::signal(SIGSEGV, SIG_DFL);
+        std::raise(SIGSEGV);
+    } else if (how == "sigkill") {
+        std::raise(SIGKILL);
+    } else if (how == "spin") {
+        for (;;)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+    } else if (how == "exit") {
+        std::exit(42);
+    }
+}
+
+/** The parsed --worker-cell spec (see workerCellSpec()). */
+struct WorkerCell
+{
+    StudyModel m;
+    bool training = false;
+    bool wantStats = false;
+};
+
+WorkerCell
+parseWorkerCellSpec(const std::string &spec)
+{
+    std::string err;
+    Json j = Json::parse(spec, &err);
+    fatal_if(!err.empty() || !j.isObject(),
+             "bad --worker-cell spec: %s",
+             err.empty() ? "not an object" : err.c_str());
+    const Json *schema = j.find("schema");
+    fatal_if(!schema || !schema->isString() ||
+                 schema->asString() != workerCellSchema,
+             "--worker-cell spec has the wrong schema");
+    const Json *model = j.find("model");
+    fatal_if(!model || !model->isObject(),
+             "--worker-cell spec: missing model");
+    auto num = [&](const char *key) {
+        const Json *v = model->find(key);
+        fatal_if(!v || !v->isNumber(),
+                 "--worker-cell spec: missing model.%s", key);
+        return v->asDouble();
+    };
+    WorkerCell wc;
+    long id = static_cast<long>(num("id"));
+    fatal_if(id < 0 || id >= numModels,
+             "--worker-cell spec: bad model id %ld", id);
+    wc.m.id = static_cast<ModelId>(id);
+    wc.m.trainBatch = static_cast<int>(num("trainBatch"));
+    wc.m.inferBatch = static_cast<int>(num("inferBatch"));
+    wc.m.imageSize = static_cast<int>(num("imageSize"));
+    wc.m.widthScale = num("widthScale");
+    const Json *training = j.find("training");
+    fatal_if(!training || !training->isBool(),
+             "--worker-cell spec: missing training");
+    wc.training = training->asBool();
+    const Json *stats = j.find("wantStats");
+    fatal_if(!stats || !stats->isBool(),
+             "--worker-cell spec: missing wantStats");
+    wc.wantStats = stats->asBool();
+    return wc;
+}
+
+int
+runWorkerCell(const WorkerCell &wc, const StudyHarness &h)
+{
+    std::string cell = cellLabel(wc.m, wc.training);
+    {
+        Json r = Json::object();
+        r["kind"] = "hello";
+        r["cell"] = cell;
+        r["pid"] = static_cast<int64_t>(getpid());
+        emitWorkerRecord(std::move(r));
+    }
+    WorkerHeartbeat heartbeat(cell);
+    maybeCrashForTest(wc.m, wc.training);
+
+    StudyOptions opt;
+    opt.harness = &h;
+    StudyRow row =
+        runStudyCellGuarded(wc.m, wc.training, opt, h, wc.wantStats);
+
+    // The worker stores its own row: the cache is the data plane
+    // between workers and any later --resume, and a supervisor that
+    // dies after this point loses coordination, not results.
+    if (!h.cacheDir.empty() && row.status != CellStatus::Failed) {
+        ResultCache cache(h.cacheDir);
+        cache.store(studyCellKey(wc.m, wc.training, wc.wantStats),
+                    studyRowToJson(row));
+    }
+
+    Json r = Json::object();
+    r["kind"] = "result";
+    r["cell"] = cell;
+    r["row"] = studyRowToJson(row);
+    emitWorkerRecord(std::move(r));
+    return 0;
+}
+
 } // namespace
+
+void
+maybeRunWorkerCell(int argc, char **argv)
+{
+    bool found = false;
+    for (int i = 1; i < argc && !found; i++)
+        found = std::strcmp(argv[i], "--worker-cell") == 0 ||
+                std::strncmp(argv[i], "--worker-cell=", 14) == 0;
+    if (!found)
+        return;
+
+    // Workers parse their own (supervisor-built) argv instead of
+    // going through parseBenchArgs: no banner, no report/trace/
+    // metrics sinks, no atexit machinery - just the harness context
+    // that shapes a row.
+    std::string spec;
+    StudyHarness h;
+    for (int i = 1; i < argc; i++) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strcmp(arg, "--quiet") == 0 ||
+            std::strcmp(arg, "-q") == 0) {
+            setQuiet(true);
+        } else if (valueArg(argc, argv, i, "--worker-cell", nullptr,
+                            &value)) {
+            spec = value;
+        } else if (valueArg(argc, argv, i, "--cache", nullptr,
+                            &value)) {
+            h.cacheDir = value;
+        } else if (valueArg(argc, argv, i, "--retries", nullptr,
+                            &value)) {
+            h.retries = static_cast<int>(
+                intValue("--retries", value, 0, 100));
+        } else if (valueArg(argc, argv, i, "--cell-timeout", nullptr,
+                            &value)) {
+            h.cellTimeoutSec = secondsValue("--cell-timeout", value);
+        } else if (valueArg(argc, argv, i, "--fault-spec", nullptr,
+                            &value)) {
+            h.faultSpec = value;
+            FaultInjector::global().configure(value);
+        } else {
+            fatal("unknown worker argument '%s'", arg);
+        }
+    }
+    fatal_if(spec.empty(), "--worker-cell needs a spec");
+    std::exit(runWorkerCell(parseWorkerCellSpec(spec), h));
+}
 
 void
 parseBenchArgs(int argc, char **argv, const std::string &title)
 {
+    // Worker mode first: a --worker-cell invocation computes its one
+    // cell and exits before any banner, report or sink is installed.
+    maybeRunWorkerCell(argc, argv);
+
     std::string report_path, trace_path, metrics_path;
     double metrics_interval = MetricsSink::defaultIntervalCycles;
     bool metrics_interval_set = false;
+    bool workers_set = false, hard_timeout_set = false;
+    bool heartbeat_set = false;
     StudyHarness &h = studyHarness();
     for (int i = 1; i < argc; i++) {
         const char *arg = argv[i];
@@ -697,7 +1167,10 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
                 "[--progress]\n"
                 "       [--cache DIR] [--resume] [--retries N] "
                 "[--cell-timeout S]\n"
-                "       [--fail-budget N]\n\n"
+                "       [--fail-budget N] [--isolate-cells] "
+                "[--workers N]\n"
+                "       [--hard-timeout S] [--heartbeat-timeout S]"
+                "\n\n"
                 "  --jobs N, -j N    run N study cells in parallel "
                 "(default: ZCOMP_JOBS\n"
                 "                    or the hardware thread count; "
@@ -744,7 +1217,25 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
                 "                    kernel.transient:1:7:2 "
                 "(site:prob[:seed[:max]],\n"
                 "                    comma-separated; see "
-                "EXPERIMENTS.md)\n",
+                "EXPERIMENTS.md)\n"
+                "  --isolate-cells   run each study cell in its own "
+                "worker process\n"
+                "                    (a crashing or hung cell costs "
+                "exactly itself;\n"
+                "                    see DESIGN.md section 4.11)\n"
+                "  --workers N       concurrent worker processes "
+                "(default 2; needs\n"
+                "                    --isolate-cells)\n"
+                "  --hard-timeout S  SIGKILL a cell still running "
+                "after S seconds\n"
+                "                    and record a typed failed row "
+                "(needs\n"
+                "                    --isolate-cells)\n"
+                "  --heartbeat-timeout S  SIGKILL a worker whose "
+                "status channel\n"
+                "                    is silent for S seconds "
+                "(default 30; needs\n"
+                "                    --isolate-cells)\n",
                 argv[0]);
             std::exit(0);
         } else if (std::strcmp(arg, "--quiet") == 0 ||
@@ -784,16 +1275,27 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
                 intValue("--fail-budget", value, 0, 1000000));
         } else if (valueArg(argc, argv, i, "--fault-spec", nullptr,
                             &value)) {
+            h.faultSpec = value;
             FaultInjector::global().configure(value);
         } else if (valueArg(argc, argv, i, "--cell-timeout", nullptr,
                             &value)) {
-            char *rest = nullptr;
-            double s = std::strtod(value, &rest);
-            fatal_if(*value == '\0' || (rest && *rest != '\0') ||
-                         !(s >= 0),
-                     "bad --cell-timeout value '%s' (want seconds "
-                     ">= 0)", value);
-            h.cellTimeoutSec = s;
+            h.cellTimeoutSec = secondsValue("--cell-timeout", value);
+        } else if (std::strcmp(arg, "--isolate-cells") == 0) {
+            h.isolateCells = true;
+        } else if (valueArg(argc, argv, i, "--workers", nullptr,
+                            &value)) {
+            h.workers = static_cast<int>(
+                intValue("--workers", value, 1, 256));
+            workers_set = true;
+        } else if (valueArg(argc, argv, i, "--hard-timeout", nullptr,
+                            &value)) {
+            h.hardTimeoutSec = secondsValue("--hard-timeout", value);
+            hard_timeout_set = true;
+        } else if (valueArg(argc, argv, i, "--heartbeat-timeout",
+                            nullptr, &value)) {
+            h.heartbeatTimeoutSec =
+                secondsValue("--heartbeat-timeout", value);
+            heartbeat_set = true;
         } else {
             fatal("unknown argument '%s' (try --help)", arg);
         }
@@ -803,6 +1305,13 @@ parseBenchArgs(int argc, char **argv, const std::string &title)
     fatal_if(metrics_interval_set && metrics_path.empty(),
              "--metrics-interval needs --metrics PATH (nothing is "
              "sampled without a sink)");
+    fatal_if(workers_set && !h.isolateCells,
+             "--workers needs --isolate-cells (in-process "
+             "parallelism is --jobs)");
+    fatal_if((hard_timeout_set || heartbeat_set) && !h.isolateCells,
+             "--hard-timeout/--heartbeat-timeout need "
+             "--isolate-cells (the in-process budget is "
+             "--cell-timeout)");
 
     // Install the process-wide report/trace sinks before any work
     // runs, and flush them at exit so every bench main gets both

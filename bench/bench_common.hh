@@ -190,6 +190,23 @@ struct StudyHarness
     int failBudget = 0;         //!< failed cells tolerated before exit(1)
     int backoffMillis = 50;     //!< base retry backoff (doubles per retry)
     bool progress = false;      //!< live sweep status line (--progress)
+
+    // --- out-of-process execution (--isolate-cells; DESIGN.md §4.11)
+    bool isolateCells = false;  //!< one worker process per cell
+    int workers = 2;            //!< concurrent worker processes
+    /** Per-cell wall-clock *hard* deadline enforced by SIGKILL from
+     *  the supervisor; 0 = none. Unlike --cell-timeout this catches
+     *  cells that SIGSEGV'd into a handler, deadlocked or spin. */
+    double hardTimeoutSec = 0;
+    /** Max seconds of worker status-channel silence before the
+     *  supervisor declares it hung and SIGKILLs it; 0 = none. */
+    double heartbeatTimeoutSec = 30;
+    /** The --fault-spec string verbatim, re-armed in every worker so
+     *  isolated and in-process sweeps inject identically. */
+    std::string faultSpec;
+    /** Worker re-invocation argv; empty = /proc/self/exe plus the
+     *  harness flags above (tests override to add their own). */
+    std::vector<std::string> workerArgv;
 };
 
 /** The process-wide harness knobs parseBenchArgs() populates. */
@@ -259,6 +276,16 @@ std::vector<StudyRow> runFullStudy(bool training_only = false,
  *   --metrics-interval N  cycles between samples (default 100000)
  *   --progress         live one-line sweep status on stderr (TTY
  *                      only, off under --quiet)
+ *   --isolate-cells    run every study cell in its own worker
+ *                      process (crash isolation; DESIGN.md §4.11)
+ *   --workers N        concurrent worker processes (default 2;
+ *                      needs --isolate-cells)
+ *   --hard-timeout S   per-cell wall-clock hard deadline - a cell
+ *                      still running after S seconds is SIGKILLed
+ *                      and recorded as a typed failed row (needs
+ *                      --isolate-cells)
+ *   --heartbeat-timeout S  SIGKILL a worker silent for S seconds
+ *                      (default 30; needs --isolate-cells)
  *
  * --report and --trace install the process-wide RunReport/TraceWriter
  * and register atexit flushes, so every bench binary gets them
@@ -267,6 +294,20 @@ std::vector<StudyRow> runFullStudy(bool training_only = false,
  * flags the run is byte-identical to before.
  */
 void parseBenchArgs(int argc, char **argv, const std::string &title);
+
+/**
+ * Worker-mode entry point for --isolate-cells. When argv carries the
+ * hidden `--worker-cell <spec>` flag this computes exactly that one
+ * study cell, speaking the supervisor's JSONL protocol on stdout
+ * (hello / heartbeat / result records, schema zcomp-worker-v1),
+ * stores the row into --cache when given one, and never returns
+ * (std::exit). Without the flag it is a no-op.
+ *
+ * parseBenchArgs() calls this first, so every bench binary doubles
+ * as its own worker; test binaries with a custom main() call it
+ * before InitGoogleTest for the same reason.
+ */
+void maybeRunWorkerCell(int argc, char **argv);
 
 /** Print the Table 1 machine banner. */
 void printBanner(const std::string &title);

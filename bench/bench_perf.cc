@@ -184,6 +184,9 @@ figureSubset(bool quick)
 std::string
 gitSha()
 {
+    // One-shot metadata probe, read-to-EOF and pclose()d right here;
+    // the Subprocess machinery would be overkill for it.
+    // zcomp-lint: allow(process-isolation)
     FILE *p = popen("git rev-parse HEAD 2>/dev/null", "r");
     if (!p)
         return "unknown";

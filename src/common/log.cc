@@ -171,4 +171,15 @@ informImpl(const char *fmt, ...)
     emitLineLocked("info", msg);
 }
 
+void
+logRawLine(const std::string &line)
+{
+    if (quietFlag)
+        return;
+    LockGuard lk(outputMu);
+    eraseStatusLocked();
+    std::fprintf(stderr, "%s\n", line.c_str());
+    redrawStatusLocked();
+}
+
 } // namespace zcomp

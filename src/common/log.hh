@@ -66,6 +66,16 @@ void setStatusLine(const std::string &line);
 /** Erase the status line and stop redrawing it. */
 void clearStatusLine();
 
+/**
+ * Emit one pre-formatted line through the status-aware sink, with no
+ * "info:"/"warn:" prefix added - the line is forwarded verbatim. The
+ * sweep supervisor routes worker-process stderr through this so a
+ * worker's (already prefixed) log lines land whole between status
+ * redraws instead of tearing the sticky --progress line. Respects
+ * setQuiet() like inform()/warn().
+ */
+void logRawLine(const std::string &line);
+
 } // namespace zcomp
 
 #define panic(...) ::zcomp::panicImpl(__FILE__, __LINE__, __VA_ARGS__)

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+
+#include <unistd.h>
 
 #include "common/log.hh"
 
@@ -13,6 +16,18 @@ namespace zcomp {
 namespace {
 
 constexpr const char *cacheSchema = "zcomp-result-cache-v1";
+
+/**
+ * Per-process store() sequence counter. Only the (pid, seq) pair has
+ * to be unique, so a test pinning the counter (two processes forced
+ * onto identical sequence numbers) still gets distinct temp names.
+ */
+std::atomic<uint64_t> &
+storeSequence()
+{
+    static std::atomic<uint64_t> seq{0};
+    return seq;
+}
 
 /** Read a whole file; nullopt if it cannot be opened or read. */
 std::optional<std::string>
@@ -43,6 +58,52 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
     fatal_if(ec && !std::filesystem::is_directory(dir_),
              "cannot create result cache directory %s: %s",
              dir_.c_str(), ec.message().c_str());
+    sweepStaleTempFiles();
+}
+
+void
+ResultCache::sweepStaleTempFiles()
+{
+    // A process killed mid-store() (SIGKILL, crash, hard timeout)
+    // leaves its .tmp.<pid>.<seq> file behind forever - rename() never
+    // ran. Sweep anything older than this open, minus a grace window
+    // so a live writer's in-flight temp (created moments before we
+    // opened, renamed moments after) is never yanked from under it.
+    using namespace std::chrono_literals;
+    auto cutoff = std::filesystem::file_time_type::clock::now() - 60s;
+    std::error_code ec;
+    size_t removed = 0;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir_, ec)) {
+        if (!e.is_regular_file(ec))
+            continue;
+        std::string name = e.path().filename().string();
+        if (name.find(".json.tmp.") == std::string::npos)
+            continue;
+        std::error_code tec;
+        auto mtime = std::filesystem::last_write_time(e.path(), tec);
+        if (tec || mtime >= cutoff)
+            continue;
+        if (std::filesystem::remove(e.path(), tec) && !tec)
+            removed++;
+    }
+    if (removed > 0)
+        inform("result cache: swept %zu stale temp file(s) from %s",
+               removed, dir_.c_str());
+}
+
+std::string
+ResultCache::tempPath(const std::string &entry_path, uint64_t seq)
+{
+    return entry_path +
+           format(".tmp.%ld.%llu", static_cast<long>(getpid()),
+                  static_cast<unsigned long long>(seq));
+}
+
+void
+ResultCache::setNextStoreSequenceForTest(uint64_t seq)
+{
+    storeSequence().store(seq, std::memory_order_relaxed);
 }
 
 uint64_t
@@ -125,13 +186,14 @@ ResultCache::store(const std::string &key, const Json &value)
 
     // Unique temp name per in-flight store; rename() is atomic, so a
     // SIGKILL mid-write leaves only a stray .tmp file behind and the
-    // entry itself is either fully old or fully new.
-    static std::atomic<uint64_t> seq{0};
+    // entry itself is either fully old or fully new. The name embeds
+    // the PID because the sweep supervisor points many worker
+    // processes at one cache dir: a bare per-process counter would
+    // let two workers collide on the same .tmp.N and corrupt each
+    // other's in-flight writes.
     std::string path = entryPath(key);
-    std::string tmp =
-        path + format(".tmp.%llu",
-                      static_cast<unsigned long long>(
-                          seq.fetch_add(1, std::memory_order_relaxed)));
+    std::string tmp = tempPath(
+        path, storeSequence().fetch_add(1, std::memory_order_relaxed));
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f) {
         warn("result cache: cannot write %s: %s", tmp.c_str(),

@@ -68,6 +68,23 @@ class ResultCache
     /** 64-bit FNV-1a content hash of a key string. */
     static uint64_t keyHash(const std::string &key);
 
+    /**
+     * The temp file store() writes before its atomic rename:
+     * <entry_path>.tmp.<pid>.<seq>. The PID is part of the name
+     * because multiple worker processes share one cache dir under
+     * --isolate-cells; the per-process counter alone is not unique
+     * across them.
+     */
+    static std::string tempPath(const std::string &entry_path,
+                                uint64_t seq);
+
+    /**
+     * Pin the next store() sequence number (test-only). Lets a
+     * regression test force two processes onto identical sequence
+     * numbers to prove the PID keeps their temp names distinct.
+     */
+    static void setNextStoreSequenceForTest(uint64_t seq);
+
     const std::string &dir() const { return dir_; }
 
     // Harness-visible traffic counters (thread-safe).
@@ -76,6 +93,11 @@ class ResultCache
     uint64_t stores() const ZCOMP_EXCLUDES(mu_);
 
   private:
+    /** Remove orphaned .tmp.* files left by crashed writers (called
+     *  once from the constructor; only files comfortably older than
+     *  this open are touched, so live writers are safe). */
+    void sweepStaleTempFiles();
+
     // Lock contract: mu_ guards only the traffic counters; file I/O
     // deliberately happens outside it (distinct keys hit distinct
     // files, same-key store races write identical bytes), so lookups

@@ -1,0 +1,258 @@
+#include "common/subprocess.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+extern char **environ;
+
+namespace zcomp {
+
+namespace {
+
+/** A pipe pair with close-on-exec set on both ends. */
+struct Pipe {
+    int rd = -1;
+    int wr = -1;
+};
+
+Pipe
+makePipe()
+{
+    int fds[2];
+    fatal_if(pipe2(fds, O_CLOEXEC) != 0, "pipe2 failed: %s",
+             std::strerror(errno));
+    return Pipe{fds[0], fds[1]};
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    fatal_if(flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0,
+             "fcntl(O_NONBLOCK) failed: %s", std::strerror(errno));
+}
+
+} // namespace
+
+std::string
+ExitStatus::signalName(int sig)
+{
+    switch (sig) {
+      case SIGHUP: return "SIGHUP";
+      case SIGINT: return "SIGINT";
+      case SIGQUIT: return "SIGQUIT";
+      case SIGILL: return "SIGILL";
+      case SIGTRAP: return "SIGTRAP";
+      case SIGABRT: return "SIGABRT";
+      case SIGBUS: return "SIGBUS";
+      case SIGFPE: return "SIGFPE";
+      case SIGKILL: return "SIGKILL";
+      case SIGUSR1: return "SIGUSR1";
+      case SIGSEGV: return "SIGSEGV";
+      case SIGUSR2: return "SIGUSR2";
+      case SIGPIPE: return "SIGPIPE";
+      case SIGALRM: return "SIGALRM";
+      case SIGTERM: return "SIGTERM";
+      case SIGXCPU: return "SIGXCPU";
+      case SIGXFSZ: return "SIGXFSZ";
+      default: return format("SIG%d", sig);
+    }
+}
+
+ExitStatus
+ExitStatus::fromWaitStatus(int wstatus)
+{
+    ExitStatus st;
+    if (WIFEXITED(wstatus)) {
+        st.kind = Exited;
+        st.code = WEXITSTATUS(wstatus);
+    } else if (WIFSIGNALED(wstatus)) {
+        st.kind = Signaled;
+        st.sig = WTERMSIG(wstatus);
+    }
+    return st;
+}
+
+std::string
+ExitStatus::describe() const
+{
+    switch (kind) {
+      case Running:
+        return "running";
+      case Exited:
+        return format("exit %d", code);
+      case Signaled:
+        return format("signal %d (%s)", sig, signalName(sig).c_str());
+    }
+    return "unknown";
+}
+
+bool
+LineReader::poll(std::vector<std::string> &out)
+{
+    if (eof_)
+        return false;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = read(fd_, buf, sizeof(buf));
+        if (n > 0) {
+            partial_.append(buf, static_cast<size_t>(n));
+            size_t start = 0, nl;
+            while ((nl = partial_.find('\n', start)) !=
+                   std::string::npos) {
+                out.push_back(partial_.substr(start, nl - start));
+                start = nl + 1;
+            }
+            partial_.erase(0, start);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        // EOF (n == 0) or unrecoverable error: flush any trailing
+        // unterminated line so a crash mid-write still surfaces what
+        // the child managed to say.
+        eof_ = true;
+        if (!partial_.empty()) {
+            out.push_back(partial_);
+            partial_.clear();
+        }
+        return false;
+    }
+}
+
+Subprocess::Subprocess(const Options &opt)
+{
+    fatal_if(opt.argv.empty(), "subprocess needs an argv");
+
+    Pipe out = makePipe();
+    Pipe err = makePipe();
+
+    // Materialize argv/envp *before* forking: between fork and exec
+    // only async-signal-safe calls are allowed (the parent may hold
+    // malloc locks), so the child must not allocate.
+    std::vector<char *> argv;
+    argv.reserve(opt.argv.size() + 1);
+    for (const std::string &a : opt.argv)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    std::vector<std::string> env_storage;
+    std::vector<char *> envp;
+    for (char **e = environ; e && *e; e++)
+        envp.push_back(*e);
+    for (const auto &[k, v] : opt.extraEnv) {
+        env_storage.push_back(k + "=" + v);
+        envp.push_back(const_cast<char *>(env_storage.back().c_str()));
+    }
+    envp.push_back(nullptr);
+
+    pid_t pid = fork();
+    fatal_if(pid < 0, "fork failed: %s", std::strerror(errno));
+
+    if (pid == 0) {
+        // Child. dup2 clears O_CLOEXEC on the target fd, so exactly
+        // stdin/stdout/stderr survive the exec.
+        while (dup2(out.wr, STDOUT_FILENO) < 0 && errno == EINTR) {}
+        while (dup2(err.wr, STDERR_FILENO) < 0 && errno == EINTR) {}
+        execve(argv[0], argv.data(), envp.data());
+        // Exec failed; stderr already points at the parent's pipe.
+        const char msg[] = "subprocess: exec failed\n";
+        ssize_t ignored = write(STDERR_FILENO, msg, sizeof(msg) - 1);
+        (void)ignored;
+        _exit(127);
+    }
+
+    // Parent.
+    close(out.wr);
+    close(err.wr);
+    setNonBlocking(out.rd);
+    setNonBlocking(err.rd);
+    pid_ = pid;
+    stdout_fd_ = out.rd;
+    stderr_fd_ = err.rd;
+}
+
+Subprocess::~Subprocess()
+{
+    if (status_.running() && pid_ > 0)
+        kill();
+    if (stdout_fd_ >= 0)
+        close(stdout_fd_);
+    if (stderr_fd_ >= 0)
+        close(stderr_fd_);
+}
+
+bool
+Subprocess::poll()
+{
+    if (!status_.running())
+        return true;
+    int wstatus = 0;
+    pid_t got = waitpid(pid_, &wstatus, WNOHANG);
+    if (got == 0)
+        return false;
+    if (got < 0) {
+        // ECHILD etc. - nothing left to reap; treat as an abnormal
+        // exit so the supervisor never spins on a ghost.
+        warn("waitpid(%ld) failed: %s", static_cast<long>(pid_),
+             std::strerror(errno));
+        status_.kind = ExitStatus::Exited;
+        status_.code = 127;
+        return true;
+    }
+    ExitStatus st = ExitStatus::fromWaitStatus(wstatus);
+    if (st.running())
+        return false; // stopped/continued; keep waiting
+    status_ = st;
+    return true;
+}
+
+void
+Subprocess::terminate(int grace_millis)
+{
+    using Clock = std::chrono::steady_clock;
+    if (!status_.running())
+        return;
+    if (grace_millis > 0) {
+        ::kill(pid_, SIGTERM);
+        Clock::time_point deadline =
+            Clock::now() + std::chrono::milliseconds(grace_millis);
+        while (Clock::now() < deadline) {
+            if (poll())
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    ::kill(pid_, SIGKILL);
+    // SIGKILL cannot be caught; the blocking reap terminates.
+    int wstatus = 0;
+    pid_t got;
+    do {
+        got = waitpid(pid_, &wstatus, 0);
+    } while (got < 0 && errno == EINTR);
+    if (got == pid_)
+        status_ = ExitStatus::fromWaitStatus(wstatus);
+    else if (status_.running()) {
+        status_.kind = ExitStatus::Signaled;
+        status_.sig = SIGKILL;
+    }
+}
+
+void
+Subprocess::kill()
+{
+    terminate(0);
+}
+
+} // namespace zcomp

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Subprocess - the one place in the tree allowed to fork/exec.
+ *
+ * The sweep supervisor runs every study cell in its own worker
+ * process so that a SIGSEGV, deadlock, or runaway loop takes down
+ * exactly one cell instead of the whole sweep. This wrapper owns all
+ * of the raw process plumbing that makes that safe:
+ *
+ *  - fork + execve with a pipe pair capturing the child's stdout
+ *    (the machine-readable JSONL status channel) and stderr (human
+ *    log lines), both switched to non-blocking in the parent;
+ *  - exit-status decoding that distinguishes a normal exit code from
+ *    death by signal (and names the signal, e.g. "SIGKILL"), because
+ *    the two land in different failure domains: exit codes map to
+ *    typed in-process errors, signals to crashes only process
+ *    isolation can survive;
+ *  - kill with SIGTERM -> SIGKILL escalation for graceful teardown,
+ *    plus an immediate SIGKILL for hard-deadline enforcement.
+ *
+ * A zcomp_lint rule (process-isolation) bans raw fork/execv/kill/
+ * waitpid everywhere outside subprocess.cc, mirroring how
+ * simd-isolation keeps intrinsics inside the SIMD backend.
+ *
+ * Not thread-safe: a Subprocess must be polled/killed from one
+ * thread (the supervisor event loop is single-threaded by design).
+ */
+
+#ifndef ZCOMP_COMMON_SUBPROCESS_HH
+#define ZCOMP_COMMON_SUBPROCESS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace zcomp {
+
+/** Decoded wait() status of a finished (or still running) process. */
+struct ExitStatus
+{
+    enum Kind {
+        Running,    ///< not reaped yet
+        Exited,     ///< normal termination; code is the exit code
+        Signaled,   ///< killed by a signal; sig is the signal number
+    };
+
+    Kind kind = Running;
+    int code = 0;
+    int sig = 0;
+
+    bool running() const { return kind == Running; }
+    bool ok() const { return kind == Exited && code == 0; }
+    bool signaled() const { return kind == Signaled; }
+
+    /** "exit 0" / "signal 11 (SIGSEGV)" / "running". */
+    std::string describe() const;
+
+    /** "SIGKILL", "SIGSEGV", ... or "SIG<n>" for exotic signals. */
+    static std::string signalName(int sig);
+
+    /** Decode a raw waitpid() status word. */
+    static ExitStatus fromWaitStatus(int wstatus);
+};
+
+/**
+ * Incremental newline splitter over a non-blocking pipe fd. The
+ * supervisor polls many workers from one loop; a worker that has
+ * written half a JSONL record must neither block the loop nor have
+ * the half-line surface anywhere - poll() buffers partial lines
+ * internally and only ever emits complete ones (this is also what
+ * keeps worker stderr from tearing the sticky --progress status
+ * line).
+ */
+class LineReader
+{
+  public:
+    /** Takes a non-owning reference to an O_NONBLOCK read fd. */
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Drain whatever is available without blocking, appending each
+     * complete line (newline stripped) to out. On EOF any trailing
+     * unterminated partial line is flushed as a final line. Returns
+     * false once the fd has hit EOF (or an unrecoverable error) and
+     * everything has been emitted.
+     */
+    bool poll(std::vector<std::string> &out);
+
+    bool eof() const { return eof_; }
+
+  private:
+    int fd_;
+    bool eof_ = false;
+    std::string partial_;
+};
+
+/**
+ * One spawned child process with captured stdout/stderr. The
+ * destructor hard-kills and reaps a still-running child, so a
+ * supervisor unwinding on error never leaks orphans.
+ */
+class Subprocess
+{
+  public:
+    struct Options {
+        /** argv[0] is the binary to exec (absolute path or on PATH). */
+        std::vector<std::string> argv;
+        /** Extra environment entries appended to the parent's. */
+        std::vector<std::pair<std::string, std::string>> extraEnv;
+    };
+
+    /**
+     * fork+exec per opt. fatal()s on fork/pipe failure (resource
+     * exhaustion, not a per-cell condition); an exec failure in the
+     * child surfaces as exit code 127.
+     */
+    explicit Subprocess(const Options &opt);
+
+    Subprocess(const Subprocess &) = delete;
+    Subprocess &operator=(const Subprocess &) = delete;
+    ~Subprocess();
+
+    pid_t pid() const { return pid_; }
+
+    /** Non-blocking read ends of the child's stdout / stderr. */
+    int stdoutFd() const { return stdout_fd_; }
+    int stderrFd() const { return stderr_fd_; }
+
+    /**
+     * Non-blocking reap attempt. Returns true once the child has
+     * terminated (idempotent afterwards); status() is then final.
+     */
+    bool poll();
+
+    const ExitStatus &status() const { return status_; }
+
+    /**
+     * Graceful stop: SIGTERM, wait up to grace_millis for exit, then
+     * SIGKILL and block until reaped. With grace_millis == 0 this is
+     * an immediate SIGKILL - what the supervisor uses when a hard
+     * deadline fires and the child cannot be trusted to cooperate.
+     */
+    void terminate(int grace_millis);
+
+    /** Immediate SIGKILL + blocking reap (terminate(0)). */
+    void kill();
+
+  private:
+    pid_t pid_ = -1;
+    int stdout_fd_ = -1;
+    int stderr_fd_ = -1;
+    ExitStatus status_;
+};
+
+} // namespace zcomp
+
+#endif // ZCOMP_COMMON_SUBPROCESS_HH

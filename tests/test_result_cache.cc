@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "common/result_cache.hh"
 
@@ -141,4 +146,90 @@ TEST(ResultCache, StoreOverwrites)
     std::optional<Json> got = cache.lookup("key-a");
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(got->asInt(), 2);
+}
+
+TEST(ResultCache, TempNamesEmbedPidAndSeq)
+{
+    std::string tmp = ResultCache::tempPath("dir/abc.json", 42);
+    std::string want = "dir/abc.json.tmp." +
+                       std::to_string(static_cast<long>(getpid())) +
+                       ".42";
+    EXPECT_EQ(tmp, want);
+    EXPECT_NE(tmp, ResultCache::tempPath("dir/abc.json", 43));
+}
+
+TEST(ResultCache, ConcurrentStoresWithIdenticalSequenceNumbers)
+{
+    // Regression: temp names once used only a process-local counter,
+    // so two processes sharing a cache dir could both write .tmp.42
+    // and corrupt each other's in-flight entries. Force parent and
+    // child onto the *same* sequence number and prove the PID keeps
+    // their temp names distinct and both stores land intact.
+    std::string dir = freshDir("same_seq");
+    ResultCache cache(dir);
+    std::string child_tmp_file = dir + "/child_tmp_name.txt";
+
+    ResultCache::setNextStoreSequenceForTest(42);
+    pid_t pid = fork(); // zcomp-lint: allow(process-isolation)
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: pin the counter to the parent's value, record the
+        // temp name this process would use, store, and exit.
+        ResultCache::setNextStoreSequenceForTest(42);
+        std::ofstream f(child_tmp_file, std::ios::trunc);
+        f << ResultCache::tempPath(cache.entryPath("key-child"), 42);
+        f.close();
+        cache.store("key-child", Json(111));
+        std::_Exit(0);
+    }
+    cache.store("key-parent", Json(222));
+    int status = 0;
+    // zcomp-lint: allow(process-isolation)
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+    std::ifstream f(child_tmp_file);
+    std::string child_tmp;
+    ASSERT_TRUE(std::getline(f, child_tmp));
+    std::string parent_tmp =
+        ResultCache::tempPath(cache.entryPath("key-child"), 42);
+    EXPECT_NE(child_tmp, parent_tmp)
+        << "temp names must differ across processes at equal seq";
+
+    std::optional<Json> got = cache.lookup("key-parent");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->asInt(), 222);
+    got = cache.lookup("key-child");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->asInt(), 111);
+}
+
+TEST(ResultCache, SweepsStaleTempFilesOnOpen)
+{
+    std::string dir = freshDir("sweep");
+    std::string entry_path;
+    {
+        ResultCache cache(dir);
+        cache.store("key-a", sampleValue());
+        entry_path = cache.entryPath("key-a");
+    }
+
+    // A writer SIGKILLed mid-store leaves its temp file behind; age
+    // it past the sweep's grace window. A *fresh* temp (a live
+    // writer's in-flight store) must survive the sweep.
+    std::string stale = entry_path + ".tmp.99999.7";
+    std::string fresh = entry_path + ".tmp.99998.3";
+    { std::ofstream f(stale); f << "{ \"partial"; }
+    { std::ofstream f(fresh); f << "{ \"partial"; }
+    std::filesystem::last_write_time(
+        stale, std::filesystem::file_time_type::clock::now() -
+                   std::chrono::hours(2));
+
+    ResultCache reopened(dir);
+    EXPECT_FALSE(std::filesystem::exists(stale));
+    EXPECT_TRUE(std::filesystem::exists(fresh));
+    EXPECT_TRUE(std::filesystem::exists(entry_path));
+    std::optional<Json> got = reopened.lookup("key-a");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, sampleValue());
 }

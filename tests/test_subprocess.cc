@@ -1,0 +1,211 @@
+/** @file Unit tests for the fork/exec wrapper behind the sweep
+ *  supervisor: exit-status decoding, non-blocking line reads, and
+ *  the SIGTERM -> SIGKILL escalation. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "common/subprocess.hh"
+
+using namespace zcomp;
+
+namespace {
+
+/** Spawn /bin/sh -c <script> (extra env optional). */
+Subprocess::Options
+shell(const std::string &script)
+{
+    Subprocess::Options opt;
+    opt.argv = {"/bin/sh", "-c", script};
+    return opt;
+}
+
+/** Block (with sleeps) until the child is reaped; returns status. */
+ExitStatus
+waitFor(Subprocess &p)
+{
+    while (!p.poll())
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return p.status();
+}
+
+/** Drain a LineReader until EOF, collecting every line. */
+std::vector<std::string>
+drainAll(Subprocess &p, LineReader &r)
+{
+    std::vector<std::string> lines;
+    while (r.poll(lines))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    waitFor(p);
+    return lines;
+}
+
+} // namespace
+
+TEST(ExitStatus, DescribesExitAndSignals)
+{
+    ExitStatus st;
+    EXPECT_TRUE(st.running());
+    EXPECT_EQ(st.describe(), "running");
+    st.kind = ExitStatus::Exited;
+    st.code = 3;
+    EXPECT_EQ(st.describe(), "exit 3");
+    EXPECT_FALSE(st.ok());
+    st.code = 0;
+    EXPECT_TRUE(st.ok());
+    st.kind = ExitStatus::Signaled;
+    st.sig = SIGSEGV;
+    EXPECT_EQ(st.describe(), "signal 11 (SIGSEGV)");
+    EXPECT_TRUE(st.signaled());
+}
+
+TEST(ExitStatus, SignalNames)
+{
+    EXPECT_EQ(ExitStatus::signalName(SIGKILL), "SIGKILL");
+    EXPECT_EQ(ExitStatus::signalName(SIGSEGV), "SIGSEGV");
+    EXPECT_EQ(ExitStatus::signalName(SIGTERM), "SIGTERM");
+    EXPECT_EQ(ExitStatus::signalName(SIGABRT), "SIGABRT");
+    // Exotic signals still round-trip to something unambiguous.
+    EXPECT_EQ(ExitStatus::signalName(63), "SIG63");
+}
+
+TEST(Subprocess, ExitCodeIsDecoded)
+{
+    Subprocess p(shell("exit 7"));
+    ExitStatus st = waitFor(p);
+    EXPECT_EQ(st.kind, ExitStatus::Exited);
+    EXPECT_EQ(st.code, 7);
+    EXPECT_FALSE(st.ok());
+}
+
+TEST(Subprocess, SignalDeathIsDecoded)
+{
+    Subprocess p(shell("kill -9 $$"));
+    ExitStatus st = waitFor(p);
+    EXPECT_EQ(st.kind, ExitStatus::Signaled);
+    EXPECT_EQ(st.sig, SIGKILL);
+    EXPECT_EQ(ExitStatus::signalName(st.sig), "SIGKILL");
+}
+
+TEST(Subprocess, ExecFailureIs127)
+{
+    Subprocess::Options opt;
+    opt.argv = {"/nonexistent/zcomp-no-such-binary"};
+    Subprocess p(opt);
+    ExitStatus st = waitFor(p);
+    EXPECT_EQ(st.kind, ExitStatus::Exited);
+    EXPECT_EQ(st.code, 127);
+}
+
+TEST(Subprocess, CapturesStdoutAndStderrSeparately)
+{
+    Subprocess p(shell("echo out-line; echo err-line >&2"));
+    LineReader out(p.stdoutFd());
+    LineReader err(p.stderrFd());
+    std::vector<std::string> out_lines = drainAll(p, out);
+    std::vector<std::string> err_lines;
+    while (err.poll(err_lines)) {}
+    ASSERT_EQ(out_lines.size(), 1u);
+    EXPECT_EQ(out_lines[0], "out-line");
+    ASSERT_EQ(err_lines.size(), 1u);
+    EXPECT_EQ(err_lines[0], "err-line");
+}
+
+TEST(Subprocess, ExtraEnvReachesChild)
+{
+    Subprocess::Options opt = shell("echo \"var=$ZCOMP_TEST_SUB_VAR\"");
+    opt.extraEnv.push_back({"ZCOMP_TEST_SUB_VAR", "hello-42"});
+    Subprocess p(opt);
+    LineReader out(p.stdoutFd());
+    std::vector<std::string> lines = drainAll(p, out);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "var=hello-42");
+}
+
+TEST(LineReader, FlushesTrailingPartialLineAtEof)
+{
+    // A child SIGKILLed mid-record leaves an unterminated line in
+    // the pipe; the reader must still surface it at EOF.
+    Subprocess p(shell("printf 'complete\\nhalf'"));
+    LineReader out(p.stdoutFd());
+    std::vector<std::string> lines = drainAll(p, out);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "complete");
+    EXPECT_EQ(lines[1], "half");
+    EXPECT_TRUE(out.eof());
+}
+
+TEST(LineReader, DoesNotEmitIncompleteLinesEarly)
+{
+    // While the writer is alive and mid-line, poll() must buffer -
+    // no torn half-line may ever surface.
+    Subprocess p(shell("printf 'part-a'; sleep 0.3; "
+                       "printf 'part-b\\n'"));
+    LineReader out(p.stdoutFd());
+    std::vector<std::string> lines;
+    auto t0 = std::chrono::steady_clock::now();
+    // Poll for up to 150ms: the first fragment must stay buffered.
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(150)) {
+        out.poll(lines);
+        EXPECT_TRUE(lines.empty());
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    while (out.poll(lines))
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    waitFor(p);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "part-apart-b");
+}
+
+TEST(Subprocess, TerminateEscalatesToSigkill)
+{
+    // The child ignores SIGTERM, so only the KILL escalation can
+    // end it - exactly the hung-worker scenario.
+    Subprocess p(shell("trap '' TERM; while :; do sleep 0.05; done"));
+    // Give the shell a moment to install the trap.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    p.terminate(150);
+    const ExitStatus &st = p.status();
+    ASSERT_FALSE(st.running());
+    EXPECT_EQ(st.kind, ExitStatus::Signaled);
+    EXPECT_EQ(st.sig, SIGKILL);
+}
+
+TEST(Subprocess, TerminateIsGracefulWhenChildCooperates)
+{
+    Subprocess p(shell("trap 'exit 5' TERM; while :; do sleep 0.02; "
+                       "done"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    p.terminate(2000);
+    const ExitStatus &st = p.status();
+    ASSERT_FALSE(st.running());
+    // The shell exits 5 from its TERM trap - no KILL needed.
+    EXPECT_EQ(st.kind, ExitStatus::Exited);
+    EXPECT_EQ(st.code, 5);
+}
+
+TEST(Subprocess, KillIsImmediate)
+{
+    Subprocess p(shell("sleep 30"));
+    p.kill();
+    const ExitStatus &st = p.status();
+    EXPECT_EQ(st.kind, ExitStatus::Signaled);
+    EXPECT_EQ(st.sig, SIGKILL);
+}
+
+TEST(Subprocess, DestructorReapsRunningChild)
+{
+    pid_t pid;
+    {
+        Subprocess p(shell("sleep 30"));
+        pid = p.pid();
+    }
+    // After destruction the pid must be gone (kill(pid, 0) fails
+    // once the child is reaped and the pid recycled away from us).
+    // zcomp-lint: allow(process-isolation)
+    EXPECT_NE(::kill(pid, 0), 0);
+}

@@ -97,6 +97,72 @@ def main():
               run([tool, "--synth", "0.5", "99999999999999"]), False,
               "integer")
 
+        # --metrics validation, including the sweep-supervisor
+        # "worker"/"crash" record kinds (--isolate-cells telemetry).
+        def metrics_file(name, lines):
+            p = os.path.join(tmp, name)
+            with open(p, "w") as f:
+                for rec in lines:
+                    f.write(json.dumps(rec) + "\n")
+            return p
+
+        def rec(kind, **kw):
+            base = {"schema": "zcomp-metrics-v1", "kind": kind,
+                    "hostMs": 1.0}
+            base.update(kw)
+            return base
+
+        good = metrics_file("good.jsonl", [
+            rec("worker", event="spawn", worker=0, pid=100,
+                cell="resnet-32 (training)", attempt=1),
+            rec("worker", event="steal", worker=1, pid=101,
+                cell="resnet-32 (training)", attempt=2),
+            rec("crash", worker=0, cell="resnet-32 (training)",
+                signal="SIGSEGV", reason="signal"),
+            rec("worker", event="exit", worker=1, pid=101,
+                cell="resnet-32 (training)", status="exit 0"),
+            rec("progress", done=1, total=2, cached=0, failed=1,
+                retried=0, cellsPerSec=0.5, etaSec=2.0),
+        ])
+        check("metrics worker records",
+              run([tool, "--metrics", good]), True)
+        jp = run([tool, "--json", "--metrics", good])
+        check("metrics worker --json", jp, True)
+        if jp.returncode == 0:
+            try:
+                doc = json.loads(jp.stdout)
+                assert doc["workerEvents"] == 3, doc
+                assert doc["crashes"] == 1, doc
+                print("ok: metrics --json counts workers")
+            except Exception as e:  # noqa: BLE001
+                failures.append("metrics --json unparseable: %s" % e)
+
+        check("metrics bad worker event",
+              run([tool, "--metrics", metrics_file("bad-ev.jsonl", [
+                  rec("worker", event="oops", worker=0, pid=1,
+                      cell="x", attempt=1)])]),
+              False, "unknown worker event")
+        check("metrics worker missing pid",
+              run([tool, "--metrics", metrics_file("bad-pid.jsonl", [
+                  rec("worker", event="spawn", worker=0, cell="x",
+                      attempt=1)])]),
+              False, "field 'pid'")
+        check("metrics exit missing status",
+              run([tool, "--metrics", metrics_file("bad-st.jsonl", [
+                  rec("worker", event="exit", worker=0, pid=1,
+                      cell="x")])]),
+              False, "field 'status'")
+        check("metrics bad crash reason",
+              run([tool, "--metrics", metrics_file("bad-why.jsonl", [
+                  rec("crash", worker=0, cell="x", signal="SIGKILL",
+                      reason="boredom")])]),
+              False, "unknown crash reason")
+        check("metrics crash missing signal",
+              run([tool, "--metrics", metrics_file("bad-sig.jsonl", [
+                  rec("crash", worker=0, cell="x",
+                      reason="timeout")])]),
+              False, "field 'signal'")
+
     if failures:
         for f in failures:
             print("FAIL: %s" % f, file=sys.stderr)

@@ -171,6 +171,7 @@ validateMetrics(const char *file, bool json_mode)
     std::map<std::pair<std::string, std::string>, double> lastCycle;
     std::map<std::pair<std::string, std::string>, uint64_t> perSeries;
     uint64_t samples = 0, progress = 0, drains = 0;
+    uint64_t workerEvents = 0, crashes = 0;
     double maxCycle = 0;
 
     std::string text;
@@ -254,6 +255,40 @@ validateMetrics(const char *file, bool json_mode)
             if (done > total)
                 throw metricsError(path, lineno,
                                    "progress done exceeds total");
+        } else if (kind.asString() == "worker") {
+            // Sweep-supervisor lifecycle (--isolate-cells): a worker
+            // process was spawned, work-stolen or reaped.
+            workerEvents++;
+            const std::string event =
+                requireField(rec, "event", "string", path, lineno)
+                    .asString();
+            if (event != "spawn" && event != "steal" &&
+                event != "exit")
+                throw metricsError(path, lineno,
+                                   "unknown worker event '" + event +
+                                       "'");
+            requireField(rec, "worker", "number", path, lineno);
+            requireField(rec, "pid", "number", path, lineno);
+            requireField(rec, "cell", "string", path, lineno);
+            if (event == "exit")
+                requireField(rec, "status", "string", path, lineno);
+            else
+                requireField(rec, "attempt", "number", path, lineno);
+        } else if (kind.asString() == "crash") {
+            // Supervisor-domain cell failure: signal death, hard
+            // timeout or heartbeat loss.
+            crashes++;
+            requireField(rec, "worker", "number", path, lineno);
+            requireField(rec, "cell", "string", path, lineno);
+            requireField(rec, "signal", "string", path, lineno);
+            const std::string reason =
+                requireField(rec, "reason", "string", path, lineno)
+                    .asString();
+            if (reason != "signal" && reason != "timeout" &&
+                reason != "heartbeat")
+                throw metricsError(path, lineno,
+                                   "unknown crash reason '" + reason +
+                                       "'");
         } else {
             throw metricsError(path, lineno,
                                "unknown kind '" + kind.asString() +
@@ -269,6 +304,8 @@ validateMetrics(const char *file, bool json_mode)
         doc["records"] = lineno;
         doc["samples"] = samples;
         doc["progress"] = progress;
+        doc["workerEvents"] = workerEvents;
+        doc["crashes"] = crashes;
         doc["drains"] = drains;
         doc["series"] = perSeries.size();
         doc["maxCycle"] = maxCycle;
@@ -283,6 +320,10 @@ validateMetrics(const char *file, bool json_mode)
                 perSeries.size());
     std::printf("progress : %llu records\n",
                 (unsigned long long)progress);
+    if (workerEvents || crashes)
+        std::printf("workers  : %llu events, %llu crashes\n",
+                    (unsigned long long)workerEvents,
+                    (unsigned long long)crashes);
     std::printf("max cycle: %.0f\n", maxCycle);
     return 0;
 }

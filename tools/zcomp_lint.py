@@ -68,6 +68,14 @@ scheme-registration every src/cachecomp/*.cc that defines a
                     registerScheme() - a scheme that never reaches
                     the registry silently drops out of the Figure 15
                     tables, report rows, and result-cache keys.
+process-isolation   no raw process primitives (fork/exec*/kill/
+                    waitpid/popen/system/...) outside
+                    src/common/subprocess.{hh,cc} - all child
+                    processes go through the Subprocess wrapper so
+                    every child is reaped, deadline-bounded, and
+                    status-decoded; stray fork/kill calls are how
+                    zombies and orphaned grandchildren happen.
+                    Member calls (p.kill(), proc->kill()) are fine.
 
 A finding on line N is suppressed by a comment
     // zcomp-lint: allow(<rule>)
@@ -498,6 +506,9 @@ WALL_CLOCK_ALLOWED_PREFIXES = (
     "bench/", "tools/", "tests/", "examples/",
     "src/common/metrics.", "src/common/report.",
     "src/common/trace_writer.", "src/common/result_cache.",
+    # Process supervision is host-domain by nature: grace windows,
+    # hard deadlines, and heartbeat ages are wall-clock quantities.
+    "src/common/subprocess.", "src/common/sweep_supervisor.",
 )
 WALL_CLOCK_RE = re.compile(
     r"\bstd\s*::\s*chrono\s*::\s*"
@@ -655,6 +666,42 @@ def check_scheme_registration(root, findings):
                     m.start() + 1))
 
 
+# The one sanctioned home for raw process plumbing: the Subprocess
+# wrapper's own header and implementation.
+SUBPROCESS_HOME_PREFIX = "src/common/subprocess."
+RAW_PROCESS_RE = re.compile(
+    # Either a globally-qualified call (::kill) or a plain call that
+    # is not a member access (p.kill() / proc->kill() are the
+    # sanctioned wrapper API, not a raw primitive).
+    r"(?:(?<=::)|(?<![\w.:>]))"
+    r"(vfork|fork|execvpe|execvp|execve|execv|execlp|execle|execl|"
+    r"posix_spawnp|posix_spawn|killpg|kill|waitpid|wait4|wait3|"
+    r"popen|system)\s*\(")
+
+
+def check_process_isolation(root, findings):
+    """A raw fork/exec/kill/waitpid anywhere else bypasses the
+    Subprocess wrapper's guarantees (O_CLOEXEC pipes, non-blocking
+    reads, SIGTERM->SIGKILL escalation, guaranteed reap) and is how
+    zombies and orphaned grandchildren get minted."""
+    for path in iter_files(root, SOURCE_EXTS + HEADER_EXTS):
+        rel = relpath(root, path)
+        if rel.startswith(SUBPROCESS_HOME_PREFIX):
+            continue
+        lines = read_lines(path)
+        allowed = suppressed_lines(lines, "process-isolation")
+        for i, line in enumerate(strip_comments_and_strings(lines),
+                                 start=1):
+            m = RAW_PROCESS_RE.search(line)
+            if m and i not in allowed:
+                findings.append(Finding(
+                    "process-isolation", rel, i,
+                    "raw %s(); spawn/signal/reap through "
+                    "common/subprocess.hh so every child is reaped, "
+                    "deadline-bounded and status-decoded"
+                    % m.group(1), m.start() + 1))
+
+
 ALL_RULES = [
     check_cmake_registration,
     check_header_guard,
@@ -670,6 +717,7 @@ ALL_RULES = [
     check_raw_rand,
     check_unordered_iteration,
     check_scheme_registration,
+    check_process_isolation,
 ]
 
 
@@ -699,7 +747,8 @@ def self_test():
               "    stray_intrin.cc metrics_probe.cc common/simd.cc\n"
               "    raw_mutex.cc wall_clock.cc raw_rand.cc\n"
               "    unordered_iter.cc cachecomp/scheme_good.cc\n"
-              "    cachecomp/scheme_bad.cc unregistered_elsewhere.cc)\n")
+              "    cachecomp/scheme_bad.cc unregistered_elsewhere.cc\n"
+              "    proc_raw.cc common/subprocess.cc)\n")
         write(os.path.join(root, "bench", "CMakeLists.txt"),
               "add_executable(timer timer.cc)\n")
         write(os.path.join(root, "src", "clean.cc"),
@@ -820,6 +869,23 @@ def self_test():
               "        use(kv);\n"
               "}\n")
 
+        write(os.path.join(root, "src", "proc_raw.cc"),
+              "// fork() in a comment is fine\n"
+              "int pid = fork();\n"                         # flagged
+              "void run() { execv(path, argv); }\n"         # flagged
+              "void reap() { waitpid(pid, &st, 0); }\n"     # flagged
+              "void stop() { ::kill(pid, 9); }\n"           # flagged
+              "void fine(Subprocess &p) { p.kill(); }\n"    # member ok
+              "void also(Subprocess *p) { p->kill(); }\n"   # member ok
+              "void forked() { workForked(); }\n"     # substring: fine
+              "// zcomp-lint: allow(process-isolation)\n"
+              "int pg = killpg(pgid, 9);\n")               # suppressed
+        # The wrapper's own implementation is the sanctioned home.
+        write(os.path.join(root, "src", "common", "subprocess.cc"),
+              "pid_t child = fork();\n"
+              "void go() { execve(p, a, e); }\n"
+              "void reap() { waitpid(child, &st, 0); }\n")
+
         # Outside src/cachecomp/ the scheme-registration rule is
         # silent; registration there is scheme.cc's business.
         write(os.path.join(root, "src", "unregistered_elsewhere.cc"),
@@ -860,6 +926,10 @@ def self_test():
             ("unordered-iteration", "src/unordered_iter.cc", 5),
             ("unordered-iteration", "src/unordered_iter.cc", 7),
             ("scheme-registration", "src/cachecomp/scheme_bad.cc", 2),
+            ("process-isolation", "src/proc_raw.cc", 2),
+            ("process-isolation", "src/proc_raw.cc", 3),
+            ("process-isolation", "src/proc_raw.cc", 4),
+            ("process-isolation", "src/proc_raw.cc", 5),
         }
         ok = True
         for item in sorted(want - got):
